@@ -1,0 +1,198 @@
+#include "common.hpp"
+
+#include <chrono>
+
+#include "core/messages.hpp"
+#include "crypto/schnorr.hpp"
+#include "util/error.hpp"
+
+namespace ddemos::bench {
+
+using namespace core;
+using sim::NodeId;
+
+LoadGen::LoadGen(std::vector<VoteTarget> targets,
+                 std::vector<NodeId> vc_ids, std::size_t concurrency,
+                 std::uint64_t seed)
+    : targets_(std::move(targets)),
+      vc_ids_(std::move(vc_ids)),
+      concurrency_(concurrency),
+      rng_(seed) {}
+
+void LoadGen::on_start() {
+  first_send_ = ctx().now();
+  for (std::size_t i = 0; i < concurrency_ && next_ < targets_.size(); ++i) {
+    send_next();
+  }
+}
+
+void LoadGen::send_next() {
+  if (next_ >= targets_.size()) return;
+  const VoteTarget& t = targets_[next_++];
+  in_flight_[t.serial] = ctx().now();
+  NodeId vc = vc_ids_[rng_.below(vc_ids_.size())];
+  ctx().send(vc, VoteMsg{t.serial, t.code}.encode());
+}
+
+void LoadGen::on_message(NodeId, BytesView payload) {
+  try {
+    Reader r(payload);
+    if (static_cast<MsgType>(r.u8()) != MsgType::kVoteReply) return;
+    VoteReplyMsg m = VoteReplyMsg::decode(r);
+    auto it = in_flight_.find(m.serial);
+    if (it == in_flight_.end()) return;
+    if (m.status != VoteReplyStatus::kOk) {
+      throw ProtocolError("benchmark vote rejected");
+    }
+    latency_sum_us_ += static_cast<double>(ctx().now() - it->second);
+    ++latency_count_;
+    in_flight_.erase(it);
+    ++completed_;
+    last_receipt_ = ctx().now();
+    send_next();
+  } catch (const CodecError&) {
+  }
+}
+
+CalibratedCosts calibrate_signature_costs() {
+  crypto::Rng rng(123);
+  crypto::KeyPair kp = crypto::schnorr_keygen(rng);
+  Bytes msg = to_bytes("calibration message for endorsement signatures");
+  // Warm up the Montgomery constants.
+  Bytes sig = crypto::schnorr_sign(kp.sk, msg);
+
+  auto time_us = [](auto&& fn, int iters) {
+    auto start = std::chrono::steady_clock::now();
+    for (int i = 0; i < iters; ++i) fn();
+    auto end = std::chrono::steady_clock::now();
+    return std::chrono::duration_cast<std::chrono::microseconds>(end - start)
+               .count() /
+           iters;
+  };
+  CalibratedCosts out;
+  out.sign_us = time_us([&] { sig = crypto::schnorr_sign(kp.sk, msg); }, 20);
+  out.verify_us = time_us(
+      [&] {
+        if (!crypto::schnorr_verify(kp.pk, msg, sig)) {
+          throw ProtocolError("calibration verify failed");
+        }
+      },
+      20);
+  return out;
+}
+
+std::size_t env_size(const char* name, std::size_t def) {
+  const char* v = std::getenv(name);
+  if (!v) return def;
+  return static_cast<std::size_t>(std::strtoull(v, nullptr, 10));
+}
+
+VoteCollectionResult run_vote_collection(const VoteCollectionConfig& cfg) {
+  ea::EaConfig ea_cfg;
+  ea_cfg.params.election_id = to_bytes("bench-election");
+  for (std::size_t i = 0; i < cfg.options; ++i) {
+    ea_cfg.params.options.push_back("opt" + std::to_string(i));
+  }
+  std::size_t n_ballots =
+      cfg.n_ballots ? cfg.n_ballots : std::max<std::size_t>(cfg.casts, 2000);
+  ea_cfg.params.n_voters = n_ballots;
+  ea_cfg.params.n_vc = cfg.n_vc;
+  ea_cfg.params.f_vc = cfg.f_vc;
+  ea_cfg.params.n_bb = 1;
+  ea_cfg.params.f_bb = 0;
+  ea_cfg.params.n_trustees = 1;
+  ea_cfg.params.h_trustees = 1;
+  ea_cfg.params.t_start = 0;
+  // Far-away end: the benchmark measures the vote-collection phase only.
+  ea_cfg.params.t_end = std::numeric_limits<std::int64_t>::max() / 4;
+  ea_cfg.seed = cfg.seed;
+  ea_cfg.vc_only = true;
+
+  // Generate ballots (streaming), capture the first `casts` as targets.
+  std::vector<VoteTarget> targets;
+  targets.reserve(cfg.casts);
+  crypto::Rng pick(cfg.seed ^ 0xabcdef);
+  std::vector<std::shared_ptr<store::BallotDataSource>> sources(cfg.n_vc);
+  std::vector<std::vector<VcBallotInit>> mem_ballots(cfg.n_vc);
+  std::vector<std::unique_ptr<store::DiskBallotSource::Builder>> builders;
+  if (cfg.disk_store) {
+    for (std::size_t i = 0; i < cfg.n_vc; ++i) {
+      builders.push_back(std::make_unique<store::DiskBallotSource::Builder>(
+          cfg.disk_dir + "/vc" + std::to_string(i) + ".ballots"));
+    }
+  }
+  ea::SetupArtifacts arts = ea::ea_setup_streaming(
+      ea_cfg, [&](const Ballot& ballot, std::span<VcBallotInit> per_vc) {
+        if (targets.size() < cfg.casts) {
+          std::size_t part = pick.below(kNumParts);
+          std::size_t opt = pick.below(cfg.options);
+          const BallotLine& line = ballot.parts[part].lines[opt];
+          targets.push_back(
+              VoteTarget{ballot.serial, line.vote_code, line.receipt});
+        }
+        for (std::size_t i = 0; i < per_vc.size(); ++i) {
+          if (cfg.disk_store) {
+            builders[i]->add(per_vc[i]);
+          } else {
+            mem_ballots[i].push_back(per_vc[i]);
+          }
+        }
+      });
+  for (std::size_t i = 0; i < cfg.n_vc; ++i) {
+    if (cfg.disk_store) {
+      builders[i]->finish();
+      sources[i] = std::make_shared<store::DiskBallotSource>(
+          cfg.disk_dir + "/vc" + std::to_string(i) + ".ballots",
+          cfg.cache_pages);
+    } else {
+      sources[i] =
+          std::make_shared<store::MemoryBallotSource>(std::move(mem_ballots[i]));
+    }
+  }
+
+  CalibratedCosts costs = calibrate_signature_costs();
+  vc::VcNode::Options opts;
+  opts.model_signatures = true;
+  opts.sign_cost_us = costs.sign_us;
+  opts.verify_cost_us = costs.verify_us;
+  if (cfg.disk_store) opts.page_fault_cost_us = cfg.page_fault_cost_us;
+
+  sim::Simulation sim(cfg.seed);
+  sim.set_default_link(cfg.link);
+  sim.set_measure_cpu(true);
+  std::vector<NodeId> vc_ids(cfg.n_vc);
+  for (std::size_t i = 0; i < cfg.n_vc; ++i) vc_ids[i] = static_cast<NodeId>(i);
+  for (std::size_t i = 0; i < cfg.n_vc; ++i) {
+    sim.add_node(std::make_unique<vc::VcNode>(arts.vc_inits[i], sources[i],
+                                              vc_ids, std::vector<NodeId>{},
+                                              opts),
+                 "vc" + std::to_string(i));
+  }
+  // The voter <-> VC link stays LAN-like even in the WAN experiment: the
+  // paper emulates WAN latency between the VC nodes themselves.
+  NodeId gen_id = sim.add_node(
+      std::make_unique<LoadGen>(std::move(targets), vc_ids, cfg.concurrency,
+                                cfg.seed ^ 0x1),
+      "loadgen");
+  if (cfg.link.base_latency > 1000) {
+    for (NodeId vc : vc_ids) {
+      sim.set_link(gen_id, vc, sim::LinkModel::lan());
+      sim.set_link(vc, gen_id, sim::LinkModel::lan());
+    }
+  }
+
+  sim.start();
+  auto& gen = dynamic_cast<LoadGen&>(sim.process(gen_id));
+  while (!gen.done() && sim.step()) {
+  }
+
+  VoteCollectionResult out;
+  out.completed = gen.completed();
+  out.mean_latency_ms = gen.mean_latency_us() / 1000.0;
+  double span_s =
+      static_cast<double>(gen.last_receipt() - gen.first_send()) / 1e6;
+  out.throughput_ops = span_s > 0 ? gen.completed() / span_s : 0;
+  return out;
+}
+
+}  // namespace ddemos::bench

@@ -1,0 +1,100 @@
+// Shared benchmark harness: calibrated cost model, closed-loop voting load
+// generator, and the vote-collection cluster builder used by the Figure 4
+// and Figure 5 reproductions (see EXPERIMENTS.md for the mapping).
+#pragma once
+
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "core/types.hpp"
+#include "crypto/rng.hpp"
+#include "ea/ea.hpp"
+#include "sim/sim.hpp"
+#include "store/ballot_store.hpp"
+#include "vc/vc_node.hpp"
+
+namespace ddemos::bench {
+
+// One castable vote: a ballot's serial with a chosen code and its receipt.
+struct VoteTarget {
+  core::Serial serial = 0;
+  Bytes code;
+  std::uint64_t receipt = 0;
+};
+
+// Closed-loop load generator: `concurrency` in-flight voters; each completed
+// receipt immediately triggers the next vote, as in the paper's
+// multi-threaded voting client.
+class LoadGen final : public sim::Process {
+ public:
+  LoadGen(std::vector<VoteTarget> targets, std::vector<sim::NodeId> vc_ids,
+          std::size_t concurrency, std::uint64_t seed);
+
+  void on_start() override;
+  void on_message(sim::NodeId from, BytesView payload) override;
+
+  bool done() const { return completed_ == targets_.size(); }
+  std::size_t completed() const { return completed_; }
+  sim::TimePoint first_send() const { return first_send_; }
+  sim::TimePoint last_receipt() const { return last_receipt_; }
+  double mean_latency_us() const {
+    return latency_count_ ? latency_sum_us_ / latency_count_ : 0.0;
+  }
+
+ private:
+  void send_next();
+
+  std::vector<VoteTarget> targets_;
+  std::vector<sim::NodeId> vc_ids_;
+  std::size_t concurrency_;
+  crypto::Rng rng_;
+  std::size_t next_ = 0;
+  std::size_t completed_ = 0;
+  std::map<core::Serial, sim::TimePoint> in_flight_;
+  sim::TimePoint first_send_ = -1;
+  sim::TimePoint last_receipt_ = -1;
+  double latency_sum_us_ = 0;
+  std::size_t latency_count_ = 0;
+};
+
+// Measured Schnorr costs on this machine, used as the modeled signature
+// charges in the simulator (see DESIGN.md Section 2).
+struct CalibratedCosts {
+  sim::Duration sign_us = 0;
+  sim::Duration verify_us = 0;
+};
+CalibratedCosts calibrate_signature_costs();
+
+struct VoteCollectionConfig {
+  std::size_t n_vc = 4;
+  std::size_t f_vc = 1;
+  std::size_t concurrency = 400;
+  std::size_t casts = 1000;
+  std::size_t n_ballots = 0;  // 0: max(casts, 2000)
+  std::size_t options = 4;
+  sim::LinkModel link = sim::LinkModel::lan();
+  std::uint64_t seed = 42;
+  bool disk_store = false;
+  std::string disk_dir;          // required when disk_store
+  std::size_t cache_pages = 64;  // per VC node
+  // Modeled storage latency per page-cache miss (SSD-class random read
+  // through a database stack).
+  sim::Duration page_fault_cost_us = 150;
+};
+
+struct VoteCollectionResult {
+  double throughput_ops = 0;   // receipts per second of virtual time
+  double mean_latency_ms = 0;  // client-perceived
+  std::size_t completed = 0;
+};
+
+// Runs the vote-collection phase only (as the paper's Figure 4/5a/5b
+// experiments do) over the hybrid simulator: real protocol code and
+// hashing, modeled network and signature costs.
+VoteCollectionResult run_vote_collection(const VoteCollectionConfig& cfg);
+
+// Environment-variable scaling knob shared by all figure benches.
+std::size_t env_size(const char* name, std::size_t def);
+
+}  // namespace ddemos::bench

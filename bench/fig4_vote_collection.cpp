@@ -1,0 +1,89 @@
+// Reproduces Figure 4 of the paper: vote-collection latency and throughput
+// versus the number of VC nodes (4a/4b LAN, 4d/4e WAN) and throughput
+// versus the number of concurrent clients (4c LAN, 4f WAN).
+// One (vc, cc) grid per network setting serves all six plots.
+// Election parameters follow the paper (m = 4); the cast count and ballot
+// universe are scaled down for single-machine runs and can be raised with
+// DDEMOS_BENCH_CASTS / DDEMOS_BENCH_BALLOTS.
+#include <cstdio>
+
+#include "common.hpp"
+
+using namespace ddemos;
+using namespace ddemos::bench;
+
+int main() {
+  std::size_t ballots = env_size("DDEMOS_BENCH_BALLOTS", 2000);
+  // Casts scale with concurrency so the closed loop reaches steady state
+  // (Little's law: latency ~ cc / throughput needs cc votes in flight).
+  std::size_t cast_factor = env_size("DDEMOS_BENCH_CAST_FACTOR", 1);
+  const std::size_t vcs[] = {4, 7, 10, 13, 16};
+  const std::size_t ccs[] = {500, 1000, 2000};
+
+  struct Row {
+    std::size_t vc, cc;
+    double latency_ms, throughput;
+  };
+
+  for (const char* net : {"lan", "wan"}) {
+    std::vector<Row> rows;
+    for (std::size_t vc : vcs) {
+      for (std::size_t cc : ccs) {
+        VoteCollectionConfig cfg;
+        cfg.n_vc = vc;
+        cfg.f_vc = (vc - 1) / 3;
+        cfg.concurrency = cc;
+        cfg.casts = std::max<std::size_t>(cc * cast_factor / 2, 400);
+        cfg.n_ballots = std::max(ballots, cfg.casts + 100);
+        cfg.options = 4;
+        cfg.link = net == std::string("wan") ? sim::LinkModel::wan()
+                                             : sim::LinkModel::lan();
+        cfg.seed = 42 + vc * 100 + cc;
+        VoteCollectionResult r = run_vote_collection(cfg);
+        rows.push_back(Row{vc, cc, r.mean_latency_ms, r.throughput_ops});
+      }
+    }
+    // Figures 4a/4d: response time vs #VC, one series per cc.
+    std::printf("\n# fig4%s: response time (ms) vs #VC, %s\n",
+                net == std::string("lan") ? "a" : "d", net);
+    std::printf("%-6s %8s %8s %8s\n", "#VC", "500cc", "1000cc", "2000cc");
+    for (std::size_t vc : vcs) {
+      std::printf("%-6zu", vc);
+      for (std::size_t cc : ccs) {
+        for (const Row& r : rows) {
+          if (r.vc == vc && r.cc == cc) std::printf(" %8.1f", r.latency_ms);
+        }
+      }
+      std::printf("\n");
+    }
+    // Figures 4b/4e: throughput vs #VC.
+    std::printf("\n# fig4%s: throughput (ops/sec) vs #VC, %s\n",
+                net == std::string("lan") ? "b" : "e", net);
+    std::printf("%-6s %8s %8s %8s\n", "#VC", "500cc", "1000cc", "2000cc");
+    for (std::size_t vc : vcs) {
+      std::printf("%-6zu", vc);
+      for (std::size_t cc : ccs) {
+        for (const Row& r : rows) {
+          if (r.vc == vc && r.cc == cc) std::printf(" %8.0f", r.throughput);
+        }
+      }
+      std::printf("\n");
+    }
+    // Figures 4c/4f: throughput vs #cc, one series per VC count.
+    std::printf("\n# fig4%s: throughput (ops/sec) vs #cc, %s\n",
+                net == std::string("lan") ? "c" : "f", net);
+    std::printf("%-6s", "#cc");
+    for (std::size_t vc : vcs) std::printf(" %6zuVC", vc);
+    std::printf("\n");
+    for (std::size_t cc : ccs) {
+      std::printf("%-6zu", cc);
+      for (std::size_t vc : vcs) {
+        for (const Row& r : rows) {
+          if (r.vc == vc && r.cc == cc) std::printf(" %8.0f", r.throughput);
+        }
+      }
+      std::printf("\n");
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,32 @@
+// Reproduces Figure 5b: vote-collection throughput versus the number of
+// election options m. The paper's observation: throughput is nearly flat
+// in m, because the only extra work is hash verifications during vote-code
+// validation (more lines per ballot part).
+#include <cstdio>
+
+#include "common.hpp"
+
+using namespace ddemos;
+using namespace ddemos::bench;
+
+int main() {
+  std::size_t casts = env_size("DDEMOS_BENCH_CASTS", 300);
+  std::size_t ballots = env_size("DDEMOS_BENCH_BALLOTS", 2000);
+
+  std::printf("# fig5b: throughput (ops/sec) vs m (options), 4 VC, 400 cc\n");
+  std::printf("%-6s %12s %12s\n", "m", "ops/sec", "latency_ms");
+  for (std::size_t m = 2; m <= 10; ++m) {
+    VoteCollectionConfig cfg;
+    cfg.n_vc = 4;
+    cfg.f_vc = 1;
+    cfg.concurrency = 400;
+    cfg.casts = casts;
+    cfg.n_ballots = ballots;
+    cfg.options = m;
+    cfg.seed = 99 + m;
+    VoteCollectionResult r = run_vote_collection(cfg);
+    std::printf("%-6zu %12.0f %12.1f\n", m, r.throughput_ops,
+                r.mean_latency_ms);
+  }
+  return 0;
+}

@@ -1,0 +1,81 @@
+// Reproduces Figure 5c: duration of each system phase versus the number of
+// ballots cast — Vote Collection, Vote Set Consensus, Push to BB and
+// encrypted tally, Publish result. Runs the full system (real cryptography
+// everywhere) over the hybrid simulator; the cast counts are scaled down
+// from the paper's 50k..200k (see EXPERIMENTS.md). Scale with
+// DDEMOS_FIG5C_STEP.
+#include <algorithm>
+#include <cstdio>
+
+#include "common.hpp"
+#include "core/runner.hpp"
+
+using namespace ddemos;
+using namespace ddemos::core;
+
+int main() {
+  std::size_t step = bench::env_size("DDEMOS_FIG5C_STEP", 25);
+
+  std::printf(
+      "# fig5c: phase durations (virtual seconds) vs #ballots cast\n");
+  std::printf("# paper phases: Vote Collection | Vote Set Consensus | "
+              "Push to BB and encrypted tally | Publish result\n");
+  std::printf("%-10s %14s %14s %14s %14s\n", "#cast", "collection_s",
+              "consensus_s", "push_tally_s", "publish_s");
+  for (std::size_t i = 1; i <= 4; ++i) {
+    std::size_t casts = i * step;
+    RunnerConfig cfg;
+    cfg.params.election_id = to_bytes("fig5c");
+    cfg.params.options = {"yes", "no", "abstain", "blank"};  // m = 4
+    cfg.params.n_voters = casts;
+    cfg.params.n_vc = 4;
+    cfg.params.f_vc = 1;
+    cfg.params.n_bb = 3;
+    cfg.params.f_bb = 1;
+    cfg.params.n_trustees = 3;
+    cfg.params.h_trustees = 2;
+    cfg.params.t_start = 0;
+    // Voters vote as fast as possible; the window only needs to fit them.
+    cfg.params.t_end =
+        static_cast<sim::TimePoint>(casts) * 100'000 + 10'000'000;
+    cfg.seed = 5000 + i;
+    cfg.voter_template.patience_us = 60'000'000;
+    // Voters arrive nearly at once: the collection phase is then limited by
+    // VC throughput, as in the paper's 400-concurrent-client setup.
+    cfg.vote_time = [&cfg](std::size_t v) {
+      return cfg.params.t_start + static_cast<sim::TimePoint>(v) * 100;
+    };
+    ElectionRunner runner(cfg);
+    runner.simulation().set_measure_cpu(true);
+    runner.run_to_completion();
+
+    // Phase boundaries in virtual time.
+    sim::TimePoint last_receipt = 0;
+    for (std::size_t v = 0; v < runner.voter_count(); ++v) {
+      last_receipt = std::max(last_receipt, runner.voter(v).receipt_at());
+    }
+    sim::TimePoint consensus_done = 0, push_done = 0;
+    for (std::size_t v = 0; v < cfg.params.n_vc; ++v) {
+      consensus_done =
+          std::max(consensus_done, runner.vc_node(v).stats().consensus_done_at);
+      push_done = std::max(push_done, runner.vc_node(v).stats().push_done_at);
+    }
+    sim::TimePoint tally_published = 0, result_published = 0;
+    for (std::size_t b = 0; b < cfg.params.n_bb; ++b) {
+      tally_published =
+          std::max(tally_published, runner.bb_node(b).codes_published_at());
+      result_published =
+          std::max(result_published, runner.bb_node(b).result_published_at());
+    }
+    double collection = static_cast<double>(last_receipt) / 1e6;
+    double consensus =
+        static_cast<double>(consensus_done - cfg.params.t_end) / 1e6;
+    double push = static_cast<double>(tally_published - consensus_done) / 1e6;
+    double publish =
+        static_cast<double>(result_published - tally_published) / 1e6;
+    std::printf("%-10zu %14.2f %14.2f %14.2f %14.2f\n", casts, collection,
+                consensus, push, publish);
+    std::fflush(stdout);
+  }
+  return 0;
+}

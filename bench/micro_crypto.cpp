@@ -1,0 +1,180 @@
+// Microbenchmarks of every cryptographic primitive (google-benchmark).
+// These calibrate the modeled signature costs used by the figure benches
+// and serve as the ablation data for the receipt-path cost breakdown
+// discussed in DESIGN.md.
+#include <benchmark/benchmark.h>
+
+#include "crypto/aes.hpp"
+#include "crypto/commit.hpp"
+#include "crypto/ec.hpp"
+#include "crypto/elgamal.hpp"
+#include "crypto/merkle.hpp"
+#include "crypto/pedersen.hpp"
+#include "crypto/rng.hpp"
+#include "crypto/schnorr.hpp"
+#include "crypto/shamir.hpp"
+#include "crypto/sha256.hpp"
+#include "crypto/zkp.hpp"
+
+namespace ddemos::crypto {
+namespace {
+
+void BM_Sha256(benchmark::State& state) {
+  Rng rng(1);
+  Bytes data = rng.bytes(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sha256(data));
+  }
+  state.SetBytesProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_Sha256)->Arg(32)->Arg(1024)->Arg(65536);
+
+void BM_VoteCodeValidation(benchmark::State& state) {
+  // The per-vote hot path at a VC node: m*2 salted-hash checks.
+  Rng rng(2);
+  std::size_t m = static_cast<std::size_t>(state.range(0));
+  Bytes code = rng.bytes(20);
+  Bytes salt = rng.bytes(8);
+  Hash32 h = salted_commit(code, salt);
+  for (auto _ : state) {
+    for (std::size_t i = 0; i < 2 * m; ++i) {
+      benchmark::DoNotOptimize(salted_commit_check(h, code, salt));
+    }
+  }
+}
+BENCHMARK(BM_VoteCodeValidation)->Arg(2)->Arg(4)->Arg(10);
+
+void BM_Aes128CbcEncrypt(benchmark::State& state) {
+  Rng rng(3);
+  Bytes key = rng.bytes(16);
+  Bytes pt = rng.bytes(20);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(aes128_cbc_encrypt(key, pt, rng));
+  }
+}
+BENCHMARK(BM_Aes128CbcEncrypt);
+
+void BM_EcScalarMul(benchmark::State& state) {
+  Rng rng(4);
+  Fn k = random_scalar(rng);
+  Point p = ec_mul_g(random_scalar(rng));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ec_mul(k, p));
+  }
+}
+BENCHMARK(BM_EcScalarMul);
+
+void BM_SchnorrSign(benchmark::State& state) {
+  Rng rng(5);
+  KeyPair kp = schnorr_keygen(rng);
+  Bytes msg = to_bytes("endorsement digest");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(schnorr_sign(kp.sk, msg));
+  }
+}
+BENCHMARK(BM_SchnorrSign);
+
+void BM_SchnorrVerify(benchmark::State& state) {
+  Rng rng(6);
+  KeyPair kp = schnorr_keygen(rng);
+  Bytes msg = to_bytes("endorsement digest");
+  Bytes sig = schnorr_sign(kp.sk, msg);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(schnorr_verify(kp.pk, msg, sig));
+  }
+}
+BENCHMARK(BM_SchnorrVerify);
+
+void BM_ElGamalCommit(benchmark::State& state) {
+  Rng rng(7);
+  Point key = ec_mul_g(random_scalar(rng));
+  Fn r = random_scalar(rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(eg_commit(key, Fn::one(), r));
+  }
+}
+BENCHMARK(BM_ElGamalCommit);
+
+void BM_ShamirDeal(benchmark::State& state) {
+  Rng rng(8);
+  std::size_t n = static_cast<std::size_t>(state.range(0));
+  std::size_t k = n - (n - 1) / 3;
+  Fn secret = random_scalar(rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(shamir_deal(secret, k, n, rng));
+  }
+}
+BENCHMARK(BM_ShamirDeal)->Arg(4)->Arg(7)->Arg(10)->Arg(16);
+
+void BM_ShamirReconstruct(benchmark::State& state) {
+  Rng rng(9);
+  std::size_t n = static_cast<std::size_t>(state.range(0));
+  std::size_t k = n - (n - 1) / 3;
+  auto shares = shamir_deal(random_scalar(rng), k, n, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(shamir_reconstruct(shares, k));
+  }
+}
+BENCHMARK(BM_ShamirReconstruct)->Arg(4)->Arg(7)->Arg(10)->Arg(16);
+
+void BM_PedersenVssDeal(benchmark::State& state) {
+  Rng rng(10);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(pedersen_vss_deal(Fn::one(), 3, 5, rng));
+  }
+}
+BENCHMARK(BM_PedersenVssDeal);
+
+void BM_PedersenVssVerify(benchmark::State& state) {
+  Rng rng(11);
+  PedersenDeal deal = pedersen_vss_deal(Fn::one(), 3, 5, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        pedersen_vss_verify(deal.shares[0], deal.coefficient_comms));
+  }
+}
+BENCHMARK(BM_PedersenVssVerify);
+
+void BM_BitProofProve(benchmark::State& state) {
+  Rng rng(12);
+  Point key = ec_mul_g(random_scalar(rng));
+  Fn r = random_scalar(rng);
+  ElGamalCipher c = eg_commit(key, Fn::one(), r);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(prove_bit(key, c, true, r, rng));
+  }
+}
+BENCHMARK(BM_BitProofProve);
+
+void BM_BitProofVerify(benchmark::State& state) {
+  Rng rng(13);
+  Point key = ec_mul_g(random_scalar(rng));
+  Fn r = random_scalar(rng);
+  ElGamalCipher c = eg_commit(key, Fn::one(), r);
+  BitProof p = prove_bit(key, c, true, r, rng);
+  Fn ch = random_scalar(rng);
+  BitProofResponse resp = p.secrets.at(ch);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(verify_bit(key, c, p.first_move, ch, resp));
+  }
+}
+BENCHMARK(BM_BitProofVerify);
+
+void BM_MerkleBuild(benchmark::State& state) {
+  Rng rng(14);
+  std::size_t n = static_cast<std::size_t>(state.range(0));
+  std::vector<Hash32> leaves;
+  for (std::size_t i = 0; i < n; ++i) {
+    leaves.push_back(MerkleTree::leaf_hash(rng.bytes(36)));
+  }
+  for (auto _ : state) {
+    MerkleTree t(leaves);
+    benchmark::DoNotOptimize(t.root());
+  }
+}
+BENCHMARK(BM_MerkleBuild)->Arg(4)->Arg(16)->Arg(64);
+
+}  // namespace
+}  // namespace ddemos::crypto
+
+BENCHMARK_MAIN();

@@ -1,0 +1,60 @@
+// Reproduces Table I / Theorem 1: the liveness time bound
+//   Twait = (2*Nv + 4)*Tcomp + 12*Delta + 6*delta
+// on the time between a voter submitting a vote and obtaining a receipt.
+// The simulator plays the bounded-delay adversary: every message is held
+// for the full delay bound delta; node clocks are synchronized (Delta = 0).
+// The measured end-to-end receipt time must stay below the theorem's bound.
+#include <cstdio>
+
+#include "common.hpp"
+#include "core/runner.hpp"
+
+using namespace ddemos;
+using namespace ddemos::core;
+
+int main() {
+  const sim::Duration delta_us = 50'000;  // adversarial delay bound (50 ms)
+  bench::CalibratedCosts costs = bench::calibrate_signature_costs();
+
+  std::printf("# table1: liveness bound vs measured receipt time\n");
+  std::printf("# Twait = (2Nv+4)*Tcomp + 12*Delta + 6*delta,  Delta=0, "
+              "delta=%.0fms\n",
+              delta_us / 1000.0);
+  std::printf("%-6s %14s %14s %14s %8s\n", "Nv", "Tcomp_ms", "Twait_ms",
+              "measured_ms", "bound");
+  for (std::size_t nv : {4u, 7u, 10u}) {
+    RunnerConfig cfg;
+    cfg.params.election_id = to_bytes("table1");
+    cfg.params.options = {"yes", "no"};
+    cfg.params.n_voters = 1;
+    cfg.params.n_vc = nv;
+    cfg.params.f_vc = (nv - 1) / 3;
+    cfg.params.n_bb = 3;
+    cfg.params.f_bb = 1;
+    cfg.params.n_trustees = 3;
+    cfg.params.h_trustees = 2;
+    cfg.params.t_start = 0;
+    cfg.params.t_end = 60'000'000;
+    cfg.seed = 1234 + nv;
+    cfg.votes = {0};
+    cfg.voter_template.patience_us = 30'000'000;
+    cfg.link = sim::LinkModel{delta_us, 0, 0, 0};  // exactly delta always
+    ElectionRunner runner(cfg);
+    runner.simulation().set_measure_cpu(true);
+    runner.run_to_completion();
+
+    // Tcomp: worst-case per-step computation. The heaviest procedure is
+    // verifying Nv-1 endorsement signatures plus one signing operation.
+    double tcomp_ms =
+        ((nv - 1) * costs.verify_us + costs.sign_us + 2000) / 1000.0;
+    double twait_ms =
+        (2.0 * nv + 4) * tcomp_ms + 6.0 * (delta_us / 1000.0);
+    const auto& voter = runner.voter(0);
+    double measured_ms =
+        (voter.receipt_at() - voter.started_at()) / 1000.0;
+    bool ok = voter.has_receipt() && measured_ms <= twait_ms;
+    std::printf("%-6zu %14.1f %14.1f %14.1f %8s\n", nv, tcomp_ms, twait_ms,
+                measured_ms, ok ? "HOLDS" : "VIOLATED");
+  }
+  return 0;
+}

@@ -1,0 +1,131 @@
+// Bulletin Board node (paper Section III-G). Isolated replicas: a BB node
+// never contacts another BB node. Reads are public; writes are verified:
+//  * the final vote set is accepted once fv+1 VC nodes push byte-identical
+//    sets;
+//  * msk is reconstructed from Nv-fv Merkle-verified VC key shares and
+//    checked against the H_msk fingerprint, then the committed vote codes
+//    are decrypted and the cast (part, line) positions published;
+//  * trustee writes are signature-checked and every Pedersen share is
+//    verified against the published coefficient commitments before use;
+//    with ht verified trustee contributions the node opens unused parts,
+//    completes the ZK proofs and publishes the final tally.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <set>
+
+#include "core/messages.hpp"
+#include "sim/runtime.hpp"
+
+namespace ddemos::bb {
+
+// What a BB node has published for one ballot line after msk
+// reconstruction (decrypted vote code) and trustee writes (openings / ZK).
+struct PublishedLine {
+  Bytes decrypted_code;                   // published after msk reveal
+  bool opened = false;
+  std::vector<std::uint64_t> messages;    // size m when opened
+  std::vector<crypto::Fn> randomness;     // size m when opened
+  bool zk_complete = false;
+  std::vector<crypto::BitProofResponse> bit_responses;  // size m when done
+  crypto::Fn sum_response;
+};
+
+struct PublishedBallot {
+  bool voted = false;
+  std::uint8_t used_part = 0;
+  std::uint32_t used_line = 0;
+  // [part][line]
+  std::array<std::vector<PublishedLine>, core::kNumParts> lines;
+};
+
+struct ElectionResult {
+  std::vector<std::uint64_t> tally;   // per option
+  std::vector<crypto::Fn> total_randomness;
+};
+
+class BbNode final : public sim::Process {
+ public:
+  explicit BbNode(core::BbInit init);
+
+  void on_message(sim::NodeId from, BytesView payload) override;
+
+  // --- public read API (also served over the network read channel) ------
+  bool vote_set_published() const { return vote_set_accepted_; }
+  bool codes_published() const { return codes_published_; }
+  bool result_published() const { return result_.has_value(); }
+  // Phase timestamps (virtual time) for the Figure 5c breakdown.
+  sim::TimePoint vote_set_accepted_at() const { return vote_set_at_; }
+  sim::TimePoint codes_published_at() const { return codes_at_; }
+  sim::TimePoint result_published_at() const { return result_at_; }
+  const std::vector<core::VoteSetEntry>& vote_set() const {
+    return accepted_set_;
+  }
+  const std::optional<ElectionResult>& result() const { return result_; }
+  const core::BbInit& init() const { return init_; }
+
+  // Serialized section payloads (deterministic; majority-comparable).
+  // Returns nullopt while the section is not yet available.
+  std::optional<Bytes> read_section(const std::string& section,
+                                    std::uint64_t arg = 0) const;
+
+  // Cast info derived after decryption: (serial, part, line) per cast vote.
+  struct CastInfo {
+    core::Serial serial;
+    std::uint8_t part;
+    std::uint32_t line;
+  };
+  const std::vector<CastInfo>& cast_info() const { return cast_info_; }
+  const crypto::Fn& challenge() const { return challenge_; }
+  const std::map<core::Serial, PublishedBallot>& published() const {
+    return published_;
+  }
+
+ private:
+  void handle_vote_set_chunk(std::size_t vc, Reader& r);
+  void handle_vote_set_done(std::size_t vc, Reader& r);
+  void handle_msk_share(std::size_t vc, Reader& r);
+  void handle_trustee_ballot(Reader& r);
+  void handle_trustee_tally(Reader& r);
+  void handle_read(sim::NodeId from, Reader& r);
+  void maybe_accept_vote_set();
+  void maybe_decrypt_codes();
+  void maybe_combine_ballot(core::Serial serial);
+  void maybe_publish_result();
+  std::optional<std::size_t> vc_index_of(sim::NodeId id) const;
+  std::size_t ballot_index(core::Serial serial) const;
+
+  core::BbInit init_;
+  std::map<core::Serial, std::size_t> serial_index_;
+
+  // Vote-set acceptance.
+  struct VcSubmission {
+    std::vector<core::VoteSetEntry> entries;
+    std::optional<crypto::Hash32> done_hash;
+    std::uint64_t expected = 0;
+  };
+  std::vector<VcSubmission> submissions_;
+  bool vote_set_accepted_ = false;
+  std::vector<core::VoteSetEntry> accepted_set_;
+
+  // msk reconstruction.
+  std::map<std::uint32_t, crypto::Share> msk_shares_;
+  std::optional<Bytes> msk_;
+  bool codes_published_ = false;
+  std::vector<CastInfo> cast_info_;
+  Bytes coins_;
+  crypto::Fn challenge_;
+
+  // Trustee data: per serial, per trustee index.
+  std::map<core::Serial, std::map<std::uint32_t, core::TrusteeBallotMsg>>
+      trustee_ballot_data_;
+  std::map<std::uint32_t, core::TrusteeTallyMsg> trustee_tally_data_;
+  std::map<core::Serial, PublishedBallot> published_;
+  std::optional<ElectionResult> result_;
+  sim::TimePoint vote_set_at_ = -1;
+  sim::TimePoint codes_at_ = -1;
+  sim::TimePoint result_at_ = -1;
+};
+
+}  // namespace ddemos::bb

@@ -1,0 +1,71 @@
+// Auditing and end-to-end verification (paper Section III-I). Auditors are
+// any parties that read the BB subsystem (majority read, like the paper's
+// browser extension) and verify the complete election: checks (a)-(e) from
+// the paper plus tally consistency, and checks (f)-(g) for voters who
+// delegated their audit information.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "bb/bb_node.hpp"
+#include "client/voter.hpp"
+
+namespace ddemos::client {
+
+// The paper's replicated-service reader: queries every BB node and returns
+// the payload backed by at least fb+1 byte-identical replies.
+class MajorityReader {
+ public:
+  MajorityReader(std::vector<const bb::BbNode*> nodes, std::size_t f_bb);
+
+  std::optional<Bytes> read(const std::string& section,
+                            std::uint64_t arg = 0) const;
+
+ private:
+  std::vector<const bb::BbNode*> nodes_;
+  std::size_t f_bb_;
+};
+
+struct AuditReport {
+  bool passed = true;
+  std::vector<std::string> failures;
+  std::vector<std::uint64_t> tally;  // published tally (when available)
+
+  void fail(std::string what) {
+    passed = false;
+    failures.push_back(std::move(what));
+  }
+};
+
+class Auditor {
+ public:
+  explicit Auditor(MajorityReader reader) : reader_(std::move(reader)) {}
+
+  // Full election verification: checks (a)-(e) and tally consistency.
+  AuditReport verify_election() const;
+
+  // Delegated audit for one voter (checks (f) and (g)); does not reveal
+  // the voter's choice to the auditor.
+  AuditReport verify_delegated(const Voter::AuditInfo& info) const;
+
+  // Individual voter verification (paper Section III-F): her cast vote code
+  // is in the tally set and her unused part opened consistently.
+  AuditReport verify_voter(const Voter::AuditInfo& info) const {
+    return verify_delegated(info);
+  }
+
+ private:
+  struct BallotView {
+    std::array<std::vector<core::BbLineInit>, core::kNumParts> init;
+    bool voted = false;
+    std::uint8_t used_part = 0;
+    std::uint32_t used_line = 0;
+    std::array<std::vector<bb::PublishedLine>, core::kNumParts> published;
+  };
+  std::optional<BallotView> fetch_ballot(core::Serial serial) const;
+  MajorityReader reader_;
+};
+
+}  // namespace ddemos::client

@@ -1,0 +1,91 @@
+#include "client/voter.hpp"
+
+#include "core/messages.hpp"
+
+namespace ddemos::client {
+
+using namespace core;
+using sim::NodeId;
+
+Voter::Voter(Config config) : cfg_(std::move(config)), rng_(cfg_.seed) {
+  part_ = cfg_.forced_part.value_or(
+      static_cast<std::uint8_t>(rng_.below(kNumParts)));
+  const BallotLine& line = cfg_.ballot.parts[part_].lines.at(
+      cfg_.option_index);
+  code_ = line.vote_code;
+  expected_receipt_ = line.receipt;
+}
+
+void Voter::on_start() {
+  start_timer_ = ctx().set_timer(
+      std::max<sim::Duration>(cfg_.vote_at - ctx().now(), 0));
+}
+
+void Voter::try_vote() {
+  if (attempts_ >= cfg_.max_attempts) {
+    gave_up_ = true;
+    return;
+  }
+  // Random non-blacklisted VC node; if all are blacklisted, clear the
+  // blacklist and keep trying (the adversary cannot win forever).
+  std::vector<NodeId> candidates;
+  for (NodeId id : cfg_.vc_ids) {
+    if (!blacklist_.count(id)) candidates.push_back(id);
+  }
+  if (candidates.empty()) {
+    blacklist_.clear();
+    candidates = cfg_.vc_ids;
+  }
+  current_vc_ = candidates[rng_.below(candidates.size())];
+  ++attempts_;
+  ctx().send(*current_vc_,
+             VoteMsg{cfg_.ballot.serial, code_}.encode());
+  patience_timer_ = ctx().set_timer(cfg_.patience_us);
+}
+
+void Voter::on_timer(std::uint64_t token) {
+  if (receipt_ok_ || gave_up_) return;
+  if (token == start_timer_) {
+    started_at_ = ctx().now();
+    try_vote();
+  } else if (token == patience_timer_ && current_vc_.has_value()) {
+    // [d]-patience expired: blacklist and resubmit elsewhere.
+    blacklist_.insert(*current_vc_);
+    try_vote();
+  }
+}
+
+void Voter::on_message(NodeId from, BytesView payload) {
+  if (receipt_ok_ || gave_up_ || from != current_vc_) return;
+  try {
+    Reader r(payload);
+    if (static_cast<MsgType>(r.u8()) != MsgType::kVoteReply) return;
+    VoteReplyMsg m = VoteReplyMsg::decode(r);
+    if (m.serial != cfg_.ballot.serial) return;
+    if (m.status == VoteReplyStatus::kOk && m.receipt == expected_receipt_) {
+      // Human-verifiable: the receipt matches the printed ballot.
+      receipt_ok_ = true;
+      receipt_at_ = ctx().now();
+      return;
+    }
+    if (m.status == VoteReplyStatus::kOutsideHours) {
+      // The election is over (or has not begun): no point retrying.
+      gave_up_ = true;
+      return;
+    }
+    // Wrong receipt or an error: treat this node as faulty and move on.
+    blacklist_.insert(from);
+    try_vote();
+  } catch (const CodecError&) {
+    blacklist_.insert(from);
+    try_vote();
+  }
+}
+
+Voter::AuditInfo Voter::audit_info() const {
+  std::uint8_t unused = part_ == 0 ? 1 : 0;
+  return AuditInfo{cfg_.ballot.serial, code_, unused,
+                   cfg_.ballot.parts[unused]};
+}
+
+}  // namespace ddemos::client

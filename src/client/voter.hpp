@@ -1,0 +1,76 @@
+// Voter client (paper Section III-F). No cryptography on the voter's
+// device: picks one ballot part at random, posts the bare vote code of the
+// chosen option to a random VC node, and waits for the receipt. Implements
+// the [d]-patience behaviour of Definition 1: if no valid receipt arrives
+// within the patience window, the VC node is blacklisted and the same vote
+// is resubmitted to another randomly selected node.
+#pragma once
+
+#include <optional>
+#include <set>
+
+#include "core/types.hpp"
+#include "crypto/rng.hpp"
+#include "sim/runtime.hpp"
+
+namespace ddemos::client {
+
+class Voter final : public sim::Process {
+ public:
+  struct Config {
+    core::Ballot ballot;
+    std::size_t option_index = 0;       // which option to vote for
+    std::vector<sim::NodeId> vc_ids;
+    sim::Duration patience_us = 2'000'000;  // [d]-patience window
+    sim::TimePoint vote_at = 0;             // when to start voting
+    std::uint64_t seed = 0;
+    std::size_t max_attempts = 64;          // hard stop for hopeless cases
+    // Fixed part choice for tests; normally chosen at random (the coin).
+    std::optional<std::uint8_t> forced_part;
+  };
+
+  explicit Voter(Config config);
+
+  void on_start() override;
+  void on_message(sim::NodeId from, BytesView payload) override;
+  void on_timer(std::uint64_t token) override;
+
+  bool has_receipt() const { return receipt_ok_; }
+  bool gave_up() const { return gave_up_; }
+  std::uint8_t used_part() const { return part_; }
+  const Bytes& used_code() const { return code_; }
+  std::uint64_t expected_receipt() const { return expected_receipt_; }
+  std::size_t attempts() const { return attempts_; }
+  sim::TimePoint receipt_at() const { return receipt_at_; }
+  sim::TimePoint started_at() const { return started_at_; }
+
+  // Audit information the voter can hand to a third-party auditor without
+  // revealing her choice: serial, the cast code, and the unused part.
+  struct AuditInfo {
+    core::Serial serial;
+    Bytes cast_code;
+    std::uint8_t unused_part;
+    core::BallotPart unused_content;
+  };
+  AuditInfo audit_info() const;
+
+ private:
+  void try_vote();
+
+  Config cfg_;
+  crypto::Rng rng_;
+  std::uint8_t part_ = 0;
+  Bytes code_;
+  std::uint64_t expected_receipt_ = 0;
+  std::set<sim::NodeId> blacklist_;
+  std::optional<sim::NodeId> current_vc_;
+  std::uint64_t patience_timer_ = 0;
+  std::uint64_t start_timer_ = 0;
+  bool receipt_ok_ = false;
+  bool gave_up_ = false;
+  std::size_t attempts_ = 0;
+  sim::TimePoint receipt_at_ = -1;
+  sim::TimePoint started_at_ = -1;
+};
+
+}  // namespace ddemos::client

@@ -1,0 +1,366 @@
+#include "consensus/binary_consensus.hpp"
+
+#include "util/error.hpp"
+
+namespace ddemos::consensus {
+
+namespace {
+constexpr std::size_t kClaimThresholdBase = 1;  // f+1 computed at use sites
+}
+
+BatchBinaryConsensus::BatchBinaryConsensus(
+    const ConsensusConfig& cfg, std::vector<CoinShare> my_coin_shares,
+    std::vector<crypto::Hash32> coin_roots, Hooks hooks)
+    : cfg_(cfg),
+      my_coin_shares_(std::move(my_coin_shares)),
+      coin_roots_(std::move(coin_roots)),
+      hooks_(std::move(hooks)) {
+  if (cfg_.nodes < 3 * cfg_.faults + 1) {
+    throw ProtocolError("consensus requires n >= 3f+1");
+  }
+  if (my_coin_shares_.size() < cfg_.max_rounds ||
+      coin_roots_.size() < cfg_.max_rounds) {
+    throw ProtocolError("coin deal shorter than max rounds");
+  }
+  inst_round_.assign(cfg_.instances, 0);
+  est_ = Bitmap(cfg_.instances);
+  decided_ = Bitmap(cfg_.instances);
+  decision_ = Bitmap(cfg_.instances);
+  claim_count_[0].assign(cfg_.instances, 0);
+  claim_count_[1].assign(cfg_.instances, 0);
+  claim_seen_.assign(cfg_.nodes, Bitmap(cfg_.instances));
+  done_from_ = Bitmap(cfg_.nodes);
+  pending_claims_ = Bitmap(cfg_.instances);
+}
+
+BatchBinaryConsensus::Round& BatchBinaryConsensus::round(std::size_t r) {
+  auto it = rounds_.find(r);
+  if (it != rounds_.end()) return it->second;
+  if (r >= cfg_.max_rounds) {
+    throw ProtocolError("consensus exceeded max rounds");
+  }
+  Round& rd = rounds_[r];
+  for (int v = 0; v < 2; ++v) {
+    rd.bval_count[v].assign(cfg_.instances, 0);
+    rd.bval_seen[v].assign(cfg_.nodes, Bitmap(cfg_.instances));
+    rd.bval_sent[v] = Bitmap(cfg_.instances);
+    rd.bin_values[v] = Bitmap(cfg_.instances);
+    rd.aux_count[v].assign(cfg_.instances, 0);
+    rd.aux_seen[v].assign(cfg_.nodes, Bitmap(cfg_.instances));
+  }
+  rd.aux_sent = Bitmap(cfg_.instances);
+  rd.aux_value = Bitmap(cfg_.instances);
+  rd.resolved = Bitmap(cfg_.instances);
+  rd.coin_share_from = Bitmap(cfg_.nodes);
+  max_round_seen_ = std::max(max_round_seen_, r);
+  return rd;
+}
+
+void BatchBinaryConsensus::start(const Bitmap& inputs) {
+  if (inputs.size() != cfg_.instances) {
+    throw ProtocolError("consensus input size mismatch");
+  }
+  started_ = true;
+  est_ = inputs;
+  flushing_ = true;
+  for (std::size_t i = 0; i < cfg_.instances; ++i) {
+    start_instance_round(i, 0, est_.get(i));
+  }
+  flushing_ = false;
+  flush();
+}
+
+void BatchBinaryConsensus::start_instance_round(std::size_t i, std::size_t r,
+                                                bool est) {
+  inst_round_[i] = static_cast<std::uint8_t>(r);
+  est_.set(i, est);
+  queue_bval(r, est, i);
+  // BVAL/AUX counts may already satisfy thresholds from faster peers.
+  handle_bval_threshold(r, i);
+  try_resolve(r, i);
+}
+
+void BatchBinaryConsensus::queue_bval(std::size_t r, bool v, std::size_t i) {
+  Round& rd = round(r);
+  if (rd.bval_sent[v].get(i)) return;
+  rd.bval_sent[v].set(i);
+  auto& p = pending_[r];
+  if (p.bval[0].size() == 0) {
+    p.bval[0] = Bitmap(cfg_.instances);
+    p.bval[1] = Bitmap(cfg_.instances);
+    p.aux[0] = Bitmap(cfg_.instances);
+    p.aux[1] = Bitmap(cfg_.instances);
+  }
+  p.bval[v].set(i);
+  // Our own BVAL counts once it loops back through multicast-to-self.
+}
+
+void BatchBinaryConsensus::handle_bval_threshold(std::size_t r,
+                                                 std::size_t i) {
+  Round& rd = round(r);
+  for (int v = 0; v < 2; ++v) {
+    std::size_t c = rd.bval_count[v][i];
+    if (c >= cfg_.faults + 1 && !rd.bval_sent[v].get(i)) {
+      queue_bval(r, v != 0, i);  // relay
+    }
+    if (c >= 2 * cfg_.faults + 1 && !rd.bin_values[v].get(i)) {
+      rd.bin_values[v].set(i);
+      if (!rd.aux_sent.get(i)) {
+        rd.aux_sent.set(i);
+        rd.aux_value.set(i, v != 0);
+        auto& p = pending_[r];
+        if (p.bval[0].size() == 0) {
+          p.bval[0] = Bitmap(cfg_.instances);
+          p.bval[1] = Bitmap(cfg_.instances);
+          p.aux[0] = Bitmap(cfg_.instances);
+          p.aux[1] = Bitmap(cfg_.instances);
+        }
+        p.aux[v].set(i);
+      }
+    }
+  }
+}
+
+void BatchBinaryConsensus::request_coin(std::size_t r) {
+  Round& rd = round(r);
+  if (rd.coin_requested) return;
+  rd.coin_requested = true;
+  Writer w;
+  w.u8(static_cast<std::uint8_t>(Type::kCoin));
+  my_coin_shares_.at(r).encode(w);
+  hooks_.multicast(w.take());
+}
+
+void BatchBinaryConsensus::try_resolve(std::size_t r, std::size_t i) {
+  // Note: instances keep running rounds after deciding (with est pinned to
+  // the decision) so that slower nodes never lose their n-f quorums; the
+  // whole batch stops when n-f nodes announce DONE.
+  if (inst_round_[i] != r) return;
+  Round& rd = round(r);
+  if (rd.resolved.get(i) || !rd.aux_sent.get(i)) return;
+
+  bool bin0 = rd.bin_values[0].get(i);
+  bool bin1 = rd.bin_values[1].get(i);
+  std::size_t a0 = bin0 ? rd.aux_count[0][i] : 0;
+  std::size_t a1 = bin1 ? rd.aux_count[1][i] : 0;
+  std::size_t quorum = cfg_.nodes - cfg_.faults;
+  if (a0 + a1 < quorum) return;
+
+  // We have enough justified AUX values; now we need the round's coin.
+  request_coin(r);
+  if (!rd.coin.has_value()) return;
+  bool coin = *rd.coin;
+
+  rd.resolved.set(i);
+  bool next_est;
+  if (a0 >= quorum) {
+    // vals = {0}
+    if (!coin) decide(i, false);
+    next_est = false;
+  } else if (a1 >= quorum) {
+    // vals = {1}
+    if (coin) decide(i, true);
+    next_est = true;
+  } else {
+    // vals = {0,1}
+    next_est = coin;
+  }
+  if (decided_.get(i)) next_est = decision_.get(i);
+  start_instance_round(i, r + 1, next_est);
+}
+
+void BatchBinaryConsensus::try_resolve_round(std::size_t r) {
+  for (std::size_t i = 0; i < cfg_.instances; ++i) {
+    if (!decided_.get(i) && inst_round_[i] == r) try_resolve(r, i);
+  }
+}
+
+void BatchBinaryConsensus::decide(std::size_t i, bool v) {
+  if (decided_.get(i)) {
+    // Agreement violations must never be silent.
+    if (decision_.get(i) != v) {
+      throw ProtocolError("binary consensus agreement violation");
+    }
+    return;
+  }
+  decided_.set(i);
+  decision_.set(i, v);
+  est_.set(i, v);
+  pending_claims_.set(i);
+  if (hooks_.on_decide) hooks_.on_decide(i, v);
+  check_done();
+}
+
+void BatchBinaryConsensus::check_done() {
+  if (!done_sent_ && decided_.all()) {
+    done_sent_ = true;
+    Writer w;
+    w.u8(static_cast<std::uint8_t>(Type::kDone));
+    decision_.encode(w);
+    hooks_.multicast(w.take());
+  }
+  if (!halted_ && done_sent_ &&
+      done_from_.count() >= cfg_.nodes - cfg_.faults) {
+    halted_ = true;
+    if (hooks_.on_complete) hooks_.on_complete();
+  }
+}
+
+void BatchBinaryConsensus::flush() {
+  if (flushing_) return;
+  flushing_ = true;
+  for (;;) {
+    bool sent = false;
+    // Move out pending state first: handlers of our own looped-back
+    // messages may queue more.
+    if (pending_claims_.any()) {
+      Bitmap claims = pending_claims_;
+      pending_claims_ = Bitmap(cfg_.instances);
+      Writer w;
+      w.u8(static_cast<std::uint8_t>(Type::kDecided));
+      claims.encode(w);
+      Bitmap values(cfg_.instances);
+      for (std::size_t i = 0; i < cfg_.instances; ++i) {
+        if (claims.get(i)) values.set(i, decision_.get(i));
+      }
+      values.encode(w);
+      hooks_.multicast(w.take());
+      sent = true;
+    }
+    if (!pending_.empty()) {
+      auto pending = std::move(pending_);
+      pending_.clear();
+      for (auto& [r, p] : pending) {
+        if (p.bval[0].size() == 0) continue;
+        if (p.bval[0].any() || p.bval[1].any()) {
+          Writer w;
+          w.u8(static_cast<std::uint8_t>(Type::kBval));
+          w.varint(r);
+          p.bval[0].encode(w);
+          p.bval[1].encode(w);
+          hooks_.multicast(w.take());
+          sent = true;
+        }
+        if (p.aux[0].any() || p.aux[1].any()) {
+          Writer w;
+          w.u8(static_cast<std::uint8_t>(Type::kAux));
+          w.varint(r);
+          p.aux[0].encode(w);
+          p.aux[1].encode(w);
+          hooks_.multicast(w.take());
+          sent = true;
+        }
+      }
+    }
+    if (!sent) break;
+  }
+  flushing_ = false;
+}
+
+void BatchBinaryConsensus::on_message(std::size_t from, BytesView msg) {
+  if (!started_ || halted_ || from >= cfg_.nodes) return;
+  Reader r(msg);
+  auto type = static_cast<Type>(r.u8());
+  switch (type) {
+    case Type::kBval: {
+      std::size_t rd_idx = static_cast<std::size_t>(r.varint());
+      Bitmap b0 = Bitmap::decode(r);
+      Bitmap b1 = Bitmap::decode(r);
+      r.expect_done();
+      if (b0.size() != cfg_.instances || b1.size() != cfg_.instances) return;
+      Round& rd = round(rd_idx);
+      for (std::size_t i = 0; i < cfg_.instances; ++i) {
+        for (int v = 0; v < 2; ++v) {
+          const Bitmap& bm = v ? b1 : b0;
+          if (bm.get(i) && !rd.bval_seen[v][from].get(i)) {
+            rd.bval_seen[v][from].set(i);
+            ++rd.bval_count[v][i];
+            handle_bval_threshold(rd_idx, i);
+            try_resolve(rd_idx, i);
+          }
+        }
+      }
+      break;
+    }
+    case Type::kAux: {
+      std::size_t rd_idx = static_cast<std::size_t>(r.varint());
+      Bitmap a0 = Bitmap::decode(r);
+      Bitmap a1 = Bitmap::decode(r);
+      r.expect_done();
+      if (a0.size() != cfg_.instances || a1.size() != cfg_.instances) return;
+      Round& rd = round(rd_idx);
+      for (std::size_t i = 0; i < cfg_.instances; ++i) {
+        for (int v = 0; v < 2; ++v) {
+          const Bitmap& am = v ? a1 : a0;
+          // One AUX per sender per instance: ignore double-speak.
+          if (am.get(i) && !rd.aux_seen[0][from].get(i) &&
+              !rd.aux_seen[1][from].get(i)) {
+            rd.aux_seen[v][from].set(i);
+            ++rd.aux_count[v][i];
+            try_resolve(rd_idx, i);
+          }
+        }
+      }
+      break;
+    }
+    case Type::kCoin: {
+      CoinShare cs = CoinShare::decode(r);
+      r.expect_done();
+      std::size_t rd_idx = cs.round;
+      if (rd_idx >= cfg_.max_rounds) return;
+      Round& rd = round(rd_idx);
+      if (rd.coin.has_value() || rd.coin_share_from.get(from)) break;
+      if (!verify_coin_share(cs, from, cfg_.nodes, coin_roots_[rd_idx])) {
+        break;  // Byzantine share: reject
+      }
+      rd.coin_share_from.set(from);
+      rd.coin_shares.push_back(cs.share);
+      if (rd.coin_shares.size() >= cfg_.faults + 1) {
+        rd.coin = coin_value(rd.coin_shares, cfg_.faults + 1);
+        try_resolve_round(rd_idx);
+      }
+      break;
+    }
+    case Type::kDecided: {
+      Bitmap claims = Bitmap::decode(r);
+      Bitmap values = Bitmap::decode(r);
+      r.expect_done();
+      if (claims.size() != cfg_.instances || values.size() != cfg_.instances) {
+        return;
+      }
+      for (std::size_t i = 0; i < cfg_.instances; ++i) {
+        if (!claims.get(i) || claim_seen_[from].get(i)) continue;
+        claim_seen_[from].set(i);
+        bool v = values.get(i);
+        ++claim_count_[v ? 1 : 0][i];
+        if (claim_count_[v ? 1 : 0][i] >= cfg_.faults + kClaimThresholdBase) {
+          decide(i, v);
+        }
+      }
+      break;
+    }
+    case Type::kDone: {
+      Bitmap values = Bitmap::decode(r);
+      r.expect_done();
+      if (values.size() != cfg_.instances) return;
+      if (!done_from_.get(from)) {
+        done_from_.set(from);
+        // A DONE is also a full DECIDED claim.
+        for (std::size_t i = 0; i < cfg_.instances; ++i) {
+          if (claim_seen_[from].get(i)) continue;
+          claim_seen_[from].set(i);
+          bool v = values.get(i);
+          ++claim_count_[v ? 1 : 0][i];
+          if (claim_count_[v ? 1 : 0][i] >= cfg_.faults + 1) decide(i, v);
+        }
+        check_done();
+      }
+      break;
+    }
+    default:
+      return;
+  }
+  flush();
+}
+
+}  // namespace ddemos::consensus

@@ -1,0 +1,141 @@
+// Batched asynchronous binary Byzantine consensus, one instance per
+// registered ballot, used by the Vote Set Consensus step (paper Section
+// III-E step 3). The paper's prototype runs Bracha's randomized binary
+// consensus "in batches of arbitrary size" for network efficiency; we batch
+// the same way and use the binary-value-broadcast consensus of
+// Mostefaoui-Moumen-Raynal with a dealer-based common coin (see coin.hpp).
+// BV-broadcast gives the justification property Bracha obtains with message
+// validation: a value enters bin_values only if some honest node proposed
+// it, so validity holds against actively lying Byzantine nodes, and the
+// common coin gives expected-constant-round termination. DESIGN.md records
+// this substitution.
+//
+// Per round and instance:
+//   1. BV-broadcast(est): relay a value at f+1 distinct BVAL senders,
+//      accept into bin_values at 2f+1.
+//   2. Broadcast AUX(w) for the first w entering bin_values.
+//   3. Wait for n-f AUX messages with values inside bin_values. If they are
+//      a singleton {w}: decide w when w equals the round's coin, else
+//      est := w. If both values: est := coin.
+// Decisions propagate with DECIDED claims (adopted at f+1, which implies an
+// honest decider); a node halts after it decided every instance and has
+// seen n-f DONE announcements.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "consensus/coin.hpp"
+#include "util/bitmap.hpp"
+
+namespace ddemos::consensus {
+
+struct ConsensusConfig {
+  std::size_t nodes = 0;
+  std::size_t faults = 0;       // f, with nodes >= 3f+1
+  std::size_t instances = 0;    // batch width
+  std::size_t self_index = 0;
+  std::size_t max_rounds = 64;  // safety valve; tests never get near it
+};
+
+class BatchBinaryConsensus {
+ public:
+  struct Hooks {
+    // Sends to every consensus peer including self.
+    std::function<void(Bytes msg)> multicast;
+    std::function<void(std::size_t instance, bool value)> on_decide;
+    // Fired once: all instances decided locally and n-f peers are done.
+    std::function<void()> on_complete;
+  };
+
+  BatchBinaryConsensus(const ConsensusConfig& cfg,
+                       std::vector<CoinShare> my_coin_shares,
+                       std::vector<crypto::Hash32> coin_roots, Hooks hooks);
+
+  void start(const Bitmap& inputs);
+  void on_message(std::size_t from_index, BytesView msg);
+
+  bool complete() const { return halted_; }
+  bool decided(std::size_t instance) const {
+    return decided_.get(instance);
+  }
+  bool decision(std::size_t instance) const {
+    return decision_.get(instance);
+  }
+  const Bitmap& decisions() const { return decision_; }
+  std::size_t decided_count() const { return decided_.count(); }
+  std::size_t current_max_round() const { return max_round_seen_; }
+
+ private:
+  enum class Type : std::uint8_t {
+    kBval = 1,
+    kAux = 2,
+    kCoin = 3,
+    kDecided = 4,
+    kDone = 5,
+  };
+
+  struct Round {
+    // bval_count[v][i]: distinct senders of BVAL(v) for instance i.
+    std::vector<std::uint8_t> bval_count[2];
+    // Per-sender dedup masks.
+    std::vector<Bitmap> bval_seen[2];
+    Bitmap bval_sent[2];
+    Bitmap bin_values[2];
+    Bitmap aux_sent;
+    Bitmap aux_value;  // value announced in our AUX
+    std::vector<std::uint8_t> aux_count[2];
+    std::vector<Bitmap> aux_seen[2];
+    Bitmap resolved;  // instance finished this round (moved on / decided)
+    // Coin state.
+    bool coin_requested = false;
+    std::optional<bool> coin;
+    std::vector<crypto::Share> coin_shares;
+    Bitmap coin_share_from;  // senders, size = nodes
+  };
+
+  Round& round(std::size_t r);
+  void start_instance_round(std::size_t i, std::size_t r, bool est);
+  void queue_bval(std::size_t r, bool v, std::size_t i);
+  void handle_bval_threshold(std::size_t r, std::size_t i);
+  void try_resolve(std::size_t r, std::size_t i);
+  void try_resolve_round(std::size_t r);
+  void request_coin(std::size_t r);
+  void decide(std::size_t i, bool v);
+  void check_done();
+  void flush();
+
+  ConsensusConfig cfg_;
+  std::vector<CoinShare> my_coin_shares_;
+  std::vector<crypto::Hash32> coin_roots_;
+  Hooks hooks_;
+
+  std::vector<std::uint8_t> inst_round_;  // current round per instance
+  Bitmap est_;
+  Bitmap decided_;
+  Bitmap decision_;
+  std::vector<std::map<std::size_t, bool>> pending_est_;  // round -> est (deferred)
+
+  std::map<std::size_t, Round> rounds_;
+  // DECIDED claim tracking (round-independent).
+  std::vector<std::uint8_t> claim_count_[2];
+  std::vector<Bitmap> claim_seen_;  // per sender: which instances claimed
+  Bitmap done_from_;                // senders that announced DONE
+  bool done_sent_ = false;
+  bool halted_ = false;
+  bool started_ = false;
+  std::size_t max_round_seen_ = 0;
+
+  // Outgoing batching: pending BVAL/AUX bits per round, flushed per event.
+  struct PendingRound {
+    Bitmap bval[2];
+    Bitmap aux[2];
+  };
+  std::map<std::size_t, PendingRound> pending_;
+  Bitmap pending_claims_;
+  bool flushing_ = false;
+};
+
+}  // namespace ddemos::consensus

@@ -1,0 +1,76 @@
+#include "consensus/coin.hpp"
+
+#include "crypto/ec.hpp"
+#include "crypto/rng.hpp"
+#include "util/error.hpp"
+
+namespace ddemos::consensus {
+
+void CoinShare::encode(Writer& w) const {
+  w.u32(round);
+  w.u32(share.x);
+  w.raw(share.y.to_bytes_be());
+  w.vec(path, [](Writer& ww, const crypto::Hash32& h) {
+    ww.raw(crypto::hash_view(h));
+  });
+}
+
+CoinShare CoinShare::decode(Reader& r) {
+  CoinShare cs;
+  cs.round = r.u32();
+  cs.share.x = r.u32();
+  cs.share.y = crypto::Fn::from_bytes_mod(r.raw(32));
+  cs.path = r.vec<crypto::Hash32>([](Reader& rr) {
+    Bytes b = rr.raw(32);
+    crypto::Hash32 h;
+    std::copy(b.begin(), b.end(), h.begin());
+    return h;
+  });
+  return cs;
+}
+
+crypto::Hash32 coin_share_leaf(const crypto::Share& share) {
+  Writer w;
+  w.u32(share.x);
+  w.raw(share.y.to_bytes_be());
+  return crypto::MerkleTree::leaf_hash(w.data());
+}
+
+CoinDeal deal_coins(std::size_t nodes, std::size_t threshold,
+                    std::size_t rounds, crypto::Rng& rng) {
+  CoinDeal deal;
+  deal.node_shares.resize(nodes);
+  for (auto& v : deal.node_shares) v.reserve(rounds);
+  deal.round_roots.reserve(rounds);
+  for (std::size_t r = 0; r < rounds; ++r) {
+    crypto::Fn coin = crypto::random_scalar(rng);
+    auto shares = crypto::shamir_deal(coin, threshold, nodes, rng);
+    std::vector<crypto::Hash32> leaves;
+    leaves.reserve(nodes);
+    for (const auto& s : shares) leaves.push_back(coin_share_leaf(s));
+    crypto::MerkleTree tree(std::move(leaves));
+    deal.round_roots.push_back(tree.root());
+    for (std::size_t i = 0; i < nodes; ++i) {
+      CoinShare cs;
+      cs.round = static_cast<std::uint32_t>(r);
+      cs.share = shares[i];
+      cs.path = tree.path(i);
+      deal.node_shares[i].push_back(std::move(cs));
+    }
+  }
+  return deal;
+}
+
+bool verify_coin_share(const CoinShare& cs, std::size_t sender_index,
+                       std::size_t nodes, const crypto::Hash32& root) {
+  if (cs.share.x != sender_index + 1 || sender_index >= nodes) return false;
+  return crypto::MerkleTree::verify(root, coin_share_leaf(cs.share),
+                                    sender_index, cs.path);
+}
+
+bool coin_value(std::span<const crypto::Share> shares, std::size_t threshold) {
+  crypto::Fn v = crypto::shamir_reconstruct(shares, threshold);
+  return (v.to_bytes_be()[31] & 1) != 0;
+}
+
+}  // namespace ddemos::consensus

@@ -1,0 +1,47 @@
+// Dealer-based common coin for the randomized binary consensus. The EA
+// (trusted at setup, like every other piece of initialization data in
+// D-DEMOS) deals a Shamir-shared random coin per consensus round with
+// threshold f+1: the adversary's f shares reveal nothing until some honest
+// node starts the round and discloses its share, and f+1 shares from any
+// mix of nodes reconstruct the same value. Shares are committed with a
+// Merkle root per round so bogus shares from Byzantine nodes are rejected.
+#pragma once
+
+#include <vector>
+
+#include "crypto/merkle.hpp"
+#include "crypto/shamir.hpp"
+#include "util/codec.hpp"
+
+namespace ddemos::consensus {
+
+struct CoinShare {
+  std::uint32_t round = 0;
+  crypto::Share share;                // this node's share of coin[round]
+  std::vector<crypto::Hash32> path;   // Merkle path for the share
+
+  void encode(Writer& w) const;
+  static CoinShare decode(Reader& r);
+};
+
+// Per-node private coin material plus the public per-round roots.
+struct CoinDeal {
+  // my_shares[node][round]
+  std::vector<std::vector<CoinShare>> node_shares;
+  std::vector<crypto::Hash32> round_roots;  // one per round
+};
+
+// Leaf for node index `x-1` of round r commits to the share value.
+crypto::Hash32 coin_share_leaf(const crypto::Share& share);
+
+CoinDeal deal_coins(std::size_t nodes, std::size_t threshold,
+                    std::size_t rounds, crypto::Rng& rng);
+
+// Verifies a share received from `sender_index` (0-based) against the root.
+bool verify_coin_share(const CoinShare& cs, std::size_t sender_index,
+                       std::size_t nodes, const crypto::Hash32& root);
+
+// The coin value: low bit of the reconstructed scalar.
+bool coin_value(std::span<const crypto::Share> shares, std::size_t threshold);
+
+}  // namespace ddemos::consensus

@@ -1,0 +1,87 @@
+#include "consensus/rbc.hpp"
+
+#include "util/error.hpp"
+
+namespace ddemos::consensus {
+
+RbcEngine::RbcEngine(std::size_t n, std::size_t f, std::size_t self_index,
+                     Hooks hooks)
+    : n_(n), f_(f), self_(self_index), hooks_(std::move(hooks)) {
+  if (n_ < 3 * f_ + 1) throw ProtocolError("RBC requires n >= 3f+1");
+}
+
+Bytes RbcEngine::make_msg(Type t, std::size_t origin, std::uint64_t tag,
+                          const Bytes& payload) const {
+  Writer w;
+  w.u8(static_cast<std::uint8_t>(t));
+  w.varint(origin);
+  w.varint(tag);
+  w.bytes(payload);
+  return w.take();
+}
+
+void RbcEngine::broadcast(std::uint64_t tag, Bytes payload) {
+  hooks_.multicast(make_msg(Type::kSend, self_, tag, payload));
+}
+
+void RbcEngine::on_message(std::size_t from_index, BytesView msg) {
+  Reader r(msg);
+  auto type = static_cast<Type>(r.u8());
+  std::size_t origin = static_cast<std::size_t>(r.varint());
+  std::uint64_t tag = r.varint();
+  Bytes payload = r.bytes();
+  r.expect_done();
+  if (origin >= n_ || from_index >= n_) return;
+
+  Slot& slot = slots_[{origin, tag}];
+  crypto::Hash32 h = crypto::sha256(payload);
+
+  switch (type) {
+    case Type::kSend:
+      // Only the origin itself may initiate.
+      if (from_index != origin) return;
+      slot.bodies.emplace(h, std::move(payload));
+      if (!slot.echoed) {
+        slot.echoed = true;
+        hooks_.multicast(make_msg(Type::kEcho, origin, tag, slot.bodies[h]));
+      }
+      break;
+    case Type::kEcho:
+      slot.bodies.emplace(h, std::move(payload));
+      slot.echoes[h].insert(from_index);
+      break;
+    case Type::kReady:
+      slot.bodies.emplace(h, std::move(payload));
+      slot.readies[h].insert(from_index);
+      break;
+    default:
+      return;
+  }
+  maybe_progress(origin, tag, slot);
+}
+
+void RbcEngine::maybe_progress(std::size_t origin, std::uint64_t tag,
+                               Slot& slot) {
+  // Echo quorum: strictly more than (n+f)/2 distinct echoers.
+  std::size_t echo_quorum = (n_ + f_) / 2 + 1;
+  for (auto& [h, senders] : slot.echoes) {
+    if (!slot.readied && senders.size() >= echo_quorum) {
+      slot.readied = true;
+      hooks_.multicast(make_msg(Type::kReady, origin, tag, slot.bodies[h]));
+    }
+  }
+  // Ready amplification at f+1, delivery at 2f+1.
+  for (auto& [h, senders] : slot.readies) {
+    if (!slot.readied && senders.size() >= f_ + 1) {
+      slot.readied = true;
+      hooks_.multicast(make_msg(Type::kReady, origin, tag, slot.bodies[h]));
+    }
+    if (!slot.delivered && senders.size() >= 2 * f_ + 1) {
+      slot.delivered = true;
+      ++delivered_;
+      hooks_.deliver(origin, tag, slot.bodies[h]);
+    }
+  }
+}
+
+}  // namespace ddemos::consensus

@@ -1,0 +1,68 @@
+// Bracha reliable broadcast: SEND / ECHO / READY with the classic
+// thresholds (echo quorum > (n+f)/2, ready amplification at f+1, delivery
+// at 2f+1). Guarantees that Byzantine senders cannot equivocate: if any
+// two honest nodes deliver a payload for the same (origin, tag), the
+// payloads are identical, and if any honest node delivers, all honest
+// nodes eventually deliver.
+//
+// The engine is transport-agnostic: the host node feeds in received
+// messages and supplies a multicast hook.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <set>
+
+#include "crypto/sha256.hpp"
+#include "util/codec.hpp"
+
+namespace ddemos::consensus {
+
+class RbcEngine {
+ public:
+  struct Hooks {
+    // Sends `msg` to every peer including self.
+    std::function<void(Bytes msg)> multicast;
+    std::function<void(std::size_t origin, std::uint64_t tag,
+                       const Bytes& payload)>
+        deliver;
+  };
+
+  RbcEngine(std::size_t n, std::size_t f, std::size_t self_index,
+            Hooks hooks);
+
+  // Reliably broadcast `payload` under `tag` (unique per origin).
+  void broadcast(std::uint64_t tag, Bytes payload);
+
+  // Feed a received RBC message (as produced by this engine) from peer
+  // `from_index`. Malformed messages throw CodecError; messages violating
+  // the protocol are ignored.
+  void on_message(std::size_t from_index, BytesView msg);
+
+  std::size_t delivered_count() const { return delivered_; }
+
+ private:
+  enum class Type : std::uint8_t { kSend = 1, kEcho = 2, kReady = 3 };
+
+  struct Slot {
+    // Payloads are tracked by hash; the body is stored on first sight.
+    std::map<crypto::Hash32, Bytes> bodies;
+    std::map<crypto::Hash32, std::set<std::size_t>> echoes;
+    std::map<crypto::Hash32, std::set<std::size_t>> readies;
+    bool echoed = false;
+    bool readied = false;
+    bool delivered = false;
+  };
+
+  void maybe_progress(std::size_t origin, std::uint64_t tag, Slot& slot);
+  Bytes make_msg(Type t, std::size_t origin, std::uint64_t tag,
+                 const Bytes& payload) const;
+
+  std::size_t n_, f_, self_;
+  Hooks hooks_;
+  std::map<std::pair<std::size_t, std::uint64_t>, Slot> slots_;
+  std::size_t delivered_ = 0;
+};
+
+}  // namespace ddemos::consensus

@@ -1,0 +1,83 @@
+// End-to-end election orchestration over the deterministic simulator: EA
+// setup, VC / BB / trustee / voter processes, fault injection, and
+// phase-timing capture. This is the top of the public API — examples,
+// integration tests and the figure benchmarks all drive elections through
+// ElectionRunner.
+#pragma once
+
+#include <functional>
+#include <memory>
+
+#include "bb/bb_node.hpp"
+#include "client/auditor.hpp"
+#include "client/voter.hpp"
+#include "ea/ea.hpp"
+#include "sim/sim.hpp"
+#include "store/ballot_store.hpp"
+#include "trustee/trustee_node.hpp"
+#include "vc/vc_node.hpp"
+
+namespace ddemos::core {
+
+inline constexpr std::size_t kAbstain = static_cast<std::size_t>(-1);
+
+struct RunnerConfig {
+  ElectionParams params;
+  std::uint64_t seed = 1;
+  sim::LinkModel link = sim::LinkModel::lan();
+  vc::VcNode::Options vc_options;
+  client::Voter::Config voter_template;  // patience etc. (ballot filled in)
+  // Option index each voter votes for (kAbstain = does not vote). Missing
+  // entries default to round-robin over the options.
+  std::vector<std::size_t> votes;
+  // Voting times; defaults to an even spread across the election window.
+  std::function<sim::TimePoint(std::size_t voter)> vote_time;
+  // Indices of VC nodes to crash before start (fault injection).
+  std::vector<std::size_t> crashed_vcs;
+  std::vector<std::size_t> crashed_bbs;
+  std::vector<std::size_t> crashed_trustees;
+  // Custom ballot source per VC node (e.g. DiskBallotSource); defaults to
+  // MemoryBallotSource over the EA's data.
+  std::function<std::shared_ptr<store::BallotDataSource>(
+      const VcInit&)>
+      store_factory;
+  // Invoked on the EA's output before any node is constructed. Used by
+  // verifiability tests and examples to play a malicious EA (modification /
+  // clash attacks) against the auditors.
+  std::function<void(ea::SetupArtifacts&)> tamper_setup;
+};
+
+class ElectionRunner {
+ public:
+  explicit ElectionRunner(RunnerConfig config);
+
+  // Runs the complete election to quiescence: voting, vote-set consensus,
+  // BB publication, trustee tally.
+  void run_to_completion();
+
+  sim::Simulation& simulation() { return sim_; }
+  const ea::SetupArtifacts& artifacts() const { return artifacts_; }
+
+  vc::VcNode& vc_node(std::size_t i);
+  bb::BbNode& bb_node(std::size_t i);
+  trustee::TrusteeNode& trustee_node(std::size_t i);
+  client::Voter& voter(std::size_t i);
+  std::size_t voter_count() const { return voter_ids_.size(); }
+
+  std::vector<const bb::BbNode*> bb_views() const;
+  client::MajorityReader reader() const {
+    return client::MajorityReader(bb_views(), cfg_.params.f_bb);
+  }
+
+  // The expected tally given the configured votes (ground truth).
+  std::vector<std::uint64_t> expected_tally() const;
+
+ private:
+  RunnerConfig cfg_;
+  ea::SetupArtifacts artifacts_;
+  sim::Simulation sim_;
+  std::vector<sim::NodeId> vc_ids_, bb_ids_, trustee_ids_, voter_ids_;
+  std::vector<std::size_t> effective_votes_;
+};
+
+}  // namespace ddemos::core

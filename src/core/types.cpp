@@ -1,0 +1,203 @@
+#include "core/types.hpp"
+
+#include <algorithm>
+
+namespace ddemos::core {
+
+void encode_hash(Writer& w, const crypto::Hash32& h) {
+  w.raw(crypto::hash_view(h));
+}
+
+crypto::Hash32 decode_hash(Reader& r) {
+  Bytes b = r.raw(32);
+  crypto::Hash32 h;
+  std::copy(b.begin(), b.end(), h.begin());
+  return h;
+}
+
+void encode_point(Writer& w, const crypto::Point& p) {
+  w.raw(crypto::ec_encode(p));
+}
+
+crypto::Point decode_point(Reader& r) {
+  return crypto::ec_decode(r.raw(33));
+}
+
+void encode_scalar(Writer& w, const crypto::Fn& s) {
+  w.raw(s.to_bytes_be());
+}
+
+crypto::Fn decode_scalar(Reader& r) {
+  return crypto::Fn::from_bytes_mod(r.raw(32));
+}
+
+void encode_share(Writer& w, const crypto::Share& s) {
+  w.u32(s.x);
+  encode_scalar(w, s.y);
+}
+
+crypto::Share decode_share(Reader& r) {
+  crypto::Share s;
+  s.x = r.u32();
+  s.y = decode_scalar(r);
+  return s;
+}
+
+void encode_ped_share(Writer& w, const crypto::PedersenShare& s) {
+  w.u32(s.x);
+  encode_scalar(w, s.f);
+  encode_scalar(w, s.g);
+}
+
+crypto::PedersenShare decode_ped_share(Reader& r) {
+  crypto::PedersenShare s;
+  s.x = r.u32();
+  s.f = decode_scalar(r);
+  s.g = decode_scalar(r);
+  return s;
+}
+
+void encode_hash_path(Writer& w, const std::vector<crypto::Hash32>& p) {
+  w.vec(p, [](Writer& ww, const crypto::Hash32& h) { encode_hash(ww, h); });
+}
+
+std::vector<crypto::Hash32> decode_hash_path(Reader& r) {
+  return r.vec<crypto::Hash32>([](Reader& rr) { return decode_hash(rr); },
+                               64);
+}
+
+void ElectionParams::encode(Writer& w) const {
+  w.bytes(election_id);
+  w.vec(options, [](Writer& ww, const std::string& s) { ww.str(s); });
+  w.varint(n_voters);
+  w.varint(n_vc);
+  w.varint(f_vc);
+  w.varint(n_bb);
+  w.varint(f_bb);
+  w.varint(n_trustees);
+  w.varint(h_trustees);
+  w.u64(static_cast<std::uint64_t>(t_start));
+  w.u64(static_cast<std::uint64_t>(t_end));
+}
+
+ElectionParams ElectionParams::decode(Reader& r) {
+  ElectionParams p;
+  p.election_id = r.bytes();
+  p.options = r.vec<std::string>([](Reader& rr) { return rr.str(); }, 4096);
+  p.n_voters = static_cast<std::size_t>(r.varint());
+  p.n_vc = static_cast<std::size_t>(r.varint());
+  p.f_vc = static_cast<std::size_t>(r.varint());
+  p.n_bb = static_cast<std::size_t>(r.varint());
+  p.f_bb = static_cast<std::size_t>(r.varint());
+  p.n_trustees = static_cast<std::size_t>(r.varint());
+  p.h_trustees = static_cast<std::size_t>(r.varint());
+  p.t_start = static_cast<std::int64_t>(r.u64());
+  p.t_end = static_cast<std::int64_t>(r.u64());
+  return p;
+}
+
+void VcLineInit::encode(Writer& w) const {
+  encode_hash(w, code_hash);
+  w.bytes(salt);
+  encode_share(w, receipt_share);
+  encode_hash_path(w, share_path);
+  encode_hash(w, share_root);
+}
+
+VcLineInit VcLineInit::decode(Reader& r) {
+  VcLineInit l;
+  l.code_hash = decode_hash(r);
+  l.salt = r.bytes();
+  l.receipt_share = decode_share(r);
+  l.share_path = decode_hash_path(r);
+  l.share_root = decode_hash(r);
+  return l;
+}
+
+void VcBallotInit::encode(Writer& w) const {
+  w.u64(serial);
+  for (const auto& part : parts) {
+    w.vec(part, [](Writer& ww, const VcLineInit& l) { l.encode(ww); });
+  }
+}
+
+VcBallotInit VcBallotInit::decode(Reader& r) {
+  VcBallotInit b;
+  b.serial = r.u64();
+  for (auto& part : b.parts) {
+    part = r.vec<VcLineInit>(
+        [](Reader& rr) { return VcLineInit::decode(rr); }, 4096);
+  }
+  return b;
+}
+
+void BbLineInit::encode(Writer& w) const {
+  w.bytes(encrypted_vote_code);
+  w.vec(encoding, [](Writer& ww, const crypto::ElGamalCipher& c) {
+    ww.raw(crypto::eg_encode(c));
+  });
+  w.vec(bit_proofs, [](Writer& ww, const crypto::BitProofFirstMove& fm) {
+    encode_point(ww, fm.t1_0);
+    encode_point(ww, fm.t2_0);
+    encode_point(ww, fm.t1_1);
+    encode_point(ww, fm.t2_1);
+  });
+  encode_point(w, sum_proof.t1);
+  encode_point(w, sum_proof.t2);
+  auto enc_points = [](Writer& ww, const std::vector<crypto::Point>& v) {
+    ww.vec(v, [](Writer& w3, const crypto::Point& p) { encode_point(w3, p); });
+  };
+  w.vec(opening_comms, enc_points);
+  w.vec(zk_comms, enc_points);
+}
+
+BbLineInit BbLineInit::decode(Reader& r) {
+  BbLineInit l;
+  l.encrypted_vote_code = r.bytes();
+  l.encoding = r.vec<crypto::ElGamalCipher>(
+      [](Reader& rr) { return crypto::eg_decode(rr.raw(66)); }, 4096);
+  l.bit_proofs = r.vec<crypto::BitProofFirstMove>(
+      [](Reader& rr) {
+        crypto::BitProofFirstMove fm;
+        fm.t1_0 = decode_point(rr);
+        fm.t2_0 = decode_point(rr);
+        fm.t1_1 = decode_point(rr);
+        fm.t2_1 = decode_point(rr);
+        return fm;
+      },
+      4096);
+  l.sum_proof.t1 = decode_point(r);
+  l.sum_proof.t2 = decode_point(r);
+  auto dec_points = [](Reader& rr) {
+    return rr.vec<crypto::Point>(
+        [](Reader& r3) { return decode_point(r3); }, 4096);
+  };
+  l.opening_comms = r.vec<std::vector<crypto::Point>>(dec_points, 4096);
+  l.zk_comms = r.vec<std::vector<crypto::Point>>(dec_points, 4096);
+  return l;
+}
+
+void VoteSetEntry::encode(Writer& w) const {
+  w.u64(serial);
+  w.bytes(vote_code);
+}
+
+VoteSetEntry VoteSetEntry::decode(Reader& r) {
+  VoteSetEntry e;
+  e.serial = r.u64();
+  e.vote_code = r.bytes();
+  return e;
+}
+
+crypto::Hash32 vote_set_hash(const std::vector<VoteSetEntry>& entries) {
+  crypto::Sha256 h;
+  h.update(to_bytes("ddemos/vote-set"));
+  for (const VoteSetEntry& e : entries) {
+    Writer w;
+    e.encode(w);
+    h.update(w.data());
+  }
+  return h.finish();
+}
+
+}  // namespace ddemos::core

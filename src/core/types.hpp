@@ -1,0 +1,202 @@
+// Shared election data types: voter ballots, per-component initialization
+// data produced by the Election Authority (paper Section III-D), and the
+// runtime vote-set entry. Serialization lives beside each type.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "consensus/coin.hpp"
+#include "crypto/elgamal.hpp"
+#include "crypto/merkle.hpp"
+#include "crypto/pedersen.hpp"
+#include "crypto/schnorr.hpp"
+#include "crypto/shamir.hpp"
+#include "crypto/zkp.hpp"
+#include "util/codec.hpp"
+
+namespace ddemos::core {
+
+using Serial = std::uint64_t;
+
+inline constexpr std::size_t kVoteCodeBytes = 20;  // 160-bit vote codes
+inline constexpr std::size_t kSaltBytes = 8;       // 64-bit salts
+inline constexpr std::size_t kNumParts = 2;        // ballot parts A and B
+
+// ---------------------------------------------------------------------
+// Voter-visible ballot (distributed out of band, paper Section III-D).
+
+struct BallotLine {
+  Bytes vote_code;        // 160-bit random, unique within the ballot
+  std::string option;     // human-readable option text
+  std::uint64_t receipt;  // 64-bit random receipt
+};
+
+struct BallotPart {
+  std::vector<BallotLine> lines;  // in original option order
+};
+
+struct Ballot {
+  Serial serial = 0;
+  std::array<BallotPart, kNumParts> parts;  // A = 0, B = 1
+};
+
+// ---------------------------------------------------------------------
+// Election parameters every component knows.
+
+struct ElectionParams {
+  Bytes election_id;
+  std::vector<std::string> options;  // size m
+  std::size_t n_voters = 0;
+  std::size_t n_vc = 0;
+  std::size_t f_vc = 0;
+  std::size_t n_bb = 0;
+  std::size_t f_bb = 0;
+  std::size_t n_trustees = 0;
+  std::size_t h_trustees = 0;  // honest threshold ht
+  std::int64_t t_start = 0;    // election hours, microseconds
+  std::int64_t t_end = 0;
+
+  std::size_t m() const { return options.size(); }
+  std::size_t vc_quorum() const { return n_vc - f_vc; }
+
+  void encode(Writer& w) const;
+  static ElectionParams decode(Reader& r);
+};
+
+// ---------------------------------------------------------------------
+// Vote Collector initialization data.
+
+struct VcLineInit {
+  crypto::Hash32 code_hash;  // SHA256(vote-code || salt)
+  Bytes salt;                // kSaltBytes
+  crypto::Share receipt_share;            // this node's share
+  std::vector<crypto::Hash32> share_path;  // Merkle path for the share
+  crypto::Hash32 share_root;               // root over all Nv shares
+
+  void encode(Writer& w) const;
+  static VcLineInit decode(Reader& r);
+};
+
+struct VcBallotInit {
+  Serial serial = 0;
+  // parts[p].size() == m, shuffled by the ballot's secret permutation.
+  std::array<std::vector<VcLineInit>, kNumParts> parts;
+
+  void encode(Writer& w) const;
+  static VcBallotInit decode(Reader& r);
+};
+
+struct VcInit {
+  ElectionParams params;
+  std::size_t node_index = 0;
+  crypto::Fn signing_key;               // this node's Schnorr secret
+  std::vector<Bytes> vc_public_keys;    // all Nv compressed public keys
+  crypto::Share msk_share;              // share of the vote-code key msk
+  std::vector<crypto::Hash32> msk_share_path;
+  crypto::Hash32 msk_share_root;
+  // Common-coin material for the vote-set consensus.
+  std::vector<consensus::CoinShare> coin_shares;
+  std::vector<crypto::Hash32> coin_roots;
+  std::vector<VcBallotInit> ballots;  // sorted by serial
+};
+
+// ---------------------------------------------------------------------
+// Bulletin Board initialization data.
+
+struct BbLineInit {
+  Bytes encrypted_vote_code;  // AES-128-CBC$ under msk
+  std::vector<crypto::ElGamalCipher> encoding;  // m ciphertexts
+  std::vector<crypto::BitProofFirstMove> bit_proofs;  // one per ciphertext
+  crypto::SumProofFirstMove sum_proof;
+  // Pedersen VSS coefficient commitments for the trustee shares of this
+  // line: openings (per ciphertext: message then randomness), bit-proof
+  // response coefficients (per ciphertext: c0u,c0v,c1u,c1v,z0u,z0v,z1u,z1v)
+  // and the sum-proof response (zu, zv).
+  std::vector<std::vector<crypto::Point>> opening_comms;
+  std::vector<std::vector<crypto::Point>> zk_comms;
+
+  void encode(Writer& w) const;
+  static BbLineInit decode(Reader& r);
+};
+
+struct BbBallotInit {
+  Serial serial = 0;
+  std::array<std::vector<BbLineInit>, kNumParts> parts;
+};
+
+struct BbInit {
+  ElectionParams params;
+  std::size_t node_index = 0;
+  crypto::Point commit_key;  // the lifted-ElGamal commitment key
+  crypto::Hash32 h_msk;      // SHA256(msk || salt_msk)
+  Bytes salt_msk;
+  crypto::Hash32 msk_share_root;
+  std::vector<Bytes> vc_public_keys;
+  std::vector<Bytes> trustee_public_keys;
+  std::vector<BbBallotInit> ballots;  // sorted by serial
+};
+
+// ---------------------------------------------------------------------
+// Trustee initialization data.
+
+struct TrusteeLineInit {
+  // Shares of the opening of each of the m ciphertexts: message and
+  // randomness.
+  std::vector<crypto::PedersenShare> open_m;
+  std::vector<crypto::PedersenShare> open_r;
+  // Shares of the affine response coefficients of each bit proof:
+  // [ciphertext][component] with components ordered
+  // c0.u, c0.v, c1.u, c1.v, z0.u, z0.v, z1.u, z1.v.
+  std::vector<std::array<crypto::PedersenShare, 8>> zk_bits;
+  // Shares of the sum-proof response coefficients (u, v).
+  crypto::PedersenShare sum_u, sum_v;
+};
+
+struct TrusteeBallotInit {
+  Serial serial = 0;
+  std::array<std::vector<TrusteeLineInit>, kNumParts> parts;
+};
+
+struct TrusteeInit {
+  ElectionParams params;
+  std::size_t node_index = 0;  // 0-based trustee index
+  crypto::Fn signing_key;
+  std::vector<Bytes> trustee_public_keys;
+  crypto::Point commit_key;
+  std::vector<TrusteeBallotInit> ballots;  // sorted by serial
+};
+
+// ---------------------------------------------------------------------
+// Runtime: the agreed vote set.
+
+struct VoteSetEntry {
+  Serial serial = 0;
+  Bytes vote_code;
+
+  void encode(Writer& w) const;
+  static VoteSetEntry decode(Reader& r);
+  friend bool operator==(const VoteSetEntry&, const VoteSetEntry&) = default;
+};
+
+// Canonical hash of a final vote set (entries must be sorted by serial).
+crypto::Hash32 vote_set_hash(const std::vector<VoteSetEntry>& entries);
+
+// --- shared small codecs ------------------------------------------------
+
+void encode_hash(Writer& w, const crypto::Hash32& h);
+crypto::Hash32 decode_hash(Reader& r);
+void encode_point(Writer& w, const crypto::Point& p);
+crypto::Point decode_point(Reader& r);
+void encode_scalar(Writer& w, const crypto::Fn& s);
+crypto::Fn decode_scalar(Reader& r);
+void encode_share(Writer& w, const crypto::Share& s);
+crypto::Share decode_share(Reader& r);
+void encode_ped_share(Writer& w, const crypto::PedersenShare& s);
+crypto::PedersenShare decode_ped_share(Reader& r);
+void encode_hash_path(Writer& w, const std::vector<crypto::Hash32>& p);
+std::vector<crypto::Hash32> decode_hash_path(Reader& r);
+
+}  // namespace ddemos::core

@@ -1,0 +1,29 @@
+// AES-128 and CBC mode with PKCS#7 padding. Used for the EA's vote-code
+// commitments on the Bulletin Board: [vote-code]_msk = AES-128-CBC$ per the
+// paper (random IV per encryption).
+#pragma once
+
+#include <array>
+
+#include "util/bytes.hpp"
+
+namespace ddemos::crypto {
+
+class Rng;
+
+class Aes128 {
+ public:
+  explicit Aes128(BytesView key16);
+  void encrypt_block(const std::uint8_t in[16], std::uint8_t out[16]) const;
+  void decrypt_block(const std::uint8_t in[16], std::uint8_t out[16]) const;
+
+ private:
+  std::array<std::array<std::uint8_t, 16>, 11> round_keys_{};
+};
+
+// Output layout: IV (16 bytes) || ciphertext. Random IV from rng.
+Bytes aes128_cbc_encrypt(BytesView key16, BytesView plaintext, Rng& rng);
+// Throws CryptoError on malformed input or bad padding.
+Bytes aes128_cbc_decrypt(BytesView key16, BytesView iv_and_ciphertext);
+
+}  // namespace ddemos::crypto

@@ -1,0 +1,32 @@
+#include "crypto/commit.hpp"
+
+#include "crypto/aes.hpp"
+
+namespace ddemos::crypto {
+
+Hash32 salted_commit(BytesView msg, BytesView salt) {
+  Sha256 h;
+  h.update(msg);
+  h.update(salt);
+  return h.finish();
+}
+
+bool salted_commit_check(const Hash32& commitment, BytesView msg,
+                         BytesView salt) {
+  Hash32 h = salted_commit(msg, salt);
+  return ct_equal(hash_view(h), hash_view(commitment));
+}
+
+Hash32 msk_fingerprint(BytesView msk, BytesView salt) {
+  return salted_commit(msk, salt);
+}
+
+Bytes encrypt_vote_code(BytesView msk16, BytesView vote_code, Rng& rng) {
+  return aes128_cbc_encrypt(msk16, vote_code, rng);
+}
+
+Bytes decrypt_vote_code(BytesView msk16, BytesView blob) {
+  return aes128_cbc_decrypt(msk16, blob);
+}
+
+}  // namespace ddemos::crypto

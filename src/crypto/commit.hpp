@@ -1,0 +1,27 @@
+// Small commitment helpers used throughout the protocol:
+//  - salted-hash commitments H(msg || salt) that let each VC node validate a
+//    submitted vote code locally without ever storing it in the clear;
+//  - the EA's AES-128-CBC$ vote-code encryptions [vote-code]_msk published
+//    in the BB initialization data, plus the H_msk key fingerprint that lets
+//    a BB node check the msk it reconstructs from VC key shares.
+#pragma once
+
+#include "crypto/sha256.hpp"
+
+namespace ddemos::crypto {
+
+class Rng;
+
+// SHA256(msg || salt); `salt` is a fresh 64-bit value per commitment.
+Hash32 salted_commit(BytesView msg, BytesView salt);
+bool salted_commit_check(const Hash32& commitment, BytesView msg,
+                         BytesView salt);
+
+// H_msk = SHA256(msk || salt_msk) (paper Section III-D).
+Hash32 msk_fingerprint(BytesView msk, BytesView salt);
+
+Bytes encrypt_vote_code(BytesView msk16, BytesView vote_code, Rng& rng);
+// Throws CryptoError if the key is wrong (bad padding).
+Bytes decrypt_vote_code(BytesView msk16, BytesView blob);
+
+}  // namespace ddemos::crypto

@@ -1,0 +1,243 @@
+#include "crypto/ec.hpp"
+
+#include "crypto/rng.hpp"
+#include "crypto/sha256.hpp"
+#include "util/error.hpp"
+#include "util/hex.hpp"
+
+namespace ddemos::crypto {
+
+namespace {
+
+const Fp kCurveB = Fp::from_u64(7);
+
+// sqrt exponent (p+1)/4; valid because p = 3 mod 4.
+const U256& sqrt_exp() {
+  static const U256 e = [] {
+    U256 p = params<FieldTag>().mod;
+    U256 one = U256::from_u64(1);
+    U256 p1;
+    add_cc(p, one, p1);  // cannot overflow: p < 2^256 - 1
+    return shr1(shr1(p1));
+  }();
+  return e;
+}
+
+// y^2 = x^3 + 7; returns false if x is not on the curve.
+bool lift_x(const Fp& x, Fp& y_out) {
+  Fp rhs = x.sqr() * x + kCurveB;
+  Fp y = rhs.pow(sqrt_exp());
+  if (!(y.sqr() == rhs)) return false;
+  y_out = y;
+  return true;
+}
+
+}  // namespace
+
+bool on_curve(const AffinePoint& a) {
+  if (a.infinity) return true;
+  return a.y.sqr() == a.x.sqr() * a.x + kCurveB;
+}
+
+Point from_affine(const AffinePoint& a) {
+  if (a.infinity) return Point::infinity();
+  return Point{a.x, a.y, Fp::one()};
+}
+
+AffinePoint to_affine(const Point& p) {
+  if (p.is_infinity()) return AffinePoint{{}, {}, true};
+  Fp zi = p.Z.inv();
+  Fp zi2 = zi.sqr();
+  return AffinePoint{p.X * zi2, p.Y * zi2 * zi, false};
+}
+
+Point ec_double(const Point& p) {
+  if (p.is_infinity() || p.Y.is_zero()) return Point::infinity();
+  // dbl-2009-l formulas for a = 0.
+  Fp a = p.X.sqr();
+  Fp b = p.Y.sqr();
+  Fp c = b.sqr();
+  Fp d = ((p.X + b).sqr() - a - c);
+  d = d + d;
+  Fp e = a + a + a;
+  Fp f = e.sqr();
+  Point r;
+  r.X = f - (d + d);
+  Fp c8 = c + c;
+  c8 = c8 + c8;
+  c8 = c8 + c8;
+  r.Y = e * (d - r.X) - c8;
+  r.Z = (p.Y * p.Z);
+  r.Z = r.Z + r.Z;
+  return r;
+}
+
+Point ec_add(const Point& p, const Point& q) {
+  if (p.is_infinity()) return q;
+  if (q.is_infinity()) return p;
+  // add-2007-bl
+  Fp z1z1 = p.Z.sqr();
+  Fp z2z2 = q.Z.sqr();
+  Fp u1 = p.X * z2z2;
+  Fp u2 = q.X * z1z1;
+  Fp s1 = p.Y * q.Z * z2z2;
+  Fp s2 = q.Y * p.Z * z1z1;
+  if (u1 == u2) {
+    if (s1 == s2) return ec_double(p);
+    return Point::infinity();
+  }
+  Fp h = u2 - u1;
+  Fp i = (h + h).sqr();
+  Fp j = h * i;
+  Fp r2 = s2 - s1;
+  Fp r = r2 + r2;
+  Fp v = u1 * i;
+  Point out;
+  out.X = r.sqr() - j - v - v;
+  Fp s1j = s1 * j;
+  out.Y = r * (v - out.X) - (s1j + s1j);
+  out.Z = ((p.Z + q.Z).sqr() - z1z1 - z2z2) * h;
+  return out;
+}
+
+Point ec_neg(const Point& p) {
+  if (p.is_infinity()) return p;
+  return Point{p.X, p.Y.neg(), p.Z};
+}
+
+Point ec_sub(const Point& p, const Point& q) { return ec_add(p, ec_neg(q)); }
+
+Point ec_mul(const Fn& k, const Point& p) {
+  U256 e = k.to_u256();
+  Point acc = Point::infinity();
+  for (int i = 255; i >= 0; --i) {
+    acc = ec_double(acc);
+    if (e.bit(i)) acc = ec_add(acc, p);
+  }
+  return acc;
+}
+
+bool ec_eq(const Point& p, const Point& q) {
+  if (p.is_infinity() || q.is_infinity()) {
+    return p.is_infinity() == q.is_infinity();
+  }
+  // Cross-multiplied Jacobian comparison.
+  Fp z1z1 = p.Z.sqr();
+  Fp z2z2 = q.Z.sqr();
+  if (!(p.X * z2z2 == q.X * z1z1)) return false;
+  return p.Y * z2z2 * q.Z == q.Y * z1z1 * p.Z;
+}
+
+const Point& ec_generator() {
+  static const Point g = [] {
+    AffinePoint a;
+    a.x = Fp::from_bytes_mod(from_hex(
+        "79be667ef9dcbbac55a06295ce870b07029bfcdb2dce28d959f2815b16f81798"));
+    a.y = Fp::from_bytes_mod(from_hex(
+        "483ada7726a3c4655da4fbfc0e1108a8fd17b448a68554199c47d08ffb10d4b8"));
+    if (!on_curve(a)) throw CryptoError("generator not on curve");
+    return from_affine(a);
+  }();
+  return g;
+}
+
+const Point& ec_generator_h() {
+  static const Point h = [] {
+    // Nothing-up-my-sleeve: hash a domain tag with a counter to an x
+    // coordinate until it lifts to the curve; take the even-y point.
+    for (std::uint32_t ctr = 0;; ++ctr) {
+      Bytes seed = to_bytes("D-DEMOS second generator H");
+      seed.push_back(static_cast<std::uint8_t>(ctr));
+      Hash32 hx = sha256(seed);
+      Fp x = Fp::from_bytes_mod(hash_view(hx));
+      Fp y;
+      if (!lift_x(x, y)) continue;
+      // Normalize to even y for determinism.
+      if (y.to_bytes_be()[31] & 1) y = y.neg();
+      AffinePoint a{x, y, false};
+      return from_affine(a);
+    }
+  }();
+  return h;
+}
+
+Bytes ec_encode(const Point& p) {
+  if (p.is_infinity()) return Bytes(33, 0);
+  AffinePoint a = to_affine(p);
+  Bytes out;
+  out.reserve(33);
+  out.push_back((a.y.to_bytes_be()[31] & 1) ? 0x03 : 0x02);
+  Bytes x = a.x.to_bytes_be();
+  append(out, x);
+  return out;
+}
+
+Point ec_decode(BytesView b) {
+  if (b.size() != 33) throw CryptoError("ec_decode: need 33 bytes");
+  if (b[0] == 0) {
+    for (std::size_t i = 1; i < 33; ++i) {
+      if (b[i] != 0) throw CryptoError("ec_decode: bad infinity encoding");
+    }
+    return Point::infinity();
+  }
+  if (b[0] != 0x02 && b[0] != 0x03) {
+    throw CryptoError("ec_decode: bad prefix");
+  }
+  U256 xv = U256::from_bytes_be(b.subspan(1));
+  if (cmp(xv, params<FieldTag>().mod) >= 0) {
+    throw CryptoError("ec_decode: x out of range");
+  }
+  Fp x = Fp::from_u256_mod(xv);
+  Fp y;
+  if (!lift_x(x, y)) throw CryptoError("ec_decode: not on curve");
+  bool want_odd = b[0] == 0x03;
+  bool is_odd = (y.to_bytes_be()[31] & 1) != 0;
+  if (want_odd != is_odd) y = y.neg();
+  return from_affine(AffinePoint{x, y, false});
+}
+
+namespace {
+
+// Fixed-base 4-bit window precomputation: table[w][d] = d * 16^w * G.
+// Turns generator multiplication into at most 64 point additions.
+const std::array<std::array<Point, 16>, 64>& g_window_table() {
+  static const auto table = [] {
+    std::array<std::array<Point, 16>, 64> t{};
+    Point base = ec_generator();
+    for (std::size_t w = 0; w < 64; ++w) {
+      t[w][0] = Point::infinity();
+      for (std::size_t d = 1; d < 16; ++d) {
+        t[w][d] = ec_add(t[w][d - 1], base);
+      }
+      Point next = t[w][15];
+      base = ec_add(next, base);  // 16 * (16^w * G)
+    }
+    return t;
+  }();
+  return table;
+}
+
+}  // namespace
+
+Point ec_mul_g(const Fn& k) {
+  const auto& table = g_window_table();
+  U256 e = k.to_u256();
+  Point acc = Point::infinity();
+  for (std::size_t w = 0; w < 64; ++w) {
+    std::size_t digit = (e.w[w / 16] >> (4 * (w % 16))) & 0xf;
+    if (digit) acc = ec_add(acc, table[w][digit]);
+  }
+  return acc;
+}
+
+Fn random_scalar(Rng& rng) {
+  // Rejection sample below the order for a uniform scalar.
+  const U256& n = params<ScalarTag>().mod;
+  for (;;) {
+    Bytes b = rng.bytes(32);
+    U256 v = U256::from_bytes_be(b);
+    if (cmp(v, n) < 0) return Fn::from_u256_mod(v);
+  }
+}
+
+}  // namespace ddemos::crypto

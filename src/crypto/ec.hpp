@@ -1,0 +1,53 @@
+// secp256k1 group operations (Jacobian coordinates) — the elliptic-curve
+// substrate for the lifted-ElGamal option-encoding commitments, Pedersen
+// commitments/VSS, Chaum-Pedersen proofs and Schnorr signatures. Stands in
+// for the paper's use of the MIRACL library.
+#pragma once
+
+#include "crypto/fe.hpp"
+#include "util/bytes.hpp"
+
+namespace ddemos::crypto {
+
+class Rng;
+
+// Jacobian projective point; the identity is encoded as Z == 0.
+struct Point {
+  Fp X, Y, Z;
+
+  static Point infinity() { return Point{}; }
+  bool is_infinity() const { return Z.is_zero(); }
+};
+
+struct AffinePoint {
+  Fp x, y;
+  bool infinity = false;
+};
+
+Point ec_add(const Point& p, const Point& q);
+Point ec_double(const Point& p);
+Point ec_neg(const Point& p);
+Point ec_sub(const Point& p, const Point& q);
+// Scalar multiplication by a scalar-field element.
+Point ec_mul(const Fn& k, const Point& p);
+bool ec_eq(const Point& p, const Point& q);
+
+AffinePoint to_affine(const Point& p);
+Point from_affine(const AffinePoint& a);
+bool on_curve(const AffinePoint& a);
+
+// The standard base point G.
+const Point& ec_generator();
+// An independent generator H with unknown discrete log w.r.t. G
+// (derived by hashing to the curve), used for Pedersen commitments.
+const Point& ec_generator_h();
+
+// Compressed SEC1 encoding: 33 bytes (0x02/0x03 | x), infinity = 33 zeros.
+Bytes ec_encode(const Point& p);
+Point ec_decode(BytesView b);  // throws CryptoError on invalid encodings
+
+// Convenience: k*G and random point helpers.
+Point ec_mul_g(const Fn& k);
+Fn random_scalar(Rng& rng);
+
+}  // namespace ddemos::crypto

@@ -1,0 +1,54 @@
+#include "crypto/elgamal.hpp"
+
+#include "util/error.hpp"
+
+namespace ddemos::crypto {
+
+ElGamalCipher eg_commit(const Point& key, const Fn& m, const Fn& r) {
+  ElGamalCipher c;
+  c.a = ec_mul_g(r);
+  c.b = ec_add(ec_mul_g(m), ec_mul(r, key));
+  return c;
+}
+
+ElGamalCipher eg_add(const ElGamalCipher& x, const ElGamalCipher& y) {
+  return ElGamalCipher{ec_add(x.a, y.a), ec_add(x.b, y.b)};
+}
+
+bool eg_eq(const ElGamalCipher& x, const ElGamalCipher& y) {
+  return ec_eq(x.a, y.a) && ec_eq(x.b, y.b);
+}
+
+bool eg_open_check(const Point& key, const ElGamalCipher& c, const Fn& m,
+                   const Fn& r) {
+  return eg_eq(c, eg_commit(key, m, r));
+}
+
+Bytes eg_encode(const ElGamalCipher& c) {
+  Bytes out = ec_encode(c.a);
+  append(out, ec_encode(c.b));
+  return out;
+}
+
+ElGamalCipher eg_decode(BytesView b) {
+  if (b.size() != 66) throw CryptoError("eg_decode: need 66 bytes");
+  return ElGamalCipher{ec_decode(b.subspan(0, 33)), ec_decode(b.subspan(33))};
+}
+
+std::vector<ElGamalCipher> eg_commit_unit_vector(const Point& key,
+                                                 std::size_t m,
+                                                 std::size_t index,
+                                                 std::span<const Fn> rs) {
+  if (index >= m || rs.size() != m) {
+    throw CryptoError("eg_commit_unit_vector: bad arguments");
+  }
+  std::vector<ElGamalCipher> out;
+  out.reserve(m);
+  for (std::size_t i = 0; i < m; ++i) {
+    out.push_back(
+        eg_commit(key, i == index ? Fn::one() : Fn::zero(), rs[i]));
+  }
+  return out;
+}
+
+}  // namespace ddemos::crypto

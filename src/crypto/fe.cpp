@@ -1,0 +1,28 @@
+#include "crypto/fe.hpp"
+
+namespace ddemos::crypto {
+
+namespace {
+
+// secp256k1 base field prime p = 2^256 - 2^32 - 977.
+constexpr U256 kFieldP{{0xFFFFFFFEFFFFFC2Full, 0xFFFFFFFFFFFFFFFFull,
+                        0xFFFFFFFFFFFFFFFFull, 0xFFFFFFFFFFFFFFFFull}};
+// secp256k1 group order n.
+constexpr U256 kOrderN{{0xBFD25E8CD0364141ull, 0xBAAEDCE6AF48A03Bull,
+                        0xFFFFFFFFFFFFFFFEull, 0xFFFFFFFFFFFFFFFFull}};
+
+}  // namespace
+
+template <>
+const MontParams& params<FieldTag>() {
+  static const MontParams p = make_mont_params(kFieldP);
+  return p;
+}
+
+template <>
+const MontParams& params<ScalarTag>() {
+  static const MontParams p = make_mont_params(kOrderN);
+  return p;
+}
+
+}  // namespace ddemos::crypto

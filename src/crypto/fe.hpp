@@ -1,0 +1,94 @@
+// Typed field elements over the two secp256k1 moduli. Fp (base field) and
+// Fn (scalar field / group order) are distinct C++ types so field and scalar
+// arithmetic cannot be mixed accidentally. Values are stored in Montgomery
+// form; conversions happen at the byte boundary only.
+#pragma once
+
+#include "crypto/mont.hpp"
+#include "util/bytes.hpp"
+
+namespace ddemos::crypto {
+
+struct FieldTag;   // p = 2^256 - 2^32 - 977
+struct ScalarTag;  // n = secp256k1 group order
+
+template <typename Tag>
+const MontParams& params();
+
+template <>
+const MontParams& params<FieldTag>();
+template <>
+const MontParams& params<ScalarTag>();
+
+template <typename Tag>
+class Fe {
+ public:
+  Fe() = default;
+
+  static Fe zero() { return Fe{}; }
+  static Fe one() {
+    Fe r;
+    r.v_ = params<Tag>().one_m;
+    return r;
+  }
+  static Fe from_u64(std::uint64_t x) {
+    Fe r;
+    r.v_ = mont_mul(U256::from_u64(x), params<Tag>().r2, params<Tag>());
+    return r;
+  }
+  // Interprets 32 big-endian bytes, reduced mod the modulus.
+  static Fe from_bytes_mod(BytesView b32) {
+    Fe r;
+    r.v_ = mont_mul(mod_reduce(U256::from_bytes_be(b32), params<Tag>()),
+                    params<Tag>().r2, params<Tag>());
+    return r;
+  }
+  static Fe from_u256_mod(const U256& x) {
+    Fe r;
+    r.v_ = mont_mul(mod_reduce(x, params<Tag>()), params<Tag>().r2,
+                    params<Tag>());
+    return r;
+  }
+
+  // Canonical (non-Montgomery) value.
+  U256 to_u256() const {
+    return mont_mul(v_, U256::from_u64(1), params<Tag>());
+  }
+  Bytes to_bytes_be() const { return to_u256().to_bytes_be(); }
+
+  bool is_zero() const { return v_.is_zero(); }
+  friend bool operator==(const Fe&, const Fe&) = default;
+
+  friend Fe operator+(const Fe& a, const Fe& b) {
+    Fe r;
+    r.v_ = mod_add(a.v_, b.v_, params<Tag>());
+    return r;
+  }
+  friend Fe operator-(const Fe& a, const Fe& b) {
+    Fe r;
+    r.v_ = mod_sub(a.v_, b.v_, params<Tag>());
+    return r;
+  }
+  friend Fe operator*(const Fe& a, const Fe& b) {
+    Fe r;
+    r.v_ = mont_mul(a.v_, b.v_, params<Tag>());
+    return r;
+  }
+  Fe neg() const { return zero() - *this; }
+  Fe sqr() const { return *this * *this; }
+  Fe pow(const U256& e) const {
+    Fe r;
+    r.v_ = mont_pow(v_, e, params<Tag>());
+    return r;
+  }
+  // Multiplicative inverse via Fermat; inverse of zero is zero.
+  Fe inv() const { return pow(params<Tag>().mod_minus_2); }
+
+ private:
+  U256 v_{};  // Montgomery form
+};
+
+using Fp = Fe<FieldTag>;
+using Fn = Fe<ScalarTag>;
+
+}  // namespace ddemos::crypto

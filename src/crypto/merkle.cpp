@@ -1,0 +1,61 @@
+#include "crypto/merkle.hpp"
+
+#include "util/error.hpp"
+
+namespace ddemos::crypto {
+
+Hash32 MerkleTree::leaf_hash(BytesView data) {
+  Sha256 h;
+  h.update(to_bytes("leaf"));
+  h.update(data);
+  return h.finish();
+}
+
+Hash32 MerkleTree::node_hash(const Hash32& l, const Hash32& r) {
+  Sha256 h;
+  h.update(to_bytes("node"));
+  h.update(hash_view(l));
+  h.update(hash_view(r));
+  return h.finish();
+}
+
+MerkleTree::MerkleTree(std::vector<Hash32> leaves) {
+  if (leaves.empty()) throw CryptoError("MerkleTree: no leaves");
+  levels_.push_back(std::move(leaves));
+  while (levels_.back().size() > 1) {
+    const auto& prev = levels_.back();
+    std::vector<Hash32> next;
+    next.reserve((prev.size() + 1) / 2);
+    for (std::size_t i = 0; i < prev.size(); i += 2) {
+      // Odd node is paired with itself.
+      const Hash32& right = (i + 1 < prev.size()) ? prev[i + 1] : prev[i];
+      next.push_back(node_hash(prev[i], right));
+    }
+    levels_.push_back(std::move(next));
+  }
+}
+
+std::vector<Hash32> MerkleTree::path(std::size_t index) const {
+  if (index >= levels_[0].size()) throw CryptoError("MerkleTree: bad index");
+  std::vector<Hash32> out;
+  for (std::size_t lvl = 0; lvl + 1 < levels_.size(); ++lvl) {
+    const auto& nodes = levels_[lvl];
+    std::size_t sib = index ^ 1;
+    if (sib >= nodes.size()) sib = index;  // odd node pairs with itself
+    out.push_back(nodes[sib]);
+    index >>= 1;
+  }
+  return out;
+}
+
+bool MerkleTree::verify(const Hash32& root, const Hash32& leaf,
+                        std::size_t index, std::span<const Hash32> path) {
+  Hash32 acc = leaf;
+  for (const Hash32& sib : path) {
+    acc = (index & 1) ? node_hash(sib, acc) : node_hash(acc, sib);
+    index >>= 1;
+  }
+  return acc == root;
+}
+
+}  // namespace ddemos::crypto

@@ -1,0 +1,33 @@
+// Binary Merkle tree over SHA-256. Each VC node's init data carries the
+// Merkle root of every receipt-share list, so a receipt share received in a
+// VOTE_P message can be validated locally ("according to the verifiable
+// secret sharing scheme used", paper Section III-E) with log(Nv) hashes.
+#pragma once
+
+#include <vector>
+
+#include "crypto/sha256.hpp"
+
+namespace ddemos::crypto {
+
+class MerkleTree {
+ public:
+  // Takes ownership of precomputed leaf hashes. Must be non-empty.
+  explicit MerkleTree(std::vector<Hash32> leaves);
+
+  const Hash32& root() const { return levels_.back()[0]; }
+  std::size_t leaf_count() const { return levels_[0].size(); }
+  // Sibling path from leaf `index` to the root.
+  std::vector<Hash32> path(std::size_t index) const;
+
+  static bool verify(const Hash32& root, const Hash32& leaf,
+                     std::size_t index, std::span<const Hash32> path);
+
+  static Hash32 leaf_hash(BytesView data);
+
+ private:
+  static Hash32 node_hash(const Hash32& l, const Hash32& r);
+  std::vector<std::vector<Hash32>> levels_;
+};
+
+}  // namespace ddemos::crypto

@@ -1,0 +1,110 @@
+#include "crypto/mont.hpp"
+
+#include "util/error.hpp"
+
+namespace ddemos::crypto {
+
+using u128 = unsigned __int128;
+
+namespace {
+
+// -mod^{-1} mod 2^64 via Newton iteration (mod must be odd).
+std::uint64_t neg_inv64(std::uint64_t m) {
+  std::uint64_t x = m;  // correct to 3 bits
+  for (int i = 0; i < 5; ++i) x *= 2 - m * x;
+  return ~x + 1;  // -(m^{-1})
+}
+
+}  // namespace
+
+U256 mod_reduce(const U256& a, const MontParams& p) {
+  if (cmp(a, p.mod) >= 0) {
+    U256 r;
+    sub_bb(a, p.mod, r);
+    return r;
+  }
+  return a;
+}
+
+U256 mod_add(const U256& a, const U256& b, const MontParams& p) {
+  U256 r;
+  std::uint64_t carry = add_cc(a, b, r);
+  if (carry || cmp(r, p.mod) >= 0) {
+    U256 t;
+    sub_bb(r, p.mod, t);
+    return t;
+  }
+  return r;
+}
+
+U256 mod_sub(const U256& a, const U256& b, const MontParams& p) {
+  U256 r;
+  std::uint64_t borrow = sub_bb(a, b, r);
+  if (borrow) {
+    U256 t;
+    add_cc(r, p.mod, t);
+    return t;
+  }
+  return r;
+}
+
+U256 mont_mul(const U256& a, const U256& b, const MontParams& p) {
+  // SOS method: full 512-bit product, then word-by-word REDC.
+  U512 t = mul_wide(a, b);
+  std::uint64_t extra = 0;
+  for (std::size_t i = 0; i < 4; ++i) {
+    std::uint64_t m = t[i] * p.n0;
+    std::uint64_t carry = 0;
+    for (std::size_t j = 0; j < 4; ++j) {
+      u128 cur = static_cast<u128>(m) * p.mod.w[j] + t[i + j] + carry;
+      t[i + j] = static_cast<std::uint64_t>(cur);
+      carry = static_cast<std::uint64_t>(cur >> 64);
+    }
+    for (std::size_t k = i + 4; carry != 0; ++k) {
+      if (k == 8) {
+        extra += carry;
+        break;
+      }
+      u128 cur = static_cast<u128>(t[k]) + carry;
+      t[k] = static_cast<std::uint64_t>(cur);
+      carry = static_cast<std::uint64_t>(cur >> 64);
+    }
+  }
+  U256 r{{t[4], t[5], t[6], t[7]}};
+  if (extra || cmp(r, p.mod) >= 0) {
+    U256 s;
+    sub_bb(r, p.mod, s);
+    return s;
+  }
+  return r;
+}
+
+U256 mont_pow(const U256& a, const U256& e, const MontParams& p) {
+  U256 acc = p.one_m;
+  for (int i = 255; i >= 0; --i) {
+    acc = mont_mul(acc, acc, p);
+    if (e.bit(i)) acc = mont_mul(acc, a, p);
+  }
+  return acc;
+}
+
+MontParams make_mont_params(const U256& mod) {
+  if ((mod.w[0] & 1) == 0 || mod.bit(255) == 0) {
+    throw CryptoError("make_mont_params: modulus must be odd and > 2^255");
+  }
+  MontParams p;
+  p.mod = mod;
+  p.n0 = neg_inv64(mod.w[0]);
+  // R mod mod = 2^256 - mod (valid because mod > 2^255 => 2^256 < 2*mod).
+  U256 zero{};
+  sub_bb(zero, mod, p.one_m);  // wraps to 2^256 - mod
+  // R^2 mod mod via 256 modular doublings of R.
+  U256 r2 = p.one_m;
+  for (int i = 0; i < 256; ++i) r2 = mod_add(r2, r2, p);
+  p.r2 = r2;
+  U256 two = U256::from_u64(2);
+  sub_bb(mod, two, p.mod_minus_2);
+  return p;
+}
+
+}  // namespace ddemos::crypto

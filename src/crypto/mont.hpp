@@ -1,0 +1,31 @@
+// Montgomery modular arithmetic over 256-bit odd moduli with the top bit
+// set (both secp256k1 moduli qualify), so reduction of any 256-bit value
+// needs at most one conditional subtract and no general division.
+#pragma once
+
+#include "crypto/u256.hpp"
+
+namespace ddemos::crypto {
+
+struct MontParams {
+  U256 mod;          // the modulus (odd, > 2^255)
+  std::uint64_t n0;  // -mod^{-1} mod 2^64
+  U256 r2;           // R^2 mod mod, R = 2^256
+  U256 one_m;        // R mod mod (Montgomery form of 1)
+  U256 mod_minus_2;  // exponent for Fermat inversion
+};
+
+// Computes all derived constants at runtime. Requires mod odd and > 2^255.
+MontParams make_mont_params(const U256& mod);
+
+// Montgomery product: a*b*R^{-1} mod mod, inputs/outputs in Montgomery form.
+U256 mont_mul(const U256& a, const U256& b, const MontParams& p);
+// Plain modular add/sub (works in either representation).
+U256 mod_add(const U256& a, const U256& b, const MontParams& p);
+U256 mod_sub(const U256& a, const U256& b, const MontParams& p);
+// a^e mod mod, a in Montgomery form, result in Montgomery form.
+U256 mont_pow(const U256& a, const U256& e, const MontParams& p);
+// Reduce an arbitrary 256-bit value mod mod (single conditional subtract).
+U256 mod_reduce(const U256& a, const MontParams& p);
+
+}  // namespace ddemos::crypto

@@ -1,0 +1,47 @@
+// Pedersen commitments and Pedersen verifiable secret sharing (paper
+// Section III-B cites Pedersen's VSS [32]). Used by the EA to split every
+// option-encoding opening and every ZK prover-state scalar among the Nt
+// trustees with threshold ht; shares are additively homomorphic, which is
+// what lets trustees tally homomorphically and open only the total.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "crypto/ec.hpp"
+
+namespace ddemos::crypto {
+
+class Rng;
+
+// C = m*G + r*H.
+Point pedersen_commit(const Fn& m, const Fn& r);
+
+struct PedersenShare {
+  std::uint32_t x = 0;  // 1-based trustee index
+  Fn f;                 // share of the secret polynomial
+  Fn g;                 // share of the blinding polynomial
+};
+
+struct PedersenDeal {
+  std::vector<PedersenShare> shares;   // one per trustee
+  std::vector<Point> coefficient_comms;  // k commitments a_j*G + b_j*H
+};
+
+PedersenDeal pedersen_vss_deal(const Fn& secret, std::size_t k, std::size_t n,
+                               Rng& rng);
+
+// Checks f(i)*G + g(i)*H == sum_j i^j * C_j.
+bool pedersen_vss_verify(const PedersenShare& share,
+                         std::span<const Point> coefficient_comms);
+
+// Returns (secret, blind); throws CryptoError with fewer than k shares.
+std::pair<Fn, Fn> pedersen_vss_reconstruct(
+    std::span<const PedersenShare> shares, std::size_t k);
+
+// Homomorphic share addition (same x required).
+PedersenShare pedersen_share_add(const PedersenShare& a,
+                                 const PedersenShare& b);
+
+}  // namespace ddemos::crypto

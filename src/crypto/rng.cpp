@@ -1,0 +1,136 @@
+#include "crypto/rng.hpp"
+
+#include <bit>
+#include <cstdio>
+#include <cstring>
+
+#include "crypto/sha256.hpp"
+#include "util/error.hpp"
+
+namespace ddemos::crypto {
+
+namespace {
+
+inline void quarter(std::uint32_t& a, std::uint32_t& b, std::uint32_t& c,
+                    std::uint32_t& d) {
+  a += b;
+  d = std::rotl(d ^ a, 16);
+  c += d;
+  b = std::rotl(b ^ c, 12);
+  a += b;
+  d = std::rotl(d ^ a, 8);
+  c += d;
+  b = std::rotl(b ^ c, 7);
+}
+
+void chacha20_block(const std::array<std::uint32_t, 16>& in,
+                    std::array<std::uint8_t, 64>& out) {
+  std::array<std::uint32_t, 16> x = in;
+  for (int round = 0; round < 10; ++round) {
+    quarter(x[0], x[4], x[8], x[12]);
+    quarter(x[1], x[5], x[9], x[13]);
+    quarter(x[2], x[6], x[10], x[14]);
+    quarter(x[3], x[7], x[11], x[15]);
+    quarter(x[0], x[5], x[10], x[15]);
+    quarter(x[1], x[6], x[11], x[12]);
+    quarter(x[2], x[7], x[8], x[13]);
+    quarter(x[3], x[4], x[9], x[14]);
+  }
+  for (std::size_t i = 0; i < 16; ++i) {
+    std::uint32_t v = x[i] + in[i];
+    out[i * 4] = static_cast<std::uint8_t>(v);
+    out[i * 4 + 1] = static_cast<std::uint8_t>(v >> 8);
+    out[i * 4 + 2] = static_cast<std::uint8_t>(v >> 16);
+    out[i * 4 + 3] = static_cast<std::uint8_t>(v >> 24);
+  }
+}
+
+}  // namespace
+
+Rng::Rng(BytesView seed) {
+  state_ = {0x61707865, 0x3320646e, 0x79622d32, 0x6b206574,
+            0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0};
+  std::uint8_t key[32] = {};
+  std::memcpy(key, seed.data(), std::min<std::size_t>(seed.size(), 32));
+  for (std::size_t i = 0; i < 8; ++i) {
+    state_[4 + i] = static_cast<std::uint32_t>(key[i * 4]) |
+                    static_cast<std::uint32_t>(key[i * 4 + 1]) << 8 |
+                    static_cast<std::uint32_t>(key[i * 4 + 2]) << 16 |
+                    static_cast<std::uint32_t>(key[i * 4 + 3]) << 24;
+  }
+}
+
+Rng::Rng(std::uint64_t seed)
+    : Rng([&] {
+        Bytes b(8);
+        for (int i = 0; i < 8; ++i) {
+          b[static_cast<std::size_t>(i)] =
+              static_cast<std::uint8_t>(seed >> (8 * i));
+        }
+        return Bytes(hash_bytes(sha256(b)));
+      }()) {}
+
+Rng Rng::from_os_entropy() {
+  std::uint8_t buf[32];
+  std::FILE* f = std::fopen("/dev/urandom", "rb");
+  if (f == nullptr || std::fread(buf, 1, 32, f) != 32) {
+    if (f) std::fclose(f);
+    throw CryptoError("cannot read /dev/urandom");
+  }
+  std::fclose(f);
+  return Rng(BytesView(buf, 32));
+}
+
+void Rng::refill() {
+  chacha20_block(state_, block_);
+  pos_ = 0;
+  if (++state_[12] == 0) ++state_[13];  // 64-bit block counter
+}
+
+void Rng::fill(std::uint8_t* out, std::size_t n) {
+  while (n > 0) {
+    if (pos_ == 64) refill();
+    std::size_t take = std::min(n, 64 - pos_);
+    std::memcpy(out, block_.data() + pos_, take);
+    pos_ += take;
+    out += take;
+    n -= take;
+  }
+}
+
+Bytes Rng::bytes(std::size_t n) {
+  Bytes out(n);
+  fill(out.data(), n);
+  return out;
+}
+
+std::uint64_t Rng::u64() {
+  std::uint8_t b[8];
+  fill(b, 8);
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v |= static_cast<std::uint64_t>(b[i]) << (8 * i);
+  return v;
+}
+
+std::uint64_t Rng::below(std::uint64_t bound) {
+  if (bound == 0) throw ProtocolError("Rng::below: bound must be > 0");
+  std::uint64_t threshold = -bound % bound;  // 2^64 mod bound
+  for (;;) {
+    std::uint64_t v = u64();
+    if (v >= threshold) return v % bound;
+  }
+}
+
+double Rng::uniform01() {
+  return static_cast<double>(u64() >> 11) * 0x1.0p-53;
+}
+
+Rng Rng::fork(std::string_view label) {
+  Bytes material = bytes(32);
+  Sha256 h;
+  h.update(material);
+  h.update(to_bytes(label));
+  return Rng(BytesView(hash_view(h.finish())));
+}
+
+}  // namespace ddemos::crypto

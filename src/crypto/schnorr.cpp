@@ -1,0 +1,59 @@
+#include "crypto/schnorr.hpp"
+
+#include "crypto/rng.hpp"
+#include "crypto/sha256.hpp"
+#include "util/error.hpp"
+
+namespace ddemos::crypto {
+
+namespace {
+
+Fn challenge(BytesView r_enc, BytesView pk, BytesView msg) {
+  Sha256 h;
+  h.update(to_bytes("ddemos/schnorr"));
+  h.update(r_enc);
+  h.update(pk);
+  h.update(msg);
+  return Fn::from_bytes_mod(hash_view(h.finish()));
+}
+
+}  // namespace
+
+KeyPair schnorr_keygen(Rng& rng) {
+  Fn sk = random_scalar(rng);
+  if (sk.is_zero()) sk = Fn::one();
+  return KeyPair{sk, ec_encode(ec_mul_g(sk))};
+}
+
+Bytes schnorr_sign(const Fn& sk, BytesView msg) {
+  Bytes pk = ec_encode(ec_mul_g(sk));
+  // Deterministic nonce: H(sk || msg), reduced into the scalar field.
+  Sha256 nh;
+  nh.update(to_bytes("ddemos/schnorr/nonce"));
+  nh.update(sk.to_bytes_be());
+  nh.update(msg);
+  Fn k = Fn::from_bytes_mod(hash_view(nh.finish()));
+  if (k.is_zero()) k = Fn::one();
+  Bytes r_enc = ec_encode(ec_mul_g(k));
+  Fn e = challenge(r_enc, pk, msg);
+  Fn s = k + e * sk;
+  Bytes sig = r_enc;
+  append(sig, s.to_bytes_be());
+  return sig;
+}
+
+bool schnorr_verify(BytesView pk, BytesView msg, BytesView sig) {
+  if (sig.size() != 65 || pk.size() != 33) return false;
+  try {
+    Point r = ec_decode(sig.subspan(0, 33));
+    Fn s = Fn::from_bytes_mod(sig.subspan(33));
+    Point pub = ec_decode(pk);
+    Fn e = challenge(sig.subspan(0, 33), pk, msg);
+    // s*G == R + e*P
+    return ec_eq(ec_mul_g(s), ec_add(r, ec_mul(e, pub)));
+  } catch (const CryptoError&) {
+    return false;
+  }
+}
+
+}  // namespace ddemos::crypto

@@ -1,0 +1,20 @@
+// Schnorr signatures over secp256k1 with deterministic nonces. The EA
+// generates all key pairs at setup (the paper avoids external PKI); VC nodes
+// sign ENDORSEMENT messages with these keys, trustees sign BB writes.
+#pragma once
+
+#include "crypto/ec.hpp"
+
+namespace ddemos::crypto {
+
+struct KeyPair {
+  Fn sk;
+  Bytes pk;  // compressed point encoding, 33 bytes
+};
+
+KeyPair schnorr_keygen(Rng& rng);
+// Signature = R (33 bytes) || s (32 bytes).
+Bytes schnorr_sign(const Fn& sk, BytesView msg);
+bool schnorr_verify(BytesView pk, BytesView msg, BytesView sig);
+
+}  // namespace ddemos::crypto

@@ -1,0 +1,38 @@
+// SHA-256 (FIPS 180-4), from scratch. Streaming class plus one-shot helpers.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <initializer_list>
+
+#include "util/bytes.hpp"
+
+namespace ddemos::crypto {
+
+using Hash32 = std::array<std::uint8_t, 32>;
+
+class Sha256 {
+ public:
+  Sha256() { reset(); }
+  void reset();
+  void update(BytesView data);
+  Hash32 finish();
+
+ private:
+  void compress(const std::uint8_t* block);
+  std::array<std::uint32_t, 8> h_{};
+  std::array<std::uint8_t, 64> buf_{};
+  std::size_t buf_len_ = 0;
+  std::uint64_t total_ = 0;
+};
+
+Hash32 sha256(BytesView data);
+// Hash of the concatenation of several fragments, without copying.
+Hash32 sha256_parts(std::initializer_list<BytesView> parts);
+
+inline Bytes hash_bytes(const Hash32& h) { return Bytes(h.begin(), h.end()); }
+inline BytesView hash_view(const Hash32& h) {
+  return BytesView(h.data(), h.size());
+}
+
+}  // namespace ddemos::crypto

@@ -1,0 +1,65 @@
+#include "crypto/shamir.hpp"
+
+#include "crypto/ec.hpp"
+#include "crypto/rng.hpp"
+#include "util/error.hpp"
+
+namespace ddemos::crypto {
+
+std::vector<Share> shamir_deal(const Fn& secret, std::size_t k, std::size_t n,
+                               Rng& rng) {
+  if (k == 0 || k > n) throw CryptoError("shamir_deal: need 0 < k <= n");
+  std::vector<Fn> coeff;
+  coeff.reserve(k);
+  coeff.push_back(secret);
+  for (std::size_t i = 1; i < k; ++i) coeff.push_back(random_scalar(rng));
+
+  std::vector<Share> shares;
+  shares.reserve(n);
+  for (std::size_t i = 1; i <= n; ++i) {
+    Fn x = Fn::from_u64(i);
+    // Horner evaluation.
+    Fn y = coeff.back();
+    for (std::size_t j = coeff.size() - 1; j-- > 0;) {
+      y = y * x + coeff[j];
+    }
+    shares.push_back(Share{static_cast<std::uint32_t>(i), y});
+  }
+  return shares;
+}
+
+Fn shamir_reconstruct(std::span<const Share> shares, std::size_t k) {
+  if (shares.size() < k) throw CryptoError("shamir_reconstruct: too few shares");
+  std::vector<Share> pts;
+  pts.reserve(k);
+  for (const Share& s : shares) {
+    bool dup = false;
+    for (const Share& p : pts) {
+      if (p.x == s.x) {
+        dup = true;
+        break;
+      }
+    }
+    if (!dup) pts.push_back(s);
+    if (pts.size() == k) break;
+  }
+  if (pts.size() < k) {
+    throw CryptoError("shamir_reconstruct: duplicate share points");
+  }
+  Fn acc = Fn::zero();
+  for (std::size_t i = 0; i < k; ++i) {
+    Fn num = Fn::one();
+    Fn den = Fn::one();
+    Fn xi = Fn::from_u64(pts[i].x);
+    for (std::size_t j = 0; j < k; ++j) {
+      if (i == j) continue;
+      Fn xj = Fn::from_u64(pts[j].x);
+      num = num * xj;
+      den = den * (xj - xi);
+    }
+    acc = acc + pts[i].y * num * den.inv();
+  }
+  return acc;
+}
+
+}  // namespace ddemos::crypto

@@ -1,0 +1,30 @@
+// Shamir secret sharing over the secp256k1 scalar field. Used with a
+// trusted dealer (the EA) for receipt shares and the msk key shares:
+// the paper's "(Nv-fv, Nv)-VSS with trusted dealer". Verifiability is
+// provided by Merkle commitments over the share list (see merkle.hpp).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "crypto/fe.hpp"
+
+namespace ddemos::crypto {
+
+class Rng;
+
+struct Share {
+  std::uint32_t x = 0;  // evaluation point, 1-based node index
+  Fn y;
+};
+
+// Splits `secret` into n shares with reconstruction threshold k.
+std::vector<Share> shamir_deal(const Fn& secret, std::size_t k, std::size_t n,
+                               Rng& rng);
+
+// Lagrange interpolation at 0 using the first k distinct-x shares.
+// Throws CryptoError if fewer than k shares or duplicate x values.
+Fn shamir_reconstruct(std::span<const Share> shares, std::size_t k);
+
+}  // namespace ddemos::crypto

@@ -1,0 +1,43 @@
+// Fixed-width 256-bit unsigned integer: the raw limb layer under the
+// Montgomery field arithmetic. Little-endian 64-bit limbs.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "util/bytes.hpp"
+
+namespace ddemos::crypto {
+
+struct U256 {
+  std::array<std::uint64_t, 4> w{};
+
+  static constexpr U256 zero() { return {}; }
+  static constexpr U256 from_u64(std::uint64_t x) {
+    U256 r;
+    r.w[0] = x;
+    return r;
+  }
+  // Big-endian 32-byte decode; throws CodecError on wrong size.
+  static U256 from_bytes_be(BytesView b);
+  Bytes to_bytes_be() const;
+
+  bool is_zero() const { return (w[0] | w[1] | w[2] | w[3]) == 0; }
+  int bit(int i) const {
+    return static_cast<int>(w[i >> 6] >> (i & 63)) & 1;
+  }
+  friend bool operator==(const U256&, const U256&) = default;
+};
+
+using U512 = std::array<std::uint64_t, 8>;
+
+// -1, 0, 1 as a < b, a == b, a > b.
+int cmp(const U256& a, const U256& b);
+// out = a + b; returns the carry out of the top limb.
+std::uint64_t add_cc(const U256& a, const U256& b, U256& out);
+// out = a - b; returns the borrow out of the top limb.
+std::uint64_t sub_bb(const U256& a, const U256& b, U256& out);
+U512 mul_wide(const U256& a, const U256& b);
+U256 shr1(const U256& a);
+
+}  // namespace ddemos::crypto

@@ -1,0 +1,95 @@
+#include "crypto/zkp.hpp"
+
+#include "crypto/rng.hpp"
+#include "crypto/sha256.hpp"
+#include "util/error.hpp"
+
+namespace ddemos::crypto {
+
+BitProof prove_bit(const Point& key, const ElGamalCipher& cipher, bool bit,
+                   const Fn& r, Rng& rng) {
+  // Statement pair per branch: branch d proves log_G(A) = log_K(B - d*G).
+  // Simulate the false branch with a random (c_sim, z_sim); run the real
+  // branch honestly with fresh randomness w.
+  Fn c_sim = random_scalar(rng);
+  Fn z_sim = random_scalar(rng);
+  Fn w = random_scalar(rng);
+
+  const Point& g = ec_generator();
+  Point b_sim = bit ? cipher.b : ec_sub(cipher.b, g);
+
+  // Simulated first move: t1 = z*G - c*A, t2 = z*K - c*(B - d_sim*G).
+  Point t1_sim = ec_sub(ec_mul_g(z_sim), ec_mul(c_sim, cipher.a));
+  Point t2_sim = ec_sub(ec_mul(z_sim, key), ec_mul(c_sim, b_sim));
+  // Real first move: t1 = w*G, t2 = w*K.
+  Point t1_real = ec_mul_g(w);
+  Point t2_real = ec_mul(w, key);
+
+  BitProof out;
+  if (!bit) {
+    out.first_move = {t1_real, t2_real, t1_sim, t2_sim};
+    // c0 = c - c_sim, z0 = (w - c_sim*r) + c*r ; c1, z1 constant.
+    out.secrets.c0 = {c_sim.neg(), Fn::one()};
+    out.secrets.z0 = {w - c_sim * r, r};
+    out.secrets.c1 = {c_sim, Fn::zero()};
+    out.secrets.z1 = {z_sim, Fn::zero()};
+  } else {
+    out.first_move = {t1_sim, t2_sim, t1_real, t2_real};
+    out.secrets.c0 = {c_sim, Fn::zero()};
+    out.secrets.z0 = {z_sim, Fn::zero()};
+    out.secrets.c1 = {c_sim.neg(), Fn::one()};
+    out.secrets.z1 = {w - c_sim * r, r};
+  }
+  return out;
+}
+
+bool verify_bit(const Point& key, const ElGamalCipher& cipher,
+                const BitProofFirstMove& fm, const Fn& challenge,
+                const BitProofResponse& resp) {
+  if (!(resp.c0 + resp.c1 == challenge)) return false;
+  const Point& g = ec_generator();
+  // Branch 0: statement (A, B).
+  if (!ec_eq(ec_mul_g(resp.z0), ec_add(fm.t1_0, ec_mul(resp.c0, cipher.a)))) {
+    return false;
+  }
+  if (!ec_eq(ec_mul(resp.z0, key),
+             ec_add(fm.t2_0, ec_mul(resp.c0, cipher.b)))) {
+    return false;
+  }
+  // Branch 1: statement (A, B - G).
+  Point b1 = ec_sub(cipher.b, g);
+  if (!ec_eq(ec_mul_g(resp.z1), ec_add(fm.t1_1, ec_mul(resp.c1, cipher.a)))) {
+    return false;
+  }
+  return ec_eq(ec_mul(resp.z1, key), ec_add(fm.t2_1, ec_mul(resp.c1, b1)));
+}
+
+SumProof prove_sum(const Point& key, const Fn& total_randomness, Rng& rng) {
+  Fn w = random_scalar(rng);
+  SumProof out;
+  out.first_move.t1 = ec_mul_g(w);
+  out.first_move.t2 = ec_mul(w, key);
+  out.z = {w, total_randomness};
+  return out;
+}
+
+bool verify_sum(const Point& key, const ElGamalCipher& sum, const Fn& total,
+                const SumProofFirstMove& fm, const Fn& challenge,
+                const Fn& z) {
+  // Statement: (A*, B* - total*G) is a DH pair w.r.t. (G, K).
+  Point b_adj = ec_sub(sum.b, ec_mul_g(total));
+  if (!ec_eq(ec_mul_g(z), ec_add(fm.t1, ec_mul(challenge, sum.a)))) {
+    return false;
+  }
+  return ec_eq(ec_mul(z, key), ec_add(fm.t2, ec_mul(challenge, b_adj)));
+}
+
+Fn challenge_from_coins(BytesView election_id, BytesView coin_bits) {
+  Sha256 h;
+  h.update(to_bytes("ddemos/zk-challenge"));
+  h.update(election_id);
+  h.update(coin_bits);
+  return Fn::from_bytes_mod(hash_view(h.finish()));
+}
+
+}  // namespace ddemos::crypto

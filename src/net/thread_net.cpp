@@ -1,0 +1,133 @@
+#include "net/thread_net.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace ddemos::net {
+
+class ThreadNet::NodeContext final : public sim::Context {
+ public:
+  NodeContext(ThreadNet* net, NodeId id) : net_(net), id_(id) {}
+
+  void send(NodeId to, Bytes payload) override {
+    net_->deliver(to, id_, std::move(payload));
+  }
+
+  std::uint64_t set_timer(Duration after) override {
+    Node& n = *net_->nodes_.at(id_);
+    // Only this node's worker thread calls set_timer, but stop()/start()
+    // also touch the timer list, so take the lock.
+    std::scoped_lock lk(n.mu);
+    std::uint64_t token = n.next_token++;
+    n.timers.push_back(
+        Timer{std::chrono::steady_clock::now() +
+                  std::chrono::microseconds(after),
+              token});
+    n.cv.notify_all();
+    return token;
+  }
+
+  TimePoint now() const override {
+    return std::chrono::duration_cast<std::chrono::microseconds>(
+               std::chrono::steady_clock::now() - net_->epoch_)
+        .count();
+  }
+  NodeId self() const override { return id_; }
+  void charge(Duration) override {}  // real CPU time is real here
+
+ private:
+  ThreadNet* net_;
+  NodeId id_;
+};
+
+ThreadNet::ThreadNet() = default;
+ThreadNet::~ThreadNet() { stop(); }
+
+NodeId ThreadNet::add_node(std::unique_ptr<Process> proc, std::string name) {
+  if (running_) throw ProtocolError("ThreadNet: add_node after start");
+  NodeId id = static_cast<NodeId>(nodes_.size());
+  auto node = std::make_unique<Node>();
+  node->proc = std::move(proc);
+  node->ctx = std::make_unique<NodeContext>(this, id);
+  node->name = std::move(name);
+  node->proc->bind(node->ctx.get());
+  nodes_.push_back(std::move(node));
+  return id;
+}
+
+Process& ThreadNet::process(NodeId id) { return *nodes_.at(id)->proc; }
+
+void ThreadNet::deliver(NodeId to, NodeId from, Bytes payload) {
+  if (to >= nodes_.size()) return;  // unknown destination: drop
+  Node& n = *nodes_.at(to);
+  {
+    std::scoped_lock lk(n.mu);
+    n.inbox.push_back(Mail{from, std::move(payload)});
+  }
+  n.cv.notify_all();
+}
+
+void ThreadNet::start() {
+  if (running_) return;
+  running_ = true;
+  stop_ = false;
+  epoch_ = std::chrono::steady_clock::now();
+  for (auto& node : nodes_) {
+    node->worker = std::thread([this, n = node.get()] { worker_loop(*n); });
+  }
+}
+
+void ThreadNet::stop() {
+  if (!running_) return;
+  stop_ = true;
+  for (auto& node : nodes_) node->cv.notify_all();
+  for (auto& node : nodes_) {
+    if (node->worker.joinable()) node->worker.join();
+  }
+  running_ = false;
+}
+
+void ThreadNet::worker_loop(Node& node) {
+  node.proc->on_start();
+  std::unique_lock lk(node.mu);
+  while (!stop_) {
+    auto now = std::chrono::steady_clock::now();
+    // Fire due timers.
+    std::vector<std::uint64_t> due;
+    for (auto it = node.timers.begin(); it != node.timers.end();) {
+      if (it->due <= now) {
+        due.push_back(it->token);
+        it = node.timers.erase(it);
+      } else {
+        ++it;
+      }
+    }
+    for (std::uint64_t token : due) {
+      lk.unlock();
+      node.proc->on_timer(token);
+      lk.lock();
+    }
+    if (!node.inbox.empty()) {
+      Mail m = std::move(node.inbox.front());
+      node.inbox.pop_front();
+      lk.unlock();
+      node.proc->on_message(m.from, m.payload);
+      lk.lock();
+      continue;
+    }
+    // Sleep until next timer or new mail.
+    if (node.timers.empty()) {
+      node.cv.wait_for(lk, std::chrono::milliseconds(50));
+    } else {
+      auto next = std::min_element(node.timers.begin(), node.timers.end(),
+                                   [](const Timer& a, const Timer& b) {
+                                     return a.due < b.due;
+                                   })
+                      ->due;
+      node.cv.wait_until(lk, next);
+    }
+  }
+}
+
+}  // namespace ddemos::net

@@ -1,0 +1,81 @@
+// Real multi-threaded in-process transport hosting the same Process state
+// machines as the simulator: one worker thread per node, lock-protected
+// mailboxes, real wall-clock timers. Used by integration tests and examples
+// to demonstrate the protocol under genuine concurrency; the simulator is
+// used where determinism or scale is needed.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "sim/runtime.hpp"
+
+namespace ddemos::net {
+
+using sim::Duration;
+using sim::NodeId;
+using sim::Process;
+using sim::TimePoint;
+
+class ThreadNet {
+ public:
+  ThreadNet();
+  ~ThreadNet();
+
+  ThreadNet(const ThreadNet&) = delete;
+  ThreadNet& operator=(const ThreadNet&) = delete;
+
+  NodeId add_node(std::unique_ptr<Process> proc, std::string name);
+  Process& process(NodeId id);
+
+  // Spawns one worker thread per node and delivers on_start.
+  void start();
+  // Signals all workers and joins them. Safe to call twice.
+  void stop();
+
+  // Convenience for tests: sleep while workers run.
+  static void sleep_ms(int ms) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(ms));
+  }
+
+ private:
+  class NodeContext;
+  struct Mail {
+    NodeId from;
+    Bytes payload;
+  };
+  struct Timer {
+    std::chrono::steady_clock::time_point due;
+    std::uint64_t token;
+  };
+  struct Node {
+    std::unique_ptr<Process> proc;
+    std::unique_ptr<NodeContext> ctx;
+    std::string name;
+    std::thread worker;
+    std::mutex mu;
+    std::condition_variable cv;
+    std::deque<Mail> inbox;
+    std::vector<Timer> timers;
+    std::uint64_t next_token = 1;
+    bool started = false;
+  };
+
+  void worker_loop(Node& node);
+  void deliver(NodeId to, NodeId from, Bytes payload);
+
+  std::vector<std::unique_ptr<Node>> nodes_;
+  std::chrono::steady_clock::time_point epoch_;
+  bool running_ = false;
+  bool stop_ = false;
+
+  friend class NodeContext;
+};
+
+}  // namespace ddemos::net

@@ -1,0 +1,57 @@
+// Runtime-neutral process model. Protocol code (VC nodes, BB nodes,
+// trustees, voters) is written as event-driven state machines against these
+// interfaces and can be hosted either by the deterministic discrete-event
+// simulator (sim/sim.hpp) or by the real multi-threaded transport
+// (net/thread_net.hpp). This mirrors the paper's asynchronous communications
+// stack: connection semantics are hidden, the upper layers are message
+// oriented.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "util/bytes.hpp"
+
+namespace ddemos::sim {
+
+using NodeId = std::uint32_t;
+inline constexpr NodeId kNoNode = 0xffffffff;
+
+// Virtual (or real) time in microseconds.
+using TimePoint = std::int64_t;
+using Duration = std::int64_t;
+
+class Context {
+ public:
+  virtual ~Context() = default;
+  // Asynchronous, unordered, unreliable message send (delivery semantics
+  // depend on the hosting runtime's link model).
+  virtual void send(NodeId to, Bytes payload) = 0;
+  // One-shot timer; returns a token passed back to Process::on_timer.
+  virtual std::uint64_t set_timer(Duration after) = 0;
+  virtual TimePoint now() const = 0;
+  virtual NodeId self() const = 0;
+  // Account `cpu` microseconds of modeled processing cost to this node.
+  // The simulator serializes a node's handlers behind this busy time; the
+  // threaded runtime ignores it (real CPU time is real there).
+  virtual void charge(Duration cpu) = 0;
+};
+
+class Process {
+ public:
+  virtual ~Process() = default;
+  void bind(Context* ctx) { ctx_ = ctx; }
+
+  virtual void on_start() {}
+  virtual void on_message(NodeId from, BytesView payload) = 0;
+  virtual void on_timer(std::uint64_t /*token*/) {}
+
+ protected:
+  Context& ctx() { return *ctx_; }
+  const Context& ctx() const { return *ctx_; }
+
+ private:
+  Context* ctx_ = nullptr;
+};
+
+}  // namespace ddemos::sim

@@ -1,0 +1,173 @@
+#include "sim/sim.hpp"
+
+#include <chrono>
+
+#include "util/error.hpp"
+
+namespace ddemos::sim {
+
+// Per-node Context implementation. Sends and timers issued while a handler
+// runs depart when the handler's accounted CPU time ends, which models a
+// node that processes one message at a time.
+class Simulation::NodeContext final : public Context {
+ public:
+  NodeContext(Simulation* sim, NodeId id) : sim_(sim), id_(id) {}
+
+  void send(NodeId to, Bytes payload) override {
+    sim_->submit_send(id_, to, std::move(payload), handler_end_);
+  }
+  std::uint64_t set_timer(Duration after) override {
+    return sim_->submit_timer(id_, after, handler_end_);
+  }
+  TimePoint now() const override { return handler_start_; }
+  NodeId self() const override { return id_; }
+  void charge(Duration cpu) override { handler_end_ += cpu; }
+
+  // Called by the simulator around each handler invocation.
+  void begin_handler(TimePoint at) {
+    handler_start_ = at;
+    handler_end_ = at;
+  }
+  TimePoint handler_end() const { return handler_end_; }
+
+ private:
+  Simulation* sim_;
+  NodeId id_;
+  TimePoint handler_start_ = 0;
+  TimePoint handler_end_ = 0;
+};
+
+Simulation::Simulation(std::uint64_t seed) : rng_(seed) {}
+Simulation::~Simulation() = default;
+
+NodeId Simulation::add_node(std::unique_ptr<Process> proc, std::string name) {
+  NodeId id = static_cast<NodeId>(nodes_.size());
+  Node n;
+  n.proc = std::move(proc);
+  n.ctx = std::make_unique<NodeContext>(this, id);
+  n.name = std::move(name);
+  n.proc->bind(n.ctx.get());
+  nodes_.push_back(std::move(n));
+  if (started_) {
+    // Late-added node (e.g. a voter joining mid-election): start immediately.
+    nodes_.back().ctx->begin_handler(now_);
+    nodes_.back().proc->on_start();
+    nodes_.back().busy_until = nodes_.back().ctx->handler_end();
+  }
+  return id;
+}
+
+Process& Simulation::process(NodeId id) { return *nodes_.at(id).proc; }
+
+const std::string& Simulation::node_name(NodeId id) const {
+  return nodes_.at(id).name;
+}
+
+void Simulation::set_link(NodeId a, NodeId b, const LinkModel& model) {
+  links_[{a, b}] = model;
+}
+
+const LinkModel& Simulation::link_for(NodeId a, NodeId b) const {
+  auto it = links_.find({a, b});
+  if (it != links_.end()) return it->second;
+  return default_link_;
+}
+
+void Simulation::crash(NodeId id) { nodes_.at(id).crashed = true; }
+bool Simulation::crashed(NodeId id) const { return nodes_.at(id).crashed; }
+
+void Simulation::start() {
+  started_ = true;
+  for (Node& n : nodes_) {
+    if (n.crashed) continue;
+    n.ctx->begin_handler(now_);
+    n.proc->on_start();
+    n.busy_until = std::max(n.busy_until, n.ctx->handler_end());
+  }
+}
+
+void Simulation::submit_send(NodeId from, NodeId to, Bytes payload,
+                             TimePoint depart) {
+  if (to >= nodes_.size()) throw ProtocolError("send to unknown node");
+  const LinkModel& lm = link_for(from, to);
+  if (lm.drop_prob > 0 && rng_.uniform01() < lm.drop_prob) {
+    ++dropped_;
+    return;
+  }
+  Duration extra = 0;
+  if (filter_) {
+    auto d = filter_(from, to, depart);
+    if (!d.has_value()) {
+      ++dropped_;
+      return;
+    }
+    extra = *d;
+  }
+  auto enqueue = [&](TimePoint when) {
+    queue_.push(Event{when, seq_++, to, from, 0, payload});
+  };
+  Duration jitter =
+      lm.jitter > 0 ? static_cast<Duration>(rng_.below(
+                          static_cast<std::uint64_t>(lm.jitter) + 1))
+                    : 0;
+  TimePoint arrive = depart + lm.base_latency + jitter + extra;
+  enqueue(arrive);
+  if (lm.dup_prob > 0 && rng_.uniform01() < lm.dup_prob) {
+    enqueue(arrive + lm.base_latency);
+  }
+}
+
+std::uint64_t Simulation::submit_timer(NodeId node, Duration after,
+                                       TimePoint from_time) {
+  std::uint64_t token = ++timer_tokens_;
+  queue_.push(Event{from_time + after, seq_++, node, kNoNode, token, {}});
+  return token;
+}
+
+void Simulation::dispatch(const Event& ev) {
+  Node& n = nodes_.at(ev.target);
+  if (n.crashed) return;
+  // A node is a single virtual processor: handlers queue behind busy time.
+  TimePoint begin = std::max(ev.at, n.busy_until);
+  n.ctx->begin_handler(begin);
+  std::chrono::steady_clock::time_point wall_start;
+  if (measure_cpu_) wall_start = std::chrono::steady_clock::now();
+  if (ev.from == kNoNode) {
+    n.proc->on_timer(ev.token);
+  } else {
+    ++delivered_;
+    n.proc->on_message(ev.from, ev.payload);
+  }
+  Duration measured = 0;
+  if (measure_cpu_) {
+    measured = std::chrono::duration_cast<std::chrono::microseconds>(
+                   std::chrono::steady_clock::now() - wall_start)
+                   .count();
+  }
+  n.busy_until = std::max(n.busy_until, n.ctx->handler_end() + measured);
+}
+
+bool Simulation::step() {
+  if (queue_.empty()) return false;
+  Event ev = queue_.top();
+  queue_.pop();
+  now_ = std::max(now_, ev.at);
+  dispatch(ev);
+  return true;
+}
+
+std::size_t Simulation::run_until_idle(std::size_t max_events) {
+  std::size_t count = 0;
+  while (count < max_events && step()) ++count;
+  if (count == max_events) {
+    throw ProtocolError("simulation did not quiesce within event budget");
+  }
+  return count;
+}
+
+void Simulation::run_until(TimePoint deadline) {
+  while (!queue_.empty() && queue_.top().at <= deadline) step();
+  now_ = std::max(now_, deadline);
+}
+
+}  // namespace ddemos::sim

@@ -1,0 +1,127 @@
+// Deterministic discrete-event simulator. Replaces the paper's 12-machine
+// cluster: virtual clocks per node, configurable link latency/drop/dup/
+// reorder, per-node CPU service-time accounting (each node is a single
+// virtual processor; handler costs serialize), and adversary hooks for
+// bounded message delay and node crashes. Fully deterministic given a seed.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <queue>
+#include <string>
+#include <vector>
+
+#include "crypto/rng.hpp"
+#include "sim/runtime.hpp"
+
+namespace ddemos::sim {
+
+struct LinkModel {
+  Duration base_latency = 100;  // microseconds, one way
+  Duration jitter = 0;          // uniform extra in [0, jitter]
+  double drop_prob = 0.0;
+  double dup_prob = 0.0;
+
+  static LinkModel lan() { return LinkModel{100, 50, 0.0, 0.0}; }
+  static LinkModel wan() { return LinkModel{25'000, 2'000, 0.0, 0.0}; }
+  static LinkModel lossy(double drop, double dup) {
+    return LinkModel{100, 500, drop, dup};
+  }
+};
+
+// Return std::nullopt to drop; otherwise extra delay added on top of the
+// link model. Lets tests play the bounded-delay adversary of Section III-C.
+using LinkFilter =
+    std::function<std::optional<Duration>(NodeId from, NodeId to, TimePoint)>;
+
+class Simulation {
+ public:
+  explicit Simulation(std::uint64_t seed);
+  ~Simulation();
+
+  Simulation(const Simulation&) = delete;
+  Simulation& operator=(const Simulation&) = delete;
+
+  NodeId add_node(std::unique_ptr<Process> proc, std::string name);
+  Process& process(NodeId id);
+  const std::string& node_name(NodeId id) const;
+  std::size_t node_count() const { return nodes_.size(); }
+
+  void set_default_link(const LinkModel& model) { default_link_ = model; }
+  void set_link(NodeId a, NodeId b, const LinkModel& model);
+  void set_link_filter(LinkFilter filter) { filter_ = std::move(filter); }
+
+  // Crashed nodes stop receiving messages and timers.
+  void crash(NodeId id);
+  bool crashed(NodeId id) const;
+
+  // Hybrid benchmark mode: measure each handler's real CPU time with a
+  // monotonic clock and add it to the node's virtual busy time, on top of
+  // any modeled Context::charge() costs. Virtual durations then reflect
+  // real per-message processing costs while the network stays modeled.
+  void set_measure_cpu(bool enabled) { measure_cpu_ = enabled; }
+
+  // Calls on_start on all nodes not yet started.
+  void start();
+
+  TimePoint now() const { return now_; }
+  // Process a single event. Returns false when the queue is empty.
+  bool step();
+  // Run until the queue drains or `max_events` is hit; returns events run.
+  std::size_t run_until_idle(std::size_t max_events = 50'000'000);
+  // Run while events exist and now() < deadline.
+  void run_until(TimePoint deadline);
+
+  crypto::Rng& rng() { return rng_; }
+  std::uint64_t delivered_messages() const { return delivered_; }
+  std::uint64_t dropped_messages() const { return dropped_; }
+
+  // Used by NodeContext (internal).
+  void submit_send(NodeId from, NodeId to, Bytes payload, TimePoint depart);
+  std::uint64_t submit_timer(NodeId node, Duration after, TimePoint from_time);
+
+ private:
+  struct Event {
+    TimePoint at;
+    std::uint64_t seq;  // tiebreaker for determinism
+    NodeId target;
+    NodeId from;          // kNoNode for timers
+    std::uint64_t token;  // timer token
+    Bytes payload;
+  };
+  struct EventCmp {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.at != b.at) return a.at > b.at;
+      return a.seq > b.seq;
+    }
+  };
+  class NodeContext;
+  struct Node {
+    std::unique_ptr<Process> proc;
+    std::unique_ptr<NodeContext> ctx;
+    std::string name;
+    bool crashed = false;
+    TimePoint busy_until = 0;
+  };
+
+  const LinkModel& link_for(NodeId a, NodeId b) const;
+  void dispatch(const Event& ev);
+
+  crypto::Rng rng_;
+  std::vector<Node> nodes_;
+  LinkModel default_link_ = LinkModel::lan();
+  std::map<std::pair<NodeId, NodeId>, LinkModel> links_;
+  LinkFilter filter_;
+  std::priority_queue<Event, std::vector<Event>, EventCmp> queue_;
+  TimePoint now_ = 0;
+  bool measure_cpu_ = false;
+  std::uint64_t seq_ = 0;
+  std::uint64_t timer_tokens_ = 0;
+  std::uint64_t delivered_ = 0;
+  std::uint64_t dropped_ = 0;
+  bool started_ = false;
+};
+
+}  // namespace ddemos::sim

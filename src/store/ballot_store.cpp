@@ -1,0 +1,216 @@
+#include "store/ballot_store.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+#include "util/error.hpp"
+
+namespace ddemos::store {
+
+using core::Serial;
+using core::VcBallotInit;
+
+MemoryBallotSource::MemoryBallotSource(std::vector<VcBallotInit> ballots)
+    : ballots_(std::move(ballots)) {
+  for (std::size_t i = 1; i < ballots_.size(); ++i) {
+    if (ballots_[i - 1].serial >= ballots_[i].serial) {
+      throw ProtocolError("MemoryBallotSource: ballots must be sorted");
+    }
+  }
+}
+
+std::optional<VcBallotInit> MemoryBallotSource::find(Serial serial) {
+  auto idx = index_of(serial);
+  if (!idx) return std::nullopt;
+  return ballots_[*idx];
+}
+
+Serial MemoryBallotSource::serial_at(std::size_t idx) {
+  return ballots_.at(idx).serial;
+}
+
+std::optional<std::size_t> MemoryBallotSource::index_of(Serial serial) {
+  auto it = std::lower_bound(
+      ballots_.begin(), ballots_.end(), serial,
+      [](const VcBallotInit& b, Serial s) { return b.serial < s; });
+  if (it == ballots_.end() || it->serial != serial) return std::nullopt;
+  return static_cast<std::size_t>(it - ballots_.begin());
+}
+
+// --- Disk source -----------------------------------------------------------
+
+DiskBallotSource::Builder::Builder(const std::string& path) : path_(path) {
+  records_ = std::fopen((path + ".records.tmp").c_str(), "wb");
+  if (!records_) throw ProtocolError("cannot create " + path);
+}
+
+DiskBallotSource::Builder::~Builder() {
+  if (!finished_ && records_) std::fclose(records_);
+}
+
+void DiskBallotSource::Builder::add(const VcBallotInit& ballot) {
+  if (!index_.empty() && std::get<0>(index_.back()) >= ballot.serial) {
+    throw ProtocolError("DiskBallotSource: ballots must arrive sorted");
+  }
+  Writer w;
+  ballot.encode(w);
+  const Bytes& blob = w.data();
+  index_.emplace_back(ballot.serial, offset_,
+                      static_cast<std::uint32_t>(blob.size()));
+  if (std::fwrite(blob.data(), 1, blob.size(), records_) != blob.size()) {
+    throw ProtocolError("DiskBallotSource: short write");
+  }
+  offset_ += blob.size();
+}
+
+void DiskBallotSource::Builder::finish() {
+  std::fclose(records_);
+  records_ = nullptr;
+  finished_ = true;
+  std::FILE* out = std::fopen(path_.c_str(), "wb");
+  if (!out) throw ProtocolError("cannot create " + path_);
+  auto write_u64 = [&](std::uint64_t v) {
+    std::uint8_t b[8];
+    for (int i = 0; i < 8; ++i) b[i] = static_cast<std::uint8_t>(v >> (8 * i));
+    std::fwrite(b, 1, 8, out);
+  };
+  auto write_u32 = [&](std::uint32_t v) {
+    std::uint8_t b[4];
+    for (int i = 0; i < 4; ++i) b[i] = static_cast<std::uint8_t>(v >> (8 * i));
+    std::fwrite(b, 1, 4, out);
+  };
+  write_u64(0xdde305b411075001ull);  // magic
+  write_u64(index_.size());
+  for (const auto& [serial, offset, len] : index_) {
+    write_u64(serial);
+    write_u64(offset);
+    write_u32(len);
+  }
+  // Append record blobs.
+  std::FILE* rec = std::fopen((path_ + ".records.tmp").c_str(), "rb");
+  if (!rec) throw ProtocolError("missing records temp file");
+  std::vector<std::uint8_t> buf(1 << 16);
+  std::size_t got;
+  while ((got = std::fread(buf.data(), 1, buf.size(), rec)) > 0) {
+    std::fwrite(buf.data(), 1, got, out);
+  }
+  std::fclose(rec);
+  std::fclose(out);
+  std::remove((path_ + ".records.tmp").c_str());
+}
+
+void DiskBallotSource::build(const std::string& path,
+                             const std::vector<VcBallotInit>& ballots) {
+  Builder b(path);
+  for (const auto& ballot : ballots) b.add(ballot);
+  b.finish();
+}
+
+DiskBallotSource::DiskBallotSource(const std::string& path,
+                                   std::size_t cache_pages)
+    : cache_pages_(std::max<std::size_t>(cache_pages, 4)) {
+  file_ = std::fopen(path.c_str(), "rb");
+  if (!file_) throw ProtocolError("cannot open " + path);
+  std::uint8_t hdr[16];
+  if (std::fread(hdr, 1, 16, file_) != 16) {
+    throw ProtocolError("truncated ballot file");
+  }
+  auto rd_u64 = [](const std::uint8_t* p) {
+    std::uint64_t v = 0;
+    for (int i = 7; i >= 0; --i) v = v << 8 | p[i];
+    return v;
+  };
+  if (rd_u64(hdr) != 0xdde305b411075001ull) {
+    throw ProtocolError("bad ballot file magic");
+  }
+  count_ = rd_u64(hdr + 8);
+  records_base_ = index_base_ + count_ * kIndexEntry;
+}
+
+DiskBallotSource::~DiskBallotSource() {
+  if (file_) std::fclose(file_);
+}
+
+const std::uint8_t* DiskBallotSource::page(std::uint64_t page_no) {
+  auto it = cache_.find(page_no);
+  if (it != cache_.end()) {
+    ++cache_hits_;
+    lru_.erase(it->second.second);
+    lru_.push_front(page_no);
+    it->second.second = lru_.begin();
+    return it->second.first.data();
+  }
+  ++page_reads_;
+  std::vector<std::uint8_t> data(kPageSize);
+  if (std::fseek(file_, static_cast<long>(page_no * kPageSize), SEEK_SET)) {
+    throw ProtocolError("seek failed");
+  }
+  std::size_t got = std::fread(data.data(), 1, kPageSize, file_);
+  if (got == 0) throw ProtocolError("read past end of ballot file");
+  lru_.push_front(page_no);
+  auto [ins, _] =
+      cache_.emplace(page_no, std::pair{std::move(data), lru_.begin()});
+  if (cache_.size() > cache_pages_) {
+    cache_.erase(lru_.back());
+    lru_.pop_back();
+  }
+  return ins->second.first.data();
+}
+
+DiskBallotSource::IndexEntry DiskBallotSource::index_entry(std::size_t idx) {
+  std::uint64_t byte_off = index_base_ + idx * kIndexEntry;
+  std::uint8_t raw[kIndexEntry];
+  // The entry may straddle a page boundary.
+  for (std::size_t i = 0; i < kIndexEntry; ++i) {
+    std::uint64_t off = byte_off + i;
+    raw[i] = page(off / kPageSize)[off % kPageSize];
+  }
+  IndexEntry e;
+  e.serial = 0;
+  e.offset = 0;
+  e.length = 0;
+  for (int i = 7; i >= 0; --i) e.serial = e.serial << 8 | raw[i];
+  for (int i = 7; i >= 0; --i) e.offset = e.offset << 8 | raw[8 + i];
+  for (int i = 3; i >= 0; --i) e.length = e.length << 8 | raw[16 + i];
+  return e;
+}
+
+std::optional<std::size_t> DiskBallotSource::index_of(Serial serial) {
+  std::size_t lo = 0, hi = count_;
+  while (lo < hi) {
+    std::size_t mid = lo + (hi - lo) / 2;
+    IndexEntry e = index_entry(mid);
+    if (e.serial == serial) return mid;
+    if (e.serial < serial) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  return std::nullopt;
+}
+
+Serial DiskBallotSource::serial_at(std::size_t idx) {
+  if (idx >= count_) throw ProtocolError("serial_at: out of range");
+  return index_entry(idx).serial;
+}
+
+std::optional<VcBallotInit> DiskBallotSource::find(Serial serial) {
+  auto idx = index_of(serial);
+  if (!idx) return std::nullopt;
+  IndexEntry e = index_entry(*idx);
+  std::vector<std::uint8_t> blob(e.length);
+  if (std::fseek(file_,
+                 static_cast<long>(records_base_ + e.offset), SEEK_SET)) {
+    throw ProtocolError("seek failed");
+  }
+  if (std::fread(blob.data(), 1, e.length, file_) != e.length) {
+    throw ProtocolError("truncated record");
+  }
+  Reader r(blob);
+  VcBallotInit b = VcBallotInit::decode(r);
+  r.expect_done();
+  return b;
+}
+
+}  // namespace ddemos::store

@@ -1,0 +1,116 @@
+// Ballot data sources for VC nodes. The paper's prototype keeps each VC
+// node's initialization data in PostgreSQL; here the same role is played by
+// either an in-memory source (tests, small elections) or a paged disk file
+// with a binary-searched sorted index and an LRU page cache
+// (DiskBallotSource) whose lookup cost grows with log(n) index pages —
+// the effect Figure 5a measures.
+#pragma once
+
+#include <cstdio>
+#include <list>
+#include <memory>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/types.hpp"
+
+namespace ddemos::store {
+
+class BallotDataSource {
+ public:
+  virtual ~BallotDataSource() = default;
+  // Fetches the initialization data for `serial`, or nullopt if unknown.
+  virtual std::optional<core::VcBallotInit> find(core::Serial serial) = 0;
+  // Number of registered ballots.
+  virtual std::size_t size() const = 0;
+  // Serial of the idx-th ballot in ascending serial order (the dense
+  // instance numbering used by the batched vote-set consensus).
+  virtual core::Serial serial_at(std::size_t idx) = 0;
+  virtual std::optional<std::size_t> index_of(core::Serial serial) = 0;
+  // Cumulative count of cache-missing page reads. The benchmarks charge a
+  // modeled storage latency per fault (the host OS page cache would
+  // otherwise hide the I/O cost a production-size table incurs).
+  virtual std::uint64_t page_faults() const { return 0; }
+};
+
+class MemoryBallotSource final : public BallotDataSource {
+ public:
+  // `ballots` must be sorted by serial (as produced by the EA).
+  explicit MemoryBallotSource(std::vector<core::VcBallotInit> ballots);
+
+  std::optional<core::VcBallotInit> find(core::Serial serial) override;
+  std::size_t size() const override { return ballots_.size(); }
+  core::Serial serial_at(std::size_t idx) override;
+  std::optional<std::size_t> index_of(core::Serial serial) override;
+
+ private:
+  std::vector<core::VcBallotInit> ballots_;
+};
+
+// File layout:
+//   [u64 magic][u64 count]
+//   index: count * (u64 serial, u64 offset, u32 length), sorted by serial
+//   records: encoded VcBallotInit blobs
+class DiskBallotSource final : public BallotDataSource {
+ public:
+  static void build(const std::string& path,
+                    const std::vector<core::VcBallotInit>& ballots);
+  // Streaming builder for large files: ballots must arrive sorted.
+  class Builder {
+   public:
+    explicit Builder(const std::string& path);
+    ~Builder();
+    void add(const core::VcBallotInit& ballot);
+    void finish();
+
+   private:
+    std::string path_;
+    std::FILE* records_;
+    std::vector<std::tuple<core::Serial, std::uint64_t, std::uint32_t>> index_;
+    std::uint64_t offset_ = 0;
+    bool finished_ = false;
+  };
+
+  explicit DiskBallotSource(const std::string& path,
+                            std::size_t cache_pages = 256);
+  ~DiskBallotSource() override;
+
+  std::optional<core::VcBallotInit> find(core::Serial serial) override;
+  std::size_t size() const override { return count_; }
+  core::Serial serial_at(std::size_t idx) override;
+  std::optional<std::size_t> index_of(core::Serial serial) override;
+
+  std::uint64_t page_reads() const { return page_reads_; }
+  std::uint64_t cache_hits() const { return cache_hits_; }
+  std::uint64_t page_faults() const override { return page_reads_; }
+
+ private:
+  static constexpr std::size_t kPageSize = 4096;
+  static constexpr std::size_t kIndexEntry = 20;  // 8 + 8 + 4
+  struct IndexEntry {
+    core::Serial serial;
+    std::uint64_t offset;
+    std::uint32_t length;
+  };
+
+  const std::uint8_t* page(std::uint64_t page_no);
+  IndexEntry index_entry(std::size_t idx);
+
+  std::FILE* file_ = nullptr;
+  std::uint64_t count_ = 0;
+  std::uint64_t index_base_ = 16;
+  std::uint64_t records_base_ = 0;
+  // LRU page cache.
+  std::list<std::uint64_t> lru_;
+  std::unordered_map<std::uint64_t,
+                     std::pair<std::vector<std::uint8_t>,
+                               std::list<std::uint64_t>::iterator>>
+      cache_;
+  std::size_t cache_pages_;
+  std::uint64_t page_reads_ = 0;
+  std::uint64_t cache_hits_ = 0;
+};
+
+}  // namespace ddemos::store

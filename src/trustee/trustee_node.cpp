@@ -1,0 +1,168 @@
+#include "trustee/trustee_node.hpp"
+
+#include <algorithm>
+
+#include "crypto/schnorr.hpp"
+#include "util/error.hpp"
+
+namespace ddemos::trustee {
+
+using namespace core;
+using sim::NodeId;
+
+TrusteeNode::TrusteeNode(TrusteeInit init, std::vector<NodeId> bb_ids,
+                         Options options)
+    : init_(std::move(init)), bb_ids_(std::move(bb_ids)), opt_(options) {}
+
+void TrusteeNode::on_start() {
+  poll_timer_ = ctx().set_timer(opt_.poll_interval_us);
+}
+
+void TrusteeNode::on_timer(std::uint64_t token) {
+  if (token != poll_timer_ || submitted_) return;
+  poll_bbs();
+  poll_timer_ = ctx().set_timer(opt_.poll_interval_us);
+}
+
+void TrusteeNode::poll_bbs() {
+  current_request_ = ++request_seq_;
+  reply_counts_.clear();
+  BbReadMsg m;
+  m.section = "cast-info";
+  m.request_id = current_request_;
+  for (NodeId bb : bb_ids_) ctx().send(bb, m.encode());
+}
+
+void TrusteeNode::on_message(NodeId, BytesView payload) {
+  if (submitted_) return;
+  try {
+    Reader r(payload);
+    if (static_cast<MsgType>(r.u8()) != MsgType::kBbReadReply) return;
+    BbReadReplyMsg m = BbReadReplyMsg::decode(r);
+    if (m.request_id != current_request_ || !m.available) return;
+    // Majority read: trust a payload repeated by fb+1 BB nodes.
+    std::size_t count = ++reply_counts_[m.payload];
+    if (count >= init_.params.f_bb + 1) {
+      submit_all(m.payload);
+      submitted_ = true;
+    }
+  } catch (const CodecError&) {
+  }
+}
+
+void TrusteeNode::submit_all(BytesView cast_info_payload) {
+  Reader r(cast_info_payload);
+  struct CastInfo {
+    Serial serial;
+    std::uint8_t part;
+    std::uint32_t line;
+  };
+  auto cast = r.vec<CastInfo>([](Reader& rr) {
+    CastInfo ci;
+    ci.serial = rr.u64();
+    ci.part = rr.u8();
+    ci.line = rr.u32();
+    return ci;
+  });
+  Bytes coins = r.bytes();
+  crypto::Fn challenge = decode_scalar(r);
+
+  // Index cast info by serial; discard invalid duplicates (a serial may be
+  // cast at most once; the VC subsystem guarantees it, a malicious BB reply
+  // would be caught here).
+  std::map<Serial, CastInfo> by_serial;
+  for (const CastInfo& ci : cast) {
+    if (by_serial.count(ci.serial)) return;  // invalid cast-info: abort
+    if (ci.part >= kNumParts) return;
+    by_serial[ci.serial] = ci;
+  }
+
+  const std::size_t m = init_.params.m();
+  // Tally accumulation: share of (count, randomness) per option.
+  std::vector<crypto::PedersenShare> tally_m(m), tally_r(m);
+  bool tally_init = false;
+
+  for (const TrusteeBallotInit& ballot : init_.ballots) {
+    TrusteeBallotMsg msg;
+    msg.serial = ballot.serial;
+    msg.trustee_index = static_cast<std::uint32_t>(init_.node_index);
+    auto it = by_serial.find(ballot.serial);
+    msg.voted = it != by_serial.end() ? 1 : 0;
+    msg.used_part = msg.voted ? it->second.part : 0;
+
+    for (std::size_t part = 0; part < kNumParts; ++part) {
+      const auto& lines = ballot.parts[part];
+      TrusteePartData& pd = msg.parts[part];
+      bool used = msg.voted && msg.used_part == part;
+      if (used) {
+        if (it->second.line >= lines.size()) return;  // malformed cast info
+        // ZK responses for every line of the used part, evaluated at the
+        // voter-coin challenge.
+        for (const TrusteeLineInit& line : lines) {
+          std::vector<std::array<crypto::PedersenShare, 4>> lresp;
+          for (std::size_t j = 0; j < line.zk_bits.size(); ++j) {
+            const auto& s = line.zk_bits[j];
+            std::array<crypto::PedersenShare, 4> resp;
+            for (std::size_t k = 0; k < 4; ++k) {
+              // share(u) + c * share(v) is a share of u + c*v.
+              resp[k] = crypto::PedersenShare{
+                  s[2 * k].x, s[2 * k].f + challenge * s[2 * k + 1].f,
+                  s[2 * k].g + challenge * s[2 * k + 1].g};
+            }
+            lresp.push_back(resp);
+          }
+          pd.zk_bits.push_back(std::move(lresp));
+          pd.zk_sum.push_back(crypto::PedersenShare{
+              line.sum_u.x, line.sum_u.f + challenge * line.sum_v.f,
+              line.sum_u.g + challenge * line.sum_v.g});
+        }
+        // The cast line's openings accumulate into the tally total.
+        const TrusteeLineInit& cast_line = lines[it->second.line];
+        for (std::size_t j = 0; j < m; ++j) {
+          if (!tally_init) {
+            tally_m[j] = cast_line.open_m[j];
+            tally_r[j] = cast_line.open_r[j];
+          } else {
+            tally_m[j] =
+                crypto::pedersen_share_add(tally_m[j], cast_line.open_m[j]);
+            tally_r[j] =
+                crypto::pedersen_share_add(tally_r[j], cast_line.open_r[j]);
+          }
+        }
+        if (!pd.zk_bits.empty()) {
+          // tally_init flips only after the per-option loop above ran once.
+        }
+      } else {
+        // Unused part (or both parts of an unvoted ballot): full openings.
+        for (const TrusteeLineInit& line : lines) {
+          std::vector<std::pair<crypto::PedersenShare, crypto::PedersenShare>>
+              lopen;
+          for (std::size_t j = 0; j < line.open_m.size(); ++j) {
+            lopen.emplace_back(line.open_m[j], line.open_r[j]);
+          }
+          pd.openings.push_back(std::move(lopen));
+        }
+      }
+      if (used) tally_init = true;
+    }
+    msg.signature = crypto::schnorr_sign(
+        init_.signing_key, msg.signing_bytes(init_.params.election_id));
+    Bytes encoded = msg.encode();
+    for (NodeId bb : bb_ids_) ctx().send(bb, encoded);
+  }
+
+  if (tally_init) {
+    TrusteeTallyMsg tally;
+    tally.trustee_index = static_cast<std::uint32_t>(init_.node_index);
+    for (std::size_t j = 0; j < m; ++j) {
+      tally.totals.emplace_back(tally_m[j], tally_r[j]);
+    }
+    tally.signature = crypto::schnorr_sign(
+        init_.signing_key, tally.signing_bytes(init_.params.election_id));
+    Bytes encoded = tally.encode();
+    for (NodeId bb : bb_ids_) ctx().send(bb, encoded);
+  }
+  (void)coins;
+}
+
+}  // namespace ddemos::trustee

@@ -1,0 +1,75 @@
+// Packed bit vector used by the batched consensus protocol: one binary
+// consensus instance per registered ballot means messages carry per-instance
+// bits for hundreds of thousands of ballots, so wire size matters.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/bytes.hpp"
+#include "util/codec.hpp"
+#include "util/error.hpp"
+
+namespace ddemos {
+
+class Bitmap {
+ public:
+  Bitmap() = default;
+  explicit Bitmap(std::size_t size) : size_(size), words_((size + 63) / 64) {}
+
+  std::size_t size() const { return size_; }
+
+  bool get(std::size_t i) const {
+    check(i);
+    return (words_[i >> 6] >> (i & 63)) & 1;
+  }
+  void set(std::size_t i, bool v = true) {
+    check(i);
+    if (v) {
+      words_[i >> 6] |= 1ull << (i & 63);
+    } else {
+      words_[i >> 6] &= ~(1ull << (i & 63));
+    }
+  }
+
+  std::size_t count() const {
+    std::size_t c = 0;
+    for (std::uint64_t w : words_) c += static_cast<std::size_t>(__builtin_popcountll(w));
+    return c;
+  }
+  bool any() const {
+    for (std::uint64_t w : words_) {
+      if (w != 0) return true;
+    }
+    return false;
+  }
+  bool all() const { return count() == size_; }
+
+  friend bool operator==(const Bitmap&, const Bitmap&) = default;
+
+  void encode(Writer& w) const {
+    w.varint(size_);
+    for (std::uint64_t word : words_) w.u64(word);
+  }
+  static Bitmap decode(Reader& r, std::size_t max_size = 1u << 28) {
+    std::uint64_t n = r.varint();
+    if (n > max_size) throw CodecError("Bitmap: too large");
+    Bitmap b(static_cast<std::size_t>(n));
+    for (auto& word : b.words_) word = r.u64();
+    // Bits past size_ must be zero (canonical encoding).
+    if (n % 64 != 0 && !b.words_.empty()) {
+      std::uint64_t mask = ~0ull << (n % 64);
+      if (b.words_.back() & mask) throw CodecError("Bitmap: padding bits set");
+    }
+    return b;
+  }
+
+ private:
+  void check(std::size_t i) const {
+    if (i >= size_) throw ProtocolError("Bitmap: index out of range");
+  }
+  std::size_t size_ = 0;
+  std::vector<std::uint64_t> words_;
+};
+
+}  // namespace ddemos

@@ -1,0 +1,98 @@
+#include "util/codec.hpp"
+
+namespace ddemos {
+
+void Writer::u16(std::uint16_t v) {
+  u8(static_cast<std::uint8_t>(v));
+  u8(static_cast<std::uint8_t>(v >> 8));
+}
+
+void Writer::u32(std::uint32_t v) {
+  u16(static_cast<std::uint16_t>(v));
+  u16(static_cast<std::uint16_t>(v >> 16));
+}
+
+void Writer::u64(std::uint64_t v) {
+  u32(static_cast<std::uint32_t>(v));
+  u32(static_cast<std::uint32_t>(v >> 32));
+}
+
+void Writer::varint(std::uint64_t v) {
+  while (v >= 0x80) {
+    u8(static_cast<std::uint8_t>(v) | 0x80);
+    v >>= 7;
+  }
+  u8(static_cast<std::uint8_t>(v));
+}
+
+void Writer::bytes(BytesView v) {
+  varint(v.size());
+  raw(v);
+}
+
+void Writer::str(std::string_view v) {
+  varint(v.size());
+  buf_.insert(buf_.end(), v.begin(), v.end());
+}
+
+std::uint8_t Reader::u8() {
+  need(1);
+  return data_[pos_++];
+}
+
+std::uint16_t Reader::u16() {
+  std::uint16_t lo = u8();
+  std::uint16_t hi = u8();
+  return static_cast<std::uint16_t>(lo | hi << 8);
+}
+
+std::uint32_t Reader::u32() {
+  std::uint32_t lo = u16();
+  std::uint32_t hi = u16();
+  return lo | hi << 16;
+}
+
+std::uint64_t Reader::u64() {
+  std::uint64_t lo = u32();
+  std::uint64_t hi = u32();
+  return lo | hi << 32;
+}
+
+std::uint64_t Reader::varint() {
+  std::uint64_t v = 0;
+  int shift = 0;
+  for (;;) {
+    if (shift >= 64) throw CodecError("varint overflow");
+    std::uint8_t b = u8();
+    v |= static_cast<std::uint64_t>(b & 0x7f) << shift;
+    if ((b & 0x80) == 0) return v;
+    shift += 7;
+  }
+}
+
+bool Reader::boolean() {
+  std::uint8_t b = u8();
+  if (b > 1) throw CodecError("bad boolean");
+  return b == 1;
+}
+
+Bytes Reader::bytes() {
+  std::uint64_t n = varint();
+  if (n > remaining()) throw CodecError("bytes: length exceeds buffer");
+  return raw(static_cast<std::size_t>(n));
+}
+
+std::string Reader::str() {
+  Bytes b = bytes();
+  return std::string(b.begin(), b.end());
+}
+
+Bytes Reader::raw(std::size_t n) {
+  need(n);
+  Bytes out(data_.begin() + static_cast<std::ptrdiff_t>(pos_),
+            data_.begin() + static_cast<std::ptrdiff_t>(pos_ + n));
+  pos_ += n;
+  return out;
+}
+
+}  // namespace ddemos

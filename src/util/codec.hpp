@@ -1,0 +1,85 @@
+// Deterministic binary wire codec (stands in for the paper's use of Google
+// Protocol Buffers). Little-endian fixed-width integers, LEB128 varints,
+// length-prefixed byte strings. Reader is bounds-checked and throws
+// CodecError on truncation so malformed network input can never read OOB.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "util/bytes.hpp"
+#include "util/error.hpp"
+
+namespace ddemos {
+
+class Writer {
+ public:
+  Writer() = default;
+
+  void u8(std::uint8_t v) { buf_.push_back(v); }
+  void u16(std::uint16_t v);
+  void u32(std::uint32_t v);
+  void u64(std::uint64_t v);
+  void varint(std::uint64_t v);
+  void boolean(bool v) { u8(v ? 1 : 0); }
+  // Length-prefixed byte string.
+  void bytes(BytesView v);
+  void str(std::string_view v);
+  // Raw append, no length prefix (for fixed-size fields).
+  void raw(BytesView v) { append(buf_, v); }
+
+  template <typename T, typename Fn>
+  void vec(const std::vector<T>& v, Fn&& encode_one) {
+    varint(v.size());
+    for (const T& x : v) encode_one(*this, x);
+  }
+
+  const Bytes& data() const& { return buf_; }
+  Bytes take() { return std::move(buf_); }
+
+ private:
+  Bytes buf_;
+};
+
+class Reader {
+ public:
+  explicit Reader(BytesView data) : data_(data) {}
+
+  std::uint8_t u8();
+  std::uint16_t u16();
+  std::uint32_t u32();
+  std::uint64_t u64();
+  std::uint64_t varint();
+  bool boolean();
+  Bytes bytes();
+  std::string str();
+  // Read exactly n raw bytes.
+  Bytes raw(std::size_t n);
+
+  template <typename T, typename Fn>
+  std::vector<T> vec(Fn&& decode_one, std::size_t max_elems = 1u << 24) {
+    std::uint64_t n = varint();
+    if (n > max_elems) throw CodecError("vec: too many elements");
+    std::vector<T> out;
+    out.reserve(static_cast<std::size_t>(n));
+    for (std::uint64_t i = 0; i < n; ++i) out.push_back(decode_one(*this));
+    return out;
+  }
+
+  bool done() const { return pos_ == data_.size(); }
+  std::size_t remaining() const { return data_.size() - pos_; }
+  void expect_done() const {
+    if (!done()) throw CodecError("trailing bytes after message");
+  }
+
+ private:
+  void need(std::size_t n) const {
+    if (data_.size() - pos_ < n) throw CodecError("truncated buffer");
+  }
+  BytesView data_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace ddemos

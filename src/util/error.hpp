@@ -1,0 +1,29 @@
+// Error taxonomy. Protocol code uses exceptions only for malformed input and
+// programming errors; expected failures (invalid vote code, unknown serial)
+// travel as status enums in the protocol messages themselves.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace ddemos {
+
+// Malformed wire data (truncated buffer, bad tag, out-of-range value).
+class CodecError : public std::runtime_error {
+ public:
+  explicit CodecError(const std::string& what) : std::runtime_error(what) {}
+};
+
+// Violated cryptographic precondition (bad point encoding, share mismatch).
+class CryptoError : public std::runtime_error {
+ public:
+  explicit CryptoError(const std::string& what) : std::runtime_error(what) {}
+};
+
+// Violated protocol invariant that indicates a bug, not an adversary.
+class ProtocolError : public std::logic_error {
+ public:
+  explicit ProtocolError(const std::string& what) : std::logic_error(what) {}
+};
+
+}  // namespace ddemos

@@ -1,0 +1,14 @@
+#pragma once
+
+#include <string>
+
+#include "util/bytes.hpp"
+
+namespace ddemos {
+
+std::string to_hex(BytesView data);
+
+// Throws CodecError on odd length or non-hex characters.
+Bytes from_hex(std::string_view hex);
+
+}  // namespace ddemos

@@ -1,0 +1,569 @@
+#include "vc/vc_node.hpp"
+
+#include <algorithm>
+
+#include "crypto/commit.hpp"
+#include "crypto/schnorr.hpp"
+#include "ea/ea.hpp"
+#include "util/error.hpp"
+
+namespace ddemos::vc {
+
+using namespace core;
+using sim::NodeId;
+
+VcNode::VcNode(VcInit init, std::shared_ptr<store::BallotDataSource> source,
+               std::vector<NodeId> vc_ids, std::vector<NodeId> bb_ids,
+               Options options)
+    : init_(std::move(init)),
+      source_(std::move(source)),
+      vc_ids_(std::move(vc_ids)),
+      bb_ids_(std::move(bb_ids)),
+      opt_(options) {
+  if (vc_ids_.size() != init_.params.n_vc) {
+    throw ProtocolError("VcNode: vc id list size mismatch");
+  }
+  announce_done_ = Bitmap(init_.params.n_vc);
+}
+
+void VcNode::on_start() {
+  sim::Duration until_end = init_.params.t_end - ctx().now();
+  end_timer_ = ctx().set_timer(std::max<sim::Duration>(until_end, 0));
+}
+
+void VcNode::multicast_vc(const Bytes& msg) {
+  for (NodeId id : vc_ids_) ctx().send(id, msg);
+}
+
+std::optional<std::size_t> VcNode::vc_index_of(NodeId id) const {
+  for (std::size_t i = 0; i < vc_ids_.size(); ++i) {
+    if (vc_ids_[i] == id) return i;
+  }
+  return std::nullopt;
+}
+
+bool VcNode::within_hours() const {
+  return ctx().now() >= init_.params.t_start &&
+         ctx().now() < init_.params.t_end;
+}
+
+std::optional<std::pair<std::uint8_t, std::uint32_t>> VcNode::verify_vote_code(
+    const VcBallotInit& ballot, BytesView code) {
+  for (std::uint8_t part = 0; part < kNumParts; ++part) {
+    const auto& lines = ballot.parts[part];
+    for (std::uint32_t l = 0; l < lines.size(); ++l) {
+      if (crypto::salted_commit_check(lines[l].code_hash, code,
+                                      lines[l].salt)) {
+        return std::pair{part, l};
+      }
+    }
+  }
+  return std::nullopt;
+}
+
+bool VcNode::verify_receipt_share(const VcBallotInit& ballot,
+                                  std::uint8_t part, std::uint32_t line,
+                                  const crypto::Share& share,
+                                  std::span<const crypto::Hash32> path) {
+  if (part >= kNumParts || line >= ballot.parts[part].size()) return false;
+  if (share.x == 0 || share.x > init_.params.n_vc) return false;
+  const VcLineInit& li = ballot.parts[part][line];
+  return crypto::MerkleTree::verify(li.share_root, ea::share_leaf(share),
+                                    share.x - 1, path);
+}
+
+bool VcNode::verify_ucert(Serial serial, const Ucert& ucert) {
+  if (opt_.model_signatures) {
+    ctx().charge(opt_.verify_cost_us *
+                 static_cast<sim::Duration>(init_.params.vc_quorum()));
+    // Structural check only in modeled mode.
+    std::set<std::uint32_t> distinct;
+    for (const auto& [idx, sig] : ucert.signatures) {
+      if (idx < init_.params.n_vc && !sig.empty()) distinct.insert(idx);
+    }
+    return distinct.size() >= init_.params.vc_quorum();
+  }
+  return ucert.valid(init_.params.election_id, serial, init_.vc_public_keys,
+                     init_.params.vc_quorum());
+}
+
+Bytes VcNode::sign_endorsement(Serial serial, BytesView code) {
+  if (opt_.model_signatures) {
+    ctx().charge(opt_.sign_cost_us);
+    // A recognizable structural placeholder (never verified in this mode).
+    Bytes fake(65, 0xee);
+    fake[0] = static_cast<std::uint8_t>(init_.node_index);
+    return fake;
+  }
+  return crypto::schnorr_sign(
+      init_.signing_key,
+      endorsement_digest(init_.params.election_id, serial, code));
+}
+
+VcNode::BallotState& VcNode::state_for(Serial serial) {
+  return states_[serial];
+}
+
+std::optional<VcBallotInit> VcNode::find_ballot(Serial serial) {
+  std::uint64_t before = source_->page_faults();
+  auto ballot = source_->find(serial);
+  if (opt_.page_fault_cost_us > 0) {
+    std::uint64_t faults = source_->page_faults() - before;
+    ctx().charge(static_cast<sim::Duration>(faults) *
+                 opt_.page_fault_cost_us);
+  }
+  return ballot;
+}
+
+void VcNode::on_message(NodeId from, BytesView payload) {
+  ctx().charge(opt_.base_handler_cost_us);
+  try {
+    Reader r(payload);
+    auto type = static_cast<MsgType>(r.u8());
+    switch (type) {
+      case MsgType::kVote:
+        handle_vote(from, r);
+        break;
+      case MsgType::kEndorse:
+        handle_endorse(from, r);
+        break;
+      case MsgType::kEndorsement:
+        handle_endorsement(from, r);
+        break;
+      case MsgType::kVoteP:
+        handle_vote_p(from, r);
+        break;
+      case MsgType::kAnnounce:
+        handle_announce(from, r);
+        break;
+      case MsgType::kRecoverRequest:
+        handle_recover_request(from, r);
+        break;
+      case MsgType::kRecoverResponse:
+        handle_recover_response(from, r);
+        break;
+      case MsgType::kConsensus: {
+        auto idx = vc_index_of(from);
+        if (!idx) break;
+        Bytes inner = unwrap_consensus(r);
+        if (!consensus_started_) {
+          // A faster peer reached vote-set consensus before our election-end
+          // timer fired (clock drift): buffer until we join.
+          queued_consensus_.emplace_back(*idx, std::move(inner));
+        } else {
+          consensus_->on_message(*idx, inner);
+        }
+        break;
+      }
+      default:
+        break;  // not addressed to a VC node
+    }
+  } catch (const CodecError&) {
+    // Malformed input from the network: drop.
+  }
+}
+
+// --- Voting protocol (Algorithm 1) ----------------------------------------
+
+void VcNode::handle_vote(NodeId from, Reader& r) {
+  VoteMsg m = VoteMsg::decode(r);
+  ++stats_.votes_received;
+  auto reply = [&](VoteReplyStatus status, std::uint64_t receipt = 0) {
+    if (status != VoteReplyStatus::kOk) ++stats_.rejected_votes;
+    ctx().send(from,
+               VoteReplyMsg{m.serial, status, receipt}.encode());
+  };
+  if (phase_ != Phase::kVoting || !within_hours()) {
+    reply(VoteReplyStatus::kOutsideHours);
+    return;
+  }
+  auto ballot = find_ballot(m.serial);
+  if (!ballot) {
+    reply(VoteReplyStatus::kUnknown);
+    return;
+  }
+  BallotState& st = state_for(m.serial);
+  if (st.status == BallotStatus::kVoted) {
+    if (st.code == m.vote_code) {
+      ++stats_.receipts_issued;
+      reply(VoteReplyStatus::kOk, st.receipt);
+    } else {
+      reply(VoteReplyStatus::kAlreadyVoted);
+    }
+    return;
+  }
+  if (st.status == BallotStatus::kPending) {
+    if (st.code == m.vote_code) {
+      st.waiters.push_back(from);  // receipt follows on reconstruction
+    } else {
+      reply(VoteReplyStatus::kAlreadyVoted);
+    }
+    return;
+  }
+  auto loc = verify_vote_code(*ballot, m.vote_code);
+  if (!loc) {
+    reply(VoteReplyStatus::kUnknown);
+    return;
+  }
+  // Become the responder: gather endorsements for a uniqueness certificate.
+  auto [eit, inserted] = endorse_states_.try_emplace(m.serial);
+  if (inserted) {
+    eit->second.code = m.vote_code;
+    eit->second.part = loc->first;
+    eit->second.line = loc->second;
+  } else if (eit->second.code != m.vote_code) {
+    // We already started endorsing a different code for this ballot.
+    reply(VoteReplyStatus::kAlreadyVoted);
+    return;
+  }
+  st.waiters.push_back(from);
+  multicast_vc(EndorseMsg{m.serial, m.vote_code}.encode());
+}
+
+void VcNode::handle_endorse(NodeId from, Reader& r) {
+  EndorseMsg m = EndorseMsg::decode(r);
+  if (phase_ != Phase::kVoting) return;
+  auto sender = vc_index_of(from);
+  if (!sender) return;
+  auto ballot = find_ballot(m.serial);
+  if (!ballot || !verify_vote_code(*ballot, m.vote_code)) return;
+  // Endorse at most one vote code per ballot, ever.
+  BallotState& st = state_for(m.serial);
+  if (st.status != BallotStatus::kNotVoted && st.code != m.vote_code) return;
+  auto [it, inserted] = endorse_states_.try_emplace(m.serial);
+  if (inserted) {
+    it->second.code = m.vote_code;
+  } else if (it->second.code != m.vote_code) {
+    return;  // already endorsed a different code
+  }
+  Bytes sig = sign_endorsement(m.serial, m.vote_code);
+  ctx().send(from, EndorsementMsg{m.serial, m.vote_code,
+                                  static_cast<std::uint32_t>(init_.node_index),
+                                  std::move(sig)}
+                       .encode());
+}
+
+void VcNode::handle_endorsement(NodeId from, Reader& r) {
+  EndorsementMsg m = EndorsementMsg::decode(r);
+  if (phase_ != Phase::kVoting) return;
+  auto sender = vc_index_of(from);
+  if (!sender || m.node_index != *sender) return;
+  auto it = endorse_states_.find(m.serial);
+  if (it == endorse_states_.end() || it->second.ucert_formed) return;
+  EndorseState& es = it->second;
+  if (es.code != m.vote_code) return;
+  if (!opt_.model_signatures) {
+    Bytes digest =
+        endorsement_digest(init_.params.election_id, m.serial, m.vote_code);
+    if (!crypto::schnorr_verify(init_.vc_public_keys[m.node_index], digest,
+                                m.signature)) {
+      return;
+    }
+  } else {
+    ctx().charge(opt_.verify_cost_us);
+  }
+  es.sigs[m.node_index] = m.signature;
+  if (es.sigs.size() < init_.params.vc_quorum()) return;
+
+  // UCERT formed: mark pending and disclose our receipt share.
+  es.ucert_formed = true;
+  BallotState& st = state_for(m.serial);
+  if (st.status == BallotStatus::kNotVoted) {
+    st.status = BallotStatus::kPending;
+    st.code = es.code;
+    st.part = es.part;
+    st.line = es.line;
+  }
+  st.ucert.vote_code = es.code;
+  st.ucert.signatures.assign(es.sigs.begin(), es.sigs.end());
+  send_own_vote_p(m.serial, st);
+}
+
+void VcNode::send_own_vote_p(Serial serial, BallotState& st) {
+  if (st.vote_p_sent) return;
+  auto ballot = find_ballot(serial);
+  if (!ballot) return;
+  const VcLineInit& li = ballot->parts[st.part][st.line];
+  st.vote_p_sent = true;
+  st.shares[li.receipt_share.x] = li.receipt_share;
+  VotePMsg vp;
+  vp.serial = serial;
+  vp.vote_code = st.code;
+  vp.part = st.part;
+  vp.line = st.line;
+  vp.receipt_share = li.receipt_share;
+  vp.share_path = li.share_path;
+  vp.ucert = st.ucert;
+  multicast_vc(vp.encode());
+  complete_vote(serial, st);
+}
+
+void VcNode::handle_vote_p(NodeId from, Reader& r) {
+  VotePMsg m = VotePMsg::decode(r);
+  if (phase_ != Phase::kVoting) return;
+  if (!vc_index_of(from)) return;
+  if (m.ucert.vote_code != m.vote_code) return;
+  if (!verify_ucert(m.serial, m.ucert)) return;
+  auto ballot = find_ballot(m.serial);
+  if (!ballot) return;
+  // The sender claims (part, line); verify the code actually hashes there.
+  if (m.part >= kNumParts ||
+      m.line >= ballot->parts[m.part].size()) {
+    return;
+  }
+  const VcLineInit& li = ballot->parts[m.part][m.line];
+  if (!crypto::salted_commit_check(li.code_hash, m.vote_code, li.salt)) {
+    return;
+  }
+  if (!verify_receipt_share(*ballot, m.part, m.line, m.receipt_share,
+                            m.share_path)) {
+    return;
+  }
+  BallotState& st = state_for(m.serial);
+  if (st.status == BallotStatus::kNotVoted) {
+    st.status = BallotStatus::kPending;
+    st.code = m.vote_code;
+    st.part = m.part;
+    st.line = m.line;
+    st.ucert = m.ucert;
+  } else if (st.code != m.vote_code) {
+    return;  // conflicting certified code: impossible unless keys broken
+  }
+  st.shares[m.receipt_share.x] = m.receipt_share;
+  if (!st.vote_p_sent) send_own_vote_p(m.serial, st);
+  complete_vote(m.serial, st);
+}
+
+void VcNode::complete_vote(Serial serial, BallotState& st) {
+  if (st.status == BallotStatus::kVoted) return;
+  if (st.shares.size() < init_.params.vc_quorum()) return;
+  std::vector<crypto::Share> shares;
+  shares.reserve(st.shares.size());
+  for (const auto& [x, s] : st.shares) shares.push_back(s);
+  crypto::Fn secret =
+      crypto::shamir_reconstruct(shares, init_.params.vc_quorum());
+  Bytes be = secret.to_bytes_be();
+  std::uint64_t receipt = 0;
+  for (int i = 24; i < 32; ++i) receipt = receipt << 8 | be[static_cast<std::size_t>(i)];
+  st.receipt = receipt;
+  st.status = BallotStatus::kVoted;
+  for (NodeId voter : st.waiters) {
+    ++stats_.receipts_issued;
+    ctx().send(voter, VoteReplyMsg{serial, VoteReplyStatus::kOk, receipt}
+                          .encode());
+  }
+  st.waiters.clear();
+}
+
+// --- Vote-set consensus ------------------------------------------------------
+
+void VcNode::on_timer(std::uint64_t token) {
+  if (token == end_timer_ && phase_ == Phase::kVoting) {
+    begin_vote_set_consensus();
+  } else if (token == recover_timer_ && phase_ == Phase::kRecovery) {
+    send_recover_request();  // retry lost requests
+  }
+}
+
+void VcNode::begin_vote_set_consensus() {
+  phase_ = Phase::kAnnounce;
+  stats_.voting_ended_at = ctx().now();
+  const std::size_t n_ballots = source_->size();
+  consensus_input_ = Bitmap(n_ballots);
+  recover_needed_ = Bitmap(n_ballots);
+
+  // ANNOUNCE: disperse every certified vote code we know.
+  std::vector<AnnounceEntry> entries;
+  for (const auto& [serial, st] : states_) {
+    if (st.status == BallotStatus::kNotVoted || st.ucert.signatures.empty()) {
+      continue;
+    }
+    auto idx = source_->index_of(serial);
+    if (!idx) continue;
+    AnnounceEntry e;
+    e.instance = *idx;
+    e.vote_code = st.code;
+    e.ucert = st.ucert;
+    entries.push_back(std::move(e));
+  }
+  for (std::size_t off = 0; off < entries.size();
+       off += opt_.announce_chunk) {
+    AnnounceMsg msg;
+    std::size_t end = std::min(entries.size(), off + opt_.announce_chunk);
+    msg.entries.assign(entries.begin() + static_cast<std::ptrdiff_t>(off),
+                       entries.begin() + static_cast<std::ptrdiff_t>(end));
+    msg.last_chunk = end == entries.size();
+    multicast_vc(msg.encode());
+  }
+  if (entries.empty()) {
+    multicast_vc(AnnounceMsg{{}, true}.encode());
+  }
+
+  // Prepare the batched consensus engine.
+  consensus::ConsensusConfig ccfg;
+  ccfg.nodes = init_.params.n_vc;
+  ccfg.faults = init_.params.f_vc;
+  ccfg.instances = n_ballots;
+  ccfg.self_index = init_.node_index;
+  ccfg.max_rounds = init_.coin_roots.size();
+  consensus_ = std::make_unique<consensus::BatchBinaryConsensus>(
+      ccfg, init_.coin_shares, init_.coin_roots,
+      consensus::BatchBinaryConsensus::Hooks{
+          [this](Bytes msg) { multicast_vc(wrap_consensus(msg)); },
+          nullptr,
+          [this] { on_consensus_complete(); }});
+}
+
+void VcNode::handle_announce(NodeId from, Reader& r) {
+  AnnounceMsg m = AnnounceMsg::decode(r);
+  auto sender = vc_index_of(from);
+  if (!sender) return;
+  // Announces from faster peers may arrive while we are still in the
+  // voting phase (bounded clock drift); certified entries are safe to
+  // adopt at any time.
+  for (const AnnounceEntry& e : m.entries) adopt_entry(e);
+  if (m.last_chunk && !announce_done_.get(*sender)) {
+    announce_done_.set(*sender);
+    maybe_start_consensus();
+  }
+}
+
+void VcNode::adopt_entry(const AnnounceEntry& e) {
+  if (e.instance >= source_->size()) return;
+  Serial serial = source_->serial_at(e.instance);
+  BallotState& st = state_for(serial);
+  if (st.status != BallotStatus::kNotVoted) return;  // already known
+  if (e.ucert.vote_code != e.vote_code) return;
+  if (!verify_ucert(serial, e.ucert)) return;
+  st.status = BallotStatus::kPending;
+  st.code = e.vote_code;
+  st.ucert = e.ucert;
+  // Locate part/line for completeness (not on the critical path here).
+  auto ballot = find_ballot(serial);
+  if (ballot) {
+    if (auto loc = verify_vote_code(*ballot, e.vote_code)) {
+      st.part = loc->first;
+      st.line = loc->second;
+    }
+  }
+  if (consensus_started_ && !consensus_->decided(e.instance)) {
+    // Too late to change our input, but the recovery path will use it.
+  }
+}
+
+void VcNode::maybe_start_consensus() {
+  if (consensus_started_ || phase_ != Phase::kAnnounce) return;
+  if (announce_done_.count() < init_.params.vc_quorum()) return;
+  phase_ = Phase::kConsensus;
+  consensus_started_ = true;
+  for (const auto& [serial, st] : states_) {
+    if (st.status == BallotStatus::kNotVoted) continue;
+    auto idx = source_->index_of(serial);
+    if (idx) consensus_input_.set(*idx);
+  }
+  consensus_->start(consensus_input_);
+  for (auto& [idx, msg] : queued_consensus_) {
+    consensus_->on_message(idx, msg);
+  }
+  queued_consensus_.clear();
+}
+
+void VcNode::on_consensus_complete() {
+  phase_ = Phase::kRecovery;
+  stats_.consensus_done_at = ctx().now();
+  const Bitmap& decisions = consensus_->decisions();
+  for (std::size_t i = 0; i < decisions.size(); ++i) {
+    if (!decisions.get(i)) continue;
+    Serial serial = source_->serial_at(i);
+    auto it = states_.find(serial);
+    if (it == states_.end() || it->second.status == BallotStatus::kNotVoted) {
+      recover_needed_.set(i);
+    }
+  }
+  if (recover_needed_.any()) {
+    send_recover_request();
+  } else {
+    push_to_bb();
+  }
+}
+
+void VcNode::send_recover_request() {
+  if (!recover_needed_.any()) return;
+  multicast_vc(RecoverRequestMsg{recover_needed_}.encode());
+  recover_timer_ = ctx().set_timer(opt_.recover_retry_us);
+}
+
+void VcNode::handle_recover_request(NodeId from, Reader& r) {
+  RecoverRequestMsg m = RecoverRequestMsg::decode(r);
+  if (!vc_index_of(from)) return;
+  if (m.instances.size() != source_->size()) return;
+  RecoverResponseMsg resp;
+  for (std::size_t i = 0; i < m.instances.size(); ++i) {
+    if (!m.instances.get(i)) continue;
+    Serial serial = source_->serial_at(i);
+    auto it = states_.find(serial);
+    if (it == states_.end() || it->second.status == BallotStatus::kNotVoted ||
+        it->second.ucert.signatures.empty()) {
+      continue;
+    }
+    AnnounceEntry e;
+    e.instance = i;
+    e.vote_code = it->second.code;
+    e.ucert = it->second.ucert;
+    resp.entries.push_back(std::move(e));
+  }
+  if (!resp.entries.empty()) ctx().send(from, resp.encode());
+}
+
+void VcNode::handle_recover_response(NodeId from, Reader& r) {
+  RecoverResponseMsg m = RecoverResponseMsg::decode(r);
+  if (!vc_index_of(from) || phase_ != Phase::kRecovery) return;
+  for (const AnnounceEntry& e : m.entries) {
+    if (e.instance >= recover_needed_.size() ||
+        !recover_needed_.get(e.instance)) {
+      continue;
+    }
+    adopt_entry(e);
+    Serial serial = source_->serial_at(e.instance);
+    if (states_[serial].status != BallotStatus::kNotVoted) {
+      recover_needed_.set(e.instance, false);
+    }
+  }
+  maybe_finish_recovery();
+}
+
+void VcNode::maybe_finish_recovery() {
+  if (phase_ == Phase::kRecovery && !recover_needed_.any()) push_to_bb();
+}
+
+void VcNode::push_to_bb() {
+  phase_ = Phase::kPush;
+  final_set_.clear();
+  const Bitmap& decisions = consensus_->decisions();
+  for (std::size_t i = 0; i < decisions.size(); ++i) {
+    if (!decisions.get(i)) continue;
+    Serial serial = source_->serial_at(i);
+    const BallotState& st = states_[serial];
+    final_set_.push_back(VoteSetEntry{serial, st.code});
+  }
+  // Entries are in ascending serial order by construction.
+  crypto::Hash32 h = vote_set_hash(final_set_);
+  for (NodeId bb : bb_ids_) {
+    for (std::size_t off = 0; off < final_set_.size();
+         off += opt_.push_chunk) {
+      VoteSetChunkMsg chunk;
+      std::size_t end = std::min(final_set_.size(), off + opt_.push_chunk);
+      chunk.entries.assign(
+          final_set_.begin() + static_cast<std::ptrdiff_t>(off),
+          final_set_.begin() + static_cast<std::ptrdiff_t>(end));
+      ctx().send(bb, chunk.encode());
+    }
+    ctx().send(bb, VoteSetDoneMsg{final_set_.size(), h}.encode());
+    ctx().send(bb, MskShareMsg{init_.msk_share, init_.msk_share_path}
+                       .encode());
+  }
+  phase_ = Phase::kDone;
+  stats_.push_done_at = ctx().now();
+}
+
+}  // namespace ddemos::vc

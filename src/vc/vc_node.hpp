@@ -1,0 +1,160 @@
+// Vote Collector node (paper Sections III-E, Algorithm 1). Runs:
+//  * the voting protocol: VOTE from the voter, ENDORSE/ENDORSEMENT to form
+//    the uniqueness certificate UCERT, VOTE_P share disclosure, receipt
+//    reconstruction from Nv-fv Shamir shares, receipt back to the voter;
+//  * vote-set consensus at election end: ANNOUNCE dispersal, one batched
+//    binary consensus instance per registered ballot, RECOVER for ballots
+//    decided "voted" whose certified code this node lacks;
+//  * the final push of the agreed vote set and the msk key share to the BBs.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <set>
+#include <vector>
+
+#include "consensus/binary_consensus.hpp"
+#include "core/messages.hpp"
+#include "sim/runtime.hpp"
+#include "store/ballot_store.hpp"
+
+namespace ddemos::vc {
+
+enum class BallotStatus : std::uint8_t { kNotVoted, kPending, kVoted };
+
+enum class Phase : std::uint8_t {
+  kVoting,
+  kAnnounce,
+  kConsensus,
+  kRecovery,
+  kPush,
+  kDone,
+};
+
+struct VcStats {
+  std::uint64_t votes_received = 0;
+  std::uint64_t receipts_issued = 0;
+  std::uint64_t rejected_votes = 0;
+  sim::TimePoint voting_ended_at = 0;
+  sim::TimePoint consensus_done_at = 0;
+  sim::TimePoint push_done_at = 0;
+};
+
+struct VcOptions {
+  // When true, Schnorr signing/verification in the hot path is replaced
+  // by modeled CPU charges (used by the calibrated benchmarks; all
+  // integration tests run with real crypto).
+  bool model_signatures = false;
+  sim::Duration sign_cost_us = 0;
+  sim::Duration verify_cost_us = 0;
+  // Extra modeled CPU per handled message (serialization, syscalls).
+  sim::Duration base_handler_cost_us = 0;
+  std::size_t announce_chunk = 2048;
+  std::size_t push_chunk = 2048;
+  sim::Duration recover_retry_us = 500'000;
+  // Modeled storage latency charged per ballot-store page fault (0 = off).
+  sim::Duration page_fault_cost_us = 0;
+};
+
+class VcNode final : public sim::Process {
+ public:
+  using Options = VcOptions;
+
+  VcNode(core::VcInit init, std::shared_ptr<store::BallotDataSource> source,
+         std::vector<sim::NodeId> vc_ids, std::vector<sim::NodeId> bb_ids,
+         Options options = {});
+
+  void on_start() override;
+  void on_message(sim::NodeId from, BytesView payload) override;
+  void on_timer(std::uint64_t token) override;
+
+  Phase phase() const { return phase_; }
+  bool push_complete() const { return phase_ == Phase::kDone; }
+  const std::vector<core::VoteSetEntry>& final_vote_set() const {
+    return final_set_;
+  }
+  const VcStats& stats() const { return stats_; }
+
+ private:
+  struct BallotState {
+    BallotStatus status = BallotStatus::kNotVoted;
+    Bytes code;
+    std::uint8_t part = 0;
+    std::uint32_t line = 0;
+    core::Ucert ucert;
+    std::map<std::uint32_t, crypto::Share> shares;  // by 1-based node x
+    std::uint64_t receipt = 0;
+    bool vote_p_sent = false;
+    std::vector<sim::NodeId> waiters;  // voters awaiting the receipt
+  };
+  struct EndorseState {
+    Bytes code;
+    std::uint8_t part = 0;
+    std::uint32_t line = 0;
+    std::map<std::uint32_t, Bytes> sigs;
+    bool ucert_formed = false;
+  };
+
+  // --- voting protocol ---------------------------------------------------
+  void handle_vote(sim::NodeId from, Reader& r);
+  void handle_endorse(sim::NodeId from, Reader& r);
+  void handle_endorsement(sim::NodeId from, Reader& r);
+  void handle_vote_p(sim::NodeId from, Reader& r);
+  void send_own_vote_p(core::Serial serial, BallotState& st);
+  void complete_vote(core::Serial serial, BallotState& st);
+
+  // --- vote-set consensus --------------------------------------------------
+  void begin_vote_set_consensus();
+  void handle_announce(sim::NodeId from, Reader& r);
+  void adopt_entry(const core::AnnounceEntry& e);
+  void maybe_start_consensus();
+  void on_consensus_complete();
+  void handle_recover_request(sim::NodeId from, Reader& r);
+  void handle_recover_response(sim::NodeId from, Reader& r);
+  void send_recover_request();
+  void maybe_finish_recovery();
+  void push_to_bb();
+
+  // --- helpers -------------------------------------------------------------
+  void multicast_vc(const Bytes& msg);
+  std::optional<std::size_t> vc_index_of(sim::NodeId id) const;
+  bool within_hours() const;  // uses the node's (virtual) local clock
+  // Locates (part, line) of a vote code in a ballot; nullopt if absent.
+  std::optional<std::pair<std::uint8_t, std::uint32_t>> verify_vote_code(
+      const core::VcBallotInit& ballot, BytesView code);
+  bool verify_receipt_share(const core::VcBallotInit& ballot,
+                            std::uint8_t part, std::uint32_t line,
+                            const crypto::Share& share,
+                            std::span<const crypto::Hash32> path);
+  bool verify_ucert(core::Serial serial, const core::Ucert& ucert);
+  Bytes sign_endorsement(core::Serial serial, BytesView code);
+  BallotState& state_for(core::Serial serial);
+  // Store lookup with modeled storage latency per page fault.
+  std::optional<core::VcBallotInit> find_ballot(core::Serial serial);
+
+  core::VcInit init_;
+  std::shared_ptr<store::BallotDataSource> source_;
+  std::vector<sim::NodeId> vc_ids_;
+  std::vector<sim::NodeId> bb_ids_;
+  Options opt_;
+
+  Phase phase_ = Phase::kVoting;
+  std::map<core::Serial, BallotState> states_;
+  std::map<core::Serial, EndorseState> endorse_states_;
+  std::uint64_t end_timer_ = 0;
+  std::uint64_t recover_timer_ = 0;
+
+  // Vote-set consensus state.
+  std::unique_ptr<consensus::BatchBinaryConsensus> consensus_;
+  Bitmap announce_done_;        // which VC peers completed their announce
+  Bitmap consensus_input_;      // defers until announce quorum
+  bool consensus_started_ = false;
+  std::vector<std::pair<std::size_t, Bytes>> queued_consensus_;
+  Bitmap recover_needed_;
+  std::vector<core::VoteSetEntry> final_set_;
+
+  VcStats stats_;
+};
+
+}  // namespace ddemos::vc

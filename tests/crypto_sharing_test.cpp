@@ -1,0 +1,161 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "crypto/pedersen.hpp"
+#include "crypto/rng.hpp"
+#include "crypto/shamir.hpp"
+#include "util/error.hpp"
+
+namespace ddemos::crypto {
+namespace {
+
+TEST(Shamir, ReconstructFromThreshold) {
+  Rng rng(41);
+  Fn secret = random_scalar(rng);
+  auto shares = shamir_deal(secret, 3, 5, rng);
+  ASSERT_EQ(shares.size(), 5u);
+  EXPECT_EQ(shamir_reconstruct(shares, 3), secret);
+}
+
+// Property sweep: every k-subset of shares reconstructs; below-threshold
+// subsets give a different (wrong) value.
+class ShamirSubsets : public ::testing::TestWithParam<std::pair<int, int>> {};
+
+TEST_P(ShamirSubsets, AnyQuorumReconstructs) {
+  auto [k, n] = GetParam();
+  Rng rng(static_cast<std::uint64_t>(k * 100 + n));
+  Fn secret = random_scalar(rng);
+  auto shares = shamir_deal(secret, static_cast<std::size_t>(k),
+                            static_cast<std::size_t>(n), rng);
+  // Walk all contiguous windows and a few random subsets.
+  for (int start = 0; start + k <= n; ++start) {
+    std::vector<Share> subset(shares.begin() + start,
+                              shares.begin() + start + k);
+    EXPECT_EQ(shamir_reconstruct(subset, static_cast<std::size_t>(k)), secret);
+  }
+  // Shuffled subset.
+  std::vector<Share> all = shares;
+  for (std::size_t i = all.size(); i > 1; --i) {
+    std::swap(all[i - 1], all[rng.below(i)]);
+  }
+  all.resize(static_cast<std::size_t>(k));
+  EXPECT_EQ(shamir_reconstruct(all, static_cast<std::size_t>(k)), secret);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Thresholds, ShamirSubsets,
+    ::testing::Values(std::pair{1, 1}, std::pair{2, 3}, std::pair{3, 4},
+                      std::pair{3, 5}, std::pair{5, 7}, std::pair{7, 10},
+                      std::pair{11, 16}));
+
+TEST(Shamir, TooFewSharesThrow) {
+  Rng rng(42);
+  auto shares = shamir_deal(random_scalar(rng), 4, 6, rng);
+  shares.resize(3);
+  EXPECT_THROW(shamir_reconstruct(shares, 4), CryptoError);
+}
+
+TEST(Shamir, DuplicateSharePointsRejected) {
+  Rng rng(43);
+  auto shares = shamir_deal(random_scalar(rng), 3, 5, rng);
+  std::vector<Share> dup = {shares[0], shares[0], shares[0]};
+  EXPECT_THROW(shamir_reconstruct(dup, 3), CryptoError);
+}
+
+TEST(Shamir, BadParamsThrow) {
+  Rng rng(44);
+  EXPECT_THROW(shamir_deal(Fn::one(), 0, 5, rng), CryptoError);
+  EXPECT_THROW(shamir_deal(Fn::one(), 6, 5, rng), CryptoError);
+}
+
+TEST(Shamir, CorruptShareChangesSecret) {
+  Rng rng(45);
+  Fn secret = random_scalar(rng);
+  auto shares = shamir_deal(secret, 3, 5, rng);
+  shares[1].y = shares[1].y + Fn::one();
+  EXPECT_NE(shamir_reconstruct(shares, 3), secret);
+}
+
+TEST(Shamir, LinearityOfShares) {
+  // share(a) + share(b) reconstructs a+b — the homomorphism the trustee
+  // tally relies on.
+  Rng rng(46);
+  Fn a = random_scalar(rng), b = random_scalar(rng);
+  auto sa = shamir_deal(a, 3, 5, rng);
+  auto sb = shamir_deal(b, 3, 5, rng);
+  std::vector<Share> sum;
+  for (std::size_t i = 0; i < 5; ++i) {
+    sum.push_back(Share{sa[i].x, sa[i].y + sb[i].y});
+  }
+  EXPECT_EQ(shamir_reconstruct(sum, 3), a + b);
+}
+
+TEST(PedersenVss, SharesVerifyAndReconstruct) {
+  Rng rng(47);
+  Fn secret = random_scalar(rng);
+  PedersenDeal deal = pedersen_vss_deal(secret, 3, 5, rng);
+  ASSERT_EQ(deal.shares.size(), 5u);
+  ASSERT_EQ(deal.coefficient_comms.size(), 3u);
+  for (const auto& s : deal.shares) {
+    EXPECT_TRUE(pedersen_vss_verify(s, deal.coefficient_comms));
+  }
+  auto [rec, blind] = pedersen_vss_reconstruct(deal.shares, 3);
+  EXPECT_EQ(rec, secret);
+  // The zeroth coefficient commitment opens to (secret, blind).
+  EXPECT_TRUE(ec_eq(deal.coefficient_comms[0], pedersen_commit(rec, blind)));
+}
+
+TEST(PedersenVss, TamperedShareFailsVerification) {
+  Rng rng(48);
+  PedersenDeal deal = pedersen_vss_deal(Fn::from_u64(99), 2, 4, rng);
+  PedersenShare bad = deal.shares[0];
+  bad.f = bad.f + Fn::one();
+  EXPECT_FALSE(pedersen_vss_verify(bad, deal.coefficient_comms));
+  bad = deal.shares[0];
+  bad.g = bad.g + Fn::one();
+  EXPECT_FALSE(pedersen_vss_verify(bad, deal.coefficient_comms));
+}
+
+TEST(PedersenVss, HomomorphicAddition) {
+  Rng rng(49);
+  Fn a = random_scalar(rng), b = random_scalar(rng);
+  PedersenDeal da = pedersen_vss_deal(a, 3, 5, rng);
+  PedersenDeal db = pedersen_vss_deal(b, 3, 5, rng);
+  std::vector<PedersenShare> sum;
+  for (std::size_t i = 0; i < 5; ++i) {
+    sum.push_back(pedersen_share_add(da.shares[i], db.shares[i]));
+  }
+  // Summed commitments verify summed shares.
+  std::vector<Point> comms;
+  for (std::size_t j = 0; j < 3; ++j) {
+    comms.push_back(
+        ec_add(da.coefficient_comms[j], db.coefficient_comms[j]));
+  }
+  for (const auto& s : sum) {
+    EXPECT_TRUE(pedersen_vss_verify(s, comms));
+  }
+  auto [rec, blind] = pedersen_vss_reconstruct(sum, 3);
+  EXPECT_EQ(rec, a + b);
+  (void)blind;
+}
+
+TEST(PedersenVss, MismatchedShareAddThrows) {
+  Rng rng(50);
+  PedersenDeal d = pedersen_vss_deal(Fn::one(), 2, 3, rng);
+  EXPECT_THROW(pedersen_share_add(d.shares[0], d.shares[1]), CryptoError);
+}
+
+TEST(PedersenCommit, HidingAndBindingShape) {
+  Rng rng(51);
+  Fn m = Fn::from_u64(7);
+  Fn r1 = random_scalar(rng), r2 = random_scalar(rng);
+  // Different randomness, same message: different commitments (hiding needs
+  // fresh randomness).
+  EXPECT_FALSE(ec_eq(pedersen_commit(m, r1), pedersen_commit(m, r2)));
+  // Same inputs: deterministic.
+  EXPECT_TRUE(ec_eq(pedersen_commit(m, r1), pedersen_commit(m, r1)));
+}
+
+}  // namespace
+}  // namespace ddemos::crypto

@@ -1,0 +1,156 @@
+#include <gtest/gtest.h>
+
+#include "crypto/fe.hpp"
+#include "crypto/mont.hpp"
+#include "crypto/rng.hpp"
+#include "crypto/u256.hpp"
+#include "util/error.hpp"
+#include "util/hex.hpp"
+
+namespace ddemos::crypto {
+namespace {
+
+TEST(U256, BytesRoundTrip) {
+  Rng rng(7);
+  for (int i = 0; i < 20; ++i) {
+    Bytes b = rng.bytes(32);
+    U256 v = U256::from_bytes_be(b);
+    EXPECT_EQ(v.to_bytes_be(), b);
+  }
+}
+
+TEST(U256, RejectsWrongSize) {
+  EXPECT_THROW(U256::from_bytes_be(Bytes(31)), CodecError);
+  EXPECT_THROW(U256::from_bytes_be(Bytes(33)), CodecError);
+}
+
+TEST(U256, AddSubInverse) {
+  Rng rng(8);
+  for (int i = 0; i < 50; ++i) {
+    U256 a = U256::from_bytes_be(rng.bytes(32));
+    U256 b = U256::from_bytes_be(rng.bytes(32));
+    U256 sum, back;
+    std::uint64_t carry = add_cc(a, b, sum);
+    std::uint64_t borrow = sub_bb(sum, b, back);
+    // carry and borrow cancel: a + b - b == a (mod 2^256).
+    EXPECT_EQ(back, a);
+    EXPECT_EQ(carry, borrow);
+  }
+}
+
+TEST(U256, CmpOrdersLimbs) {
+  U256 lo = U256::from_u64(5);
+  U256 hi{};
+  hi.w[3] = 1;
+  EXPECT_EQ(cmp(lo, hi), -1);
+  EXPECT_EQ(cmp(hi, lo), 1);
+  EXPECT_EQ(cmp(hi, hi), 0);
+}
+
+TEST(U256, MulWideSmall) {
+  U256 a = U256::from_u64(0xffffffffffffffffULL);
+  U512 p = mul_wide(a, a);
+  // (2^64-1)^2 = 2^128 - 2^65 + 1
+  EXPECT_EQ(p[0], 1u);
+  EXPECT_EQ(p[1], 0xfffffffffffffffeULL);
+  EXPECT_EQ(p[2], 0u);
+}
+
+TEST(U256, Shr1) {
+  U256 v{};
+  v.w[1] = 1;  // 2^64
+  U256 h = shr1(v);
+  EXPECT_EQ(h.w[0], 1ull << 63);
+  EXPECT_EQ(h.w[1], 0u);
+}
+
+TEST(Mont, RejectsEvenModulus) {
+  U256 even = U256::from_u64(4);
+  even.w[3] = 0x8000000000000000ull;
+  even.w[0] &= ~1ull;
+  EXPECT_THROW(make_mont_params(U256::from_u64(16)), CryptoError);
+}
+
+TEST(Fe, FieldAxioms) {
+  Rng rng(9);
+  for (int i = 0; i < 30; ++i) {
+    Fp a = Fp::from_bytes_mod(rng.bytes(32));
+    Fp b = Fp::from_bytes_mod(rng.bytes(32));
+    Fp c = Fp::from_bytes_mod(rng.bytes(32));
+    EXPECT_EQ(a + b, b + a);
+    EXPECT_EQ(a * b, b * a);
+    EXPECT_EQ((a + b) + c, a + (b + c));
+    EXPECT_EQ(a * (b + c), a * b + a * c);
+    EXPECT_EQ(a - a, Fp::zero());
+    EXPECT_EQ(a + Fp::zero(), a);
+    EXPECT_EQ(a * Fp::one(), a);
+  }
+}
+
+TEST(Fe, InverseIsMultiplicative) {
+  Rng rng(10);
+  for (int i = 0; i < 20; ++i) {
+    Fp a = Fp::from_bytes_mod(rng.bytes(32));
+    if (a.is_zero()) continue;
+    EXPECT_EQ(a * a.inv(), Fp::one());
+  }
+  // Scalar field too.
+  for (int i = 0; i < 20; ++i) {
+    Fn a = Fn::from_bytes_mod(rng.bytes(32));
+    if (a.is_zero()) continue;
+    EXPECT_EQ(a * a.inv(), Fn::one());
+  }
+}
+
+TEST(Fe, PowMatchesRepeatedMul) {
+  Fp a = Fp::from_u64(3);
+  Fp acc = Fp::one();
+  for (int i = 0; i < 13; ++i) acc = acc * a;
+  EXPECT_EQ(a.pow(U256::from_u64(13)), acc);
+}
+
+TEST(Fe, BytesRoundTripCanonical) {
+  Rng rng(11);
+  for (int i = 0; i < 20; ++i) {
+    Fp a = Fp::from_bytes_mod(rng.bytes(32));
+    EXPECT_EQ(Fp::from_bytes_mod(a.to_bytes_be()), a);
+  }
+}
+
+TEST(Fe, KnownFieldFact) {
+  // p - 1 squared is 1 mod p.
+  U256 p = params<FieldTag>().mod;
+  U256 pm1;
+  sub_bb(p, U256::from_u64(1), pm1);
+  Fp a = Fp::from_u256_mod(pm1);
+  EXPECT_EQ(a * a, Fp::one());
+}
+
+TEST(Fe, ScalarAndFieldModuliDiffer) {
+  EXPECT_NE(cmp(params<FieldTag>().mod, params<ScalarTag>().mod), 0);
+}
+
+TEST(Rng, Deterministic) {
+  Rng a(42), b(42), c(43);
+  EXPECT_EQ(a.bytes(64), b.bytes(64));
+  EXPECT_NE(a.bytes(64), c.bytes(64));
+}
+
+TEST(Rng, BelowIsInRange) {
+  Rng rng(1);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.below(17), 17u);
+  }
+  EXPECT_THROW(rng.below(0), ProtocolError);
+}
+
+TEST(Rng, ForkIndependentStreams) {
+  Rng a(5);
+  Rng f1 = a.fork("one");
+  Rng a2(5);
+  Rng f2 = a2.fork("two");
+  EXPECT_NE(f1.bytes(32), f2.bytes(32));
+}
+
+}  // namespace
+}  // namespace ddemos::crypto

@@ -1,0 +1,167 @@
+// End-to-end integration: full elections over the simulator with real
+// cryptography — EA setup, voting with receipts, vote-set consensus, BB
+// publication, trustee tally, auditing.
+#include <gtest/gtest.h>
+
+#include "core/runner.hpp"
+
+namespace ddemos::core {
+namespace {
+
+ElectionParams small_params(std::size_t voters, std::size_t options) {
+  ElectionParams p;
+  p.election_id = to_bytes("e2e-test-election");
+  for (std::size_t i = 0; i < options; ++i) {
+    p.options.push_back("option-" + std::to_string(i));
+  }
+  p.n_voters = voters;
+  p.n_vc = 4;
+  p.f_vc = 1;
+  p.n_bb = 3;
+  p.f_bb = 1;
+  p.n_trustees = 3;
+  p.h_trustees = 2;
+  p.t_start = 0;
+  p.t_end = 30'000'000;  // 30 virtual seconds
+  return p;
+}
+
+TEST(EndToEnd, HappyPathTalliesCorrectly) {
+  RunnerConfig cfg;
+  cfg.params = small_params(6, 3);
+  cfg.seed = 7;
+  cfg.votes = {0, 1, 2, 0, 0, 1};  // expected tally 3,2,1
+  ElectionRunner runner(cfg);
+  runner.run_to_completion();
+
+  // Every voter got a valid (human-verifiable) receipt.
+  for (std::size_t v = 0; v < runner.voter_count(); ++v) {
+    EXPECT_TRUE(runner.voter(v).has_receipt()) << "voter " << v;
+  }
+  // All VC nodes agreed on the same final vote set of size 6.
+  const auto& set0 = runner.vc_node(0).final_vote_set();
+  EXPECT_EQ(set0.size(), 6u);
+  for (std::size_t i = 1; i < cfg.params.n_vc; ++i) {
+    EXPECT_TRUE(runner.vc_node(i).push_complete());
+    EXPECT_EQ(runner.vc_node(i).final_vote_set(), set0);
+  }
+  // Every BB node published the result.
+  for (std::size_t i = 0; i < cfg.params.n_bb; ++i) {
+    ASSERT_TRUE(runner.bb_node(i).result_published()) << "bb " << i;
+    EXPECT_EQ(runner.bb_node(i).result()->tally,
+              (std::vector<std::uint64_t>{3, 2, 1}));
+  }
+  // Full election audit passes.
+  client::Auditor auditor(runner.reader());
+  client::AuditReport report = auditor.verify_election();
+  EXPECT_TRUE(report.passed) << (report.failures.empty()
+                                     ? ""
+                                     : report.failures.front());
+  EXPECT_EQ(report.tally, (std::vector<std::uint64_t>{3, 2, 1}));
+}
+
+TEST(EndToEnd, AbstentionsAreNotCounted) {
+  RunnerConfig cfg;
+  cfg.params = small_params(5, 2);
+  cfg.seed = 8;
+  cfg.votes = {0, kAbstain, 1, kAbstain, 0};
+  ElectionRunner runner(cfg);
+  runner.run_to_completion();
+  ASSERT_TRUE(runner.bb_node(0).result_published());
+  EXPECT_EQ(runner.bb_node(0).result()->tally,
+            (std::vector<std::uint64_t>{2, 1}));
+  EXPECT_EQ(runner.vc_node(0).final_vote_set().size(), 3u);
+}
+
+TEST(EndToEnd, ToleratesCrashedVcNode) {
+  RunnerConfig cfg;
+  cfg.params = small_params(4, 2);
+  cfg.seed = 9;
+  cfg.votes = {0, 1, 0, 1};
+  cfg.crashed_vcs = {3};
+  cfg.voter_template.patience_us = 1'000'000;
+  ElectionRunner runner(cfg);
+  runner.run_to_completion();
+  for (std::size_t v = 0; v < runner.voter_count(); ++v) {
+    EXPECT_TRUE(runner.voter(v).has_receipt()) << "voter " << v;
+  }
+  ASSERT_TRUE(runner.bb_node(0).result_published());
+  EXPECT_EQ(runner.bb_node(0).result()->tally,
+            (std::vector<std::uint64_t>{2, 2}));
+}
+
+TEST(EndToEnd, ToleratesCrashedBbAndTrustee) {
+  RunnerConfig cfg;
+  cfg.params = small_params(4, 2);
+  cfg.seed = 10;
+  cfg.votes = {1, 1, 0, 1};
+  cfg.crashed_bbs = {2};
+  cfg.crashed_trustees = {0};  // ht=2 of 3: one crash tolerated
+  ElectionRunner runner(cfg);
+  runner.run_to_completion();
+  for (std::size_t i = 0; i < 2; ++i) {
+    ASSERT_TRUE(runner.bb_node(i).result_published()) << i;
+    EXPECT_EQ(runner.bb_node(i).result()->tally,
+              (std::vector<std::uint64_t>{1, 3}));
+  }
+  client::Auditor auditor(runner.reader());
+  EXPECT_TRUE(auditor.verify_election().passed);
+}
+
+TEST(EndToEnd, DelegatedAuditPasses) {
+  RunnerConfig cfg;
+  cfg.params = small_params(4, 3);
+  cfg.seed = 11;
+  cfg.votes = {2, 0, 1, 2};
+  ElectionRunner runner(cfg);
+  runner.run_to_completion();
+  client::Auditor auditor(runner.reader());
+  for (std::size_t v = 0; v < runner.voter_count(); ++v) {
+    auto info = runner.voter(v).audit_info();
+    client::AuditReport r = auditor.verify_delegated(info);
+    EXPECT_TRUE(r.passed) << "voter " << v << ": "
+                          << (r.failures.empty() ? "" : r.failures.front());
+  }
+}
+
+TEST(EndToEnd, VoterRetriesOnUnresponsiveNode) {
+  RunnerConfig cfg;
+  cfg.params = small_params(2, 2);
+  cfg.seed = 12;
+  cfg.votes = {0, 1};
+  cfg.crashed_vcs = {0};  // voters may pick it first and must retry
+  cfg.voter_template.patience_us = 500'000;
+  ElectionRunner runner(cfg);
+  runner.run_to_completion();
+  for (std::size_t v = 0; v < runner.voter_count(); ++v) {
+    EXPECT_TRUE(runner.voter(v).has_receipt());
+  }
+}
+
+TEST(EndToEnd, WanLatencyStillCompletes) {
+  RunnerConfig cfg;
+  cfg.params = small_params(3, 2);
+  cfg.seed = 13;
+  cfg.votes = {0, 1, 0};
+  cfg.link = sim::LinkModel::wan();
+  ElectionRunner runner(cfg);
+  runner.run_to_completion();
+  ASSERT_TRUE(runner.bb_node(0).result_published());
+  EXPECT_EQ(runner.bb_node(0).result()->tally,
+            (std::vector<std::uint64_t>{2, 1}));
+}
+
+TEST(EndToEnd, ZeroVotesPublishesEmptyTally) {
+  RunnerConfig cfg;
+  cfg.params = small_params(3, 2);
+  cfg.seed = 14;
+  cfg.votes = {kAbstain, kAbstain, kAbstain};
+  ElectionRunner runner(cfg);
+  runner.run_to_completion();
+  ASSERT_TRUE(runner.bb_node(0).result_published());
+  EXPECT_EQ(runner.bb_node(0).result()->tally,
+            (std::vector<std::uint64_t>{0, 0}));
+}
+
+}  // namespace
+}  // namespace ddemos::core

@@ -1,0 +1,336 @@
+// Wire-format tests: round-trips for every message type, Bitmap edge
+// cases, and robustness against malformed/truncated/garbage input (every
+// decoder must throw CodecError, never crash or read out of bounds).
+#include <gtest/gtest.h>
+
+#include "core/messages.hpp"
+#include "crypto/rng.hpp"
+#include "util/bitmap.hpp"
+
+namespace ddemos::core {
+namespace {
+
+crypto::Rng rng_for(const char* tag) {
+  return crypto::Rng(crypto::sha256(to_bytes(tag))[0] + 1000ull);
+}
+
+TEST(Bitmap, SetGetCount) {
+  Bitmap b(130);
+  EXPECT_EQ(b.size(), 130u);
+  EXPECT_FALSE(b.any());
+  b.set(0);
+  b.set(64);
+  b.set(129);
+  EXPECT_TRUE(b.get(0));
+  EXPECT_FALSE(b.get(1));
+  EXPECT_TRUE(b.get(129));
+  EXPECT_EQ(b.count(), 3u);
+  b.set(0, false);
+  EXPECT_EQ(b.count(), 2u);
+  EXPECT_THROW(b.get(130), ProtocolError);
+  EXPECT_THROW(b.set(200), ProtocolError);
+}
+
+TEST(Bitmap, AllAndEquality) {
+  Bitmap a(3), b(3);
+  a.set(0);
+  a.set(1);
+  a.set(2);
+  EXPECT_TRUE(a.all());
+  EXPECT_FALSE(a == b);
+  b.set(0);
+  b.set(1);
+  b.set(2);
+  EXPECT_TRUE(a == b);
+}
+
+TEST(Bitmap, EncodeDecodeRoundTrip) {
+  for (std::size_t size : {0u, 1u, 63u, 64u, 65u, 1000u}) {
+    Bitmap b(size);
+    auto rng = rng_for("bitmap");
+    for (std::size_t i = 0; i < size; i += 3) b.set(i);
+    Writer w;
+    b.encode(w);
+    Reader r(w.data());
+    EXPECT_EQ(Bitmap::decode(r), b) << size;
+    r.expect_done();
+  }
+}
+
+TEST(Bitmap, DecodeRejectsPaddingBits) {
+  Bitmap b(10);
+  Writer w;
+  b.encode(w);
+  Bytes raw = w.take();
+  raw.back() |= 0x80;  // set a bit beyond size 10 in the top byte
+  Reader r(raw);
+  EXPECT_THROW(Bitmap::decode(r), CodecError);
+}
+
+TEST(Bitmap, DecodeRejectsHugeSize) {
+  Writer w;
+  w.varint(1ull << 40);
+  Reader r(w.data());
+  EXPECT_THROW(Bitmap::decode(r), CodecError);
+}
+
+TEST(Messages, VoteRoundTrip) {
+  auto rng = rng_for("vote");
+  VoteMsg m{0x1122334455667788ull, rng.bytes(20)};
+  Bytes enc = m.encode();
+  EXPECT_EQ(peek_type(enc), MsgType::kVote);
+  Reader r(enc);
+  r.u8();
+  VoteMsg d = VoteMsg::decode(r);
+  EXPECT_EQ(d.serial, m.serial);
+  EXPECT_EQ(d.vote_code, m.vote_code);
+}
+
+TEST(Messages, VoteReplyRoundTrip) {
+  VoteReplyMsg m{77, VoteReplyStatus::kAlreadyVoted, 0xdeadbeefcafef00dull};
+  Bytes enc_1 = m.encode();
+  Reader r(enc_1);
+  r.u8();
+  VoteReplyMsg d = VoteReplyMsg::decode(r);
+  EXPECT_EQ(d.serial, 77u);
+  EXPECT_EQ(d.status, VoteReplyStatus::kAlreadyVoted);
+  EXPECT_EQ(d.receipt, m.receipt);
+}
+
+TEST(Messages, VotePRoundTrip) {
+  auto rng = rng_for("votep");
+  VotePMsg m;
+  m.serial = 42;
+  m.vote_code = rng.bytes(20);
+  m.part = 1;
+  m.line = 3;
+  m.receipt_share = crypto::Share{2, crypto::Fn::from_u64(999)};
+  m.share_path = {crypto::sha256(to_bytes("a")), crypto::sha256(to_bytes("b"))};
+  m.ucert.vote_code = m.vote_code;
+  m.ucert.signatures = {{0, rng.bytes(65)}, {2, rng.bytes(65)}};
+  Bytes enc_2 = m.encode();
+  Reader r(enc_2);
+  r.u8();
+  VotePMsg d = VotePMsg::decode(r);
+  EXPECT_EQ(d.serial, m.serial);
+  EXPECT_EQ(d.part, 1);
+  EXPECT_EQ(d.line, 3u);
+  EXPECT_EQ(d.receipt_share.x, 2u);
+  EXPECT_EQ(d.receipt_share.y, m.receipt_share.y);
+  EXPECT_EQ(d.share_path, m.share_path);
+  EXPECT_EQ(d.ucert.signatures.size(), 2u);
+  EXPECT_EQ(d.ucert.signatures[1].first, 2u);
+}
+
+TEST(Messages, AnnounceRoundTrip) {
+  auto rng = rng_for("announce");
+  AnnounceMsg m;
+  m.last_chunk = false;
+  for (int i = 0; i < 3; ++i) {
+    AnnounceEntry e;
+    e.instance = static_cast<std::uint64_t>(i * 17);
+    e.vote_code = rng.bytes(20);
+    e.ucert.vote_code = e.vote_code;
+    e.ucert.signatures = {{static_cast<std::uint32_t>(i), rng.bytes(65)}};
+    m.entries.push_back(std::move(e));
+  }
+  Bytes enc_3 = m.encode();
+  Reader r(enc_3);
+  r.u8();
+  AnnounceMsg d = AnnounceMsg::decode(r);
+  EXPECT_FALSE(d.last_chunk);
+  ASSERT_EQ(d.entries.size(), 3u);
+  EXPECT_EQ(d.entries[2].instance, 34u);
+  EXPECT_EQ(d.entries[1].vote_code, m.entries[1].vote_code);
+}
+
+TEST(Messages, RecoverRoundTrip) {
+  RecoverRequestMsg req;
+  req.instances = Bitmap(20);
+  req.instances.set(4);
+  req.instances.set(19);
+  Bytes enc_4 = req.encode();
+  Reader r(enc_4);
+  r.u8();
+  RecoverRequestMsg d = RecoverRequestMsg::decode(r);
+  EXPECT_TRUE(d.instances.get(4));
+  EXPECT_TRUE(d.instances.get(19));
+  EXPECT_EQ(d.instances.count(), 2u);
+}
+
+TEST(Messages, VoteSetRoundTrip) {
+  auto rng = rng_for("voteset");
+  VoteSetChunkMsg chunk;
+  chunk.entries = {{1, rng.bytes(20)}, {2, rng.bytes(20)}};
+  Bytes enc_5 = chunk.encode();
+  Reader r(enc_5);
+  r.u8();
+  VoteSetChunkMsg d = VoteSetChunkMsg::decode(r);
+  EXPECT_EQ(d.entries, chunk.entries);
+
+  VoteSetDoneMsg done{2, vote_set_hash(chunk.entries)};
+  Bytes enc_6 = done.encode();
+  Reader r2(enc_6);
+  r2.u8();
+  VoteSetDoneMsg d2 = VoteSetDoneMsg::decode(r2);
+  EXPECT_EQ(d2.total_entries, 2u);
+  EXPECT_EQ(d2.set_hash, done.set_hash);
+}
+
+TEST(Messages, VoteSetHashIsOrderSensitive) {
+  auto rng = rng_for("hashorder");
+  std::vector<VoteSetEntry> a = {{1, rng.bytes(20)}, {2, rng.bytes(20)}};
+  std::vector<VoteSetEntry> b = {a[1], a[0]};
+  EXPECT_NE(vote_set_hash(a), vote_set_hash(b));
+}
+
+TEST(Messages, TrusteeTallyRoundTrip) {
+  TrusteeTallyMsg m;
+  m.trustee_index = 1;
+  m.totals = {{crypto::PedersenShare{2, crypto::Fn::from_u64(5),
+                                     crypto::Fn::from_u64(6)},
+               crypto::PedersenShare{2, crypto::Fn::from_u64(7),
+                                     crypto::Fn::from_u64(8)}}};
+  m.signature = Bytes(65, 3);
+  Bytes enc_7 = m.encode();
+  Reader r(enc_7);
+  r.u8();
+  TrusteeTallyMsg d = TrusteeTallyMsg::decode(r);
+  EXPECT_EQ(d.trustee_index, 1u);
+  ASSERT_EQ(d.totals.size(), 1u);
+  EXPECT_EQ(d.totals[0].first.f, crypto::Fn::from_u64(5));
+  EXPECT_EQ(d.totals[0].second.g, crypto::Fn::from_u64(8));
+}
+
+TEST(Messages, BbReadRoundTrip) {
+  BbReadMsg m{"ballot", 12345, 6};
+  Bytes enc_8 = m.encode();
+  Reader r(enc_8);
+  r.u8();
+  BbReadMsg d = BbReadMsg::decode(r);
+  EXPECT_EQ(d.section, "ballot");
+  EXPECT_EQ(d.arg, 12345u);
+  EXPECT_EQ(d.request_id, 6u);
+
+  BbReadReplyMsg reply{"ballot", 12345, 6, true, Bytes{9, 9, 9}};
+  Bytes enc_9 = reply.encode();
+  Reader r2(enc_9);
+  r2.u8();
+  BbReadReplyMsg d2 = BbReadReplyMsg::decode(r2);
+  EXPECT_TRUE(d2.available);
+  EXPECT_EQ(d2.payload, (Bytes{9, 9, 9}));
+}
+
+TEST(Messages, PeekTypeOnEmptyThrows) {
+  EXPECT_THROW(peek_type(Bytes{}), CodecError);
+}
+
+// Fuzz-ish robustness: decoding random garbage and truncations of valid
+// messages must throw CodecError (or produce a value), never crash.
+TEST(Messages, DecodersSurviveGarbage) {
+  auto rng = rng_for("garbage");
+  for (int trial = 0; trial < 200; ++trial) {
+    Bytes junk = rng.bytes(1 + rng.below(80));
+    Reader r(junk);
+    try {
+      switch (junk[0] % 5) {
+        case 0:
+          (void)VotePMsg::decode(r);
+          break;
+        case 1:
+          (void)AnnounceMsg::decode(r);
+          break;
+        case 2:
+          (void)TrusteeBallotMsg::decode(r);
+          break;
+        case 3:
+          (void)Bitmap::decode(r);
+          break;
+        case 4:
+          (void)Ucert::decode(r);
+          break;
+      }
+    } catch (const CodecError&) {
+      // expected for most inputs
+    }
+  }
+  SUCCEED();
+}
+
+TEST(Messages, TruncationsAlwaysThrow) {
+  auto rng = rng_for("trunc");
+  VotePMsg m;
+  m.serial = 42;
+  m.vote_code = rng.bytes(20);
+  m.receipt_share = crypto::Share{1, crypto::Fn::from_u64(3)};
+  m.share_path = {crypto::sha256(to_bytes("x"))};
+  m.ucert.vote_code = m.vote_code;
+  m.ucert.signatures = {{0, rng.bytes(65)}};
+  Bytes full = m.encode();
+  for (std::size_t len = 1; len + 1 < full.size(); len += 7) {
+    Reader r(BytesView(full).subspan(0, len));
+    r.u8();
+    EXPECT_THROW(
+        {
+          VotePMsg d = VotePMsg::decode(r);
+          r.expect_done();
+          (void)d;
+        },
+        CodecError)
+        << "len " << len;
+  }
+}
+
+TEST(Messages, ElectionParamsRoundTrip) {
+  ElectionParams p;
+  p.election_id = to_bytes("eid");
+  p.options = {"a", "b", "c"};
+  p.n_voters = 100;
+  p.n_vc = 7;
+  p.f_vc = 2;
+  p.n_bb = 5;
+  p.f_bb = 2;
+  p.n_trustees = 9;
+  p.h_trustees = 5;
+  p.t_start = -5;
+  p.t_end = 1'000'000;
+  Writer w;
+  p.encode(w);
+  Reader r(w.data());
+  ElectionParams d = ElectionParams::decode(r);
+  r.expect_done();
+  EXPECT_EQ(d.election_id, p.election_id);
+  EXPECT_EQ(d.options, p.options);
+  EXPECT_EQ(d.n_voters, 100u);
+  EXPECT_EQ(d.vc_quorum(), 5u);
+  EXPECT_EQ(d.t_start, -5);
+  EXPECT_EQ(d.t_end, 1'000'000);
+}
+
+TEST(Messages, VcBallotInitRoundTrip) {
+  auto rng = rng_for("vcinit");
+  VcBallotInit b;
+  b.serial = 5;
+  for (auto& part : b.parts) {
+    part.resize(2);
+    for (auto& line : part) {
+      line.code_hash = crypto::sha256(rng.bytes(8));
+      line.salt = rng.bytes(8);
+      line.receipt_share = crypto::Share{3, crypto::Fn::from_u64(rng.u64())};
+      line.share_path = {crypto::sha256(rng.bytes(4))};
+      line.share_root = crypto::sha256(rng.bytes(4));
+    }
+  }
+  Writer w;
+  b.encode(w);
+  Reader r(w.data());
+  VcBallotInit d = VcBallotInit::decode(r);
+  r.expect_done();
+  EXPECT_EQ(d.serial, 5u);
+  EXPECT_EQ(d.parts[1][1].code_hash, b.parts[1][1].code_hash);
+  EXPECT_EQ(d.parts[0][0].receipt_share.y, b.parts[0][0].receipt_share.y);
+  EXPECT_EQ(d.parts[0][1].share_root, b.parts[0][1].share_root);
+}
+
+}  // namespace
+}  // namespace ddemos::core

@@ -1,0 +1,208 @@
+#include <gtest/gtest.h>
+
+#include "net/thread_net.hpp"
+#include "sim/sim.hpp"
+
+namespace ddemos::sim {
+namespace {
+
+// Test process: echoes received payloads back, counts deliveries.
+class Echo : public Process {
+ public:
+  void on_message(NodeId from, BytesView payload) override {
+    ++received;
+    last = Bytes(payload.begin(), payload.end());
+    if (!payload.empty() && payload[0] == 'p') {
+      ctx().send(from, to_bytes("r"));
+    }
+  }
+  int received = 0;
+  Bytes last;
+};
+
+// Sends one ping to node 1 at start; records the reply time.
+class Pinger : public Process {
+ public:
+  void on_start() override {
+    sent_at = ctx().now();
+    ctx().send(1, to_bytes("p"));
+  }
+  void on_message(NodeId, BytesView) override { reply_at = ctx().now(); }
+  TimePoint sent_at = -1, reply_at = -1;
+};
+
+TEST(Sim, DeliversAndTracksLatency) {
+  Simulation sim(1);
+  sim.set_default_link(LinkModel{1000, 0, 0, 0});
+  sim.add_node(std::make_unique<Pinger>(), "pinger");
+  sim.add_node(std::make_unique<Echo>(), "echo");
+  sim.start();
+  sim.run_until_idle();
+  auto& p = dynamic_cast<Pinger&>(sim.process(0));
+  EXPECT_EQ(p.reply_at - p.sent_at, 2000);  // one RTT
+  EXPECT_EQ(sim.delivered_messages(), 2u);
+}
+
+TEST(Sim, DeterministicAcrossRuns) {
+  auto run = [] {
+    Simulation sim(99);
+    sim.set_default_link(LinkModel{500, 400, 0.0, 0.0});
+    sim.add_node(std::make_unique<Pinger>(), "pinger");
+    sim.add_node(std::make_unique<Echo>(), "echo");
+    sim.start();
+    sim.run_until_idle();
+    return dynamic_cast<Pinger&>(sim.process(0)).reply_at;
+  };
+  EXPECT_EQ(run(), run());
+}
+
+TEST(Sim, DropsAllWithFullLoss) {
+  Simulation sim(2);
+  sim.set_default_link(LinkModel{100, 0, 1.0, 0.0});
+  sim.add_node(std::make_unique<Pinger>(), "pinger");
+  sim.add_node(std::make_unique<Echo>(), "echo");
+  sim.start();
+  sim.run_until_idle();
+  EXPECT_EQ(sim.delivered_messages(), 0u);
+  EXPECT_EQ(sim.dropped_messages(), 1u);
+}
+
+TEST(Sim, DuplicatesDeliverTwice) {
+  Simulation sim(3);
+  sim.set_default_link(LinkModel{100, 0, 0.0, 1.0});
+  sim.add_node(std::make_unique<Pinger>(), "pinger");
+  sim.add_node(std::make_unique<Echo>(), "echo");
+  sim.start();
+  sim.run_until_idle();
+  auto& e = dynamic_cast<Echo&>(sim.process(1));
+  EXPECT_EQ(e.received, 2);
+}
+
+TEST(Sim, CrashedNodeReceivesNothing) {
+  Simulation sim(4);
+  sim.add_node(std::make_unique<Pinger>(), "pinger");
+  sim.add_node(std::make_unique<Echo>(), "echo");
+  sim.crash(1);
+  sim.start();
+  sim.run_until_idle();
+  EXPECT_EQ(dynamic_cast<Echo&>(sim.process(1)).received, 0);
+  EXPECT_EQ(dynamic_cast<Pinger&>(sim.process(0)).reply_at, -1);
+}
+
+TEST(Sim, LinkFilterCanDelayAndDrop) {
+  Simulation sim(5);
+  sim.set_default_link(LinkModel{100, 0, 0, 0});
+  sim.add_node(std::make_unique<Pinger>(), "pinger");
+  sim.add_node(std::make_unique<Echo>(), "echo");
+  // Adversary: delay 0->1 by 5000us, drop replies 1->0.
+  sim.set_link_filter([](NodeId from, NodeId to,
+                         TimePoint) -> std::optional<Duration> {
+    if (from == 0 && to == 1) return 5000;
+    return std::nullopt;  // drop
+  });
+  sim.start();
+  sim.run_until_idle();
+  auto& e = dynamic_cast<Echo&>(sim.process(1));
+  EXPECT_EQ(e.received, 1);
+  EXPECT_EQ(dynamic_cast<Pinger&>(sim.process(0)).reply_at, -1);
+  EXPECT_EQ(sim.dropped_messages(), 1u);
+}
+
+class TimerProc : public Process {
+ public:
+  void on_start() override { token = ctx().set_timer(2500); }
+  void on_message(NodeId, BytesView) override {}
+  void on_timer(std::uint64_t t) override {
+    if (t == token) fired_at = ctx().now();
+  }
+  std::uint64_t token = 0;
+  TimePoint fired_at = -1;
+};
+
+TEST(Sim, TimersFireAtRequestedTime) {
+  Simulation sim(6);
+  sim.add_node(std::make_unique<TimerProc>(), "t");
+  sim.start();
+  sim.run_until_idle();
+  EXPECT_EQ(dynamic_cast<TimerProc&>(sim.process(0)).fired_at, 2500);
+}
+
+// CPU charging serializes a node's handlers in virtual time.
+class Charger : public Process {
+ public:
+  void on_message(NodeId, BytesView) override {
+    starts.push_back(ctx().now());
+    ctx().charge(1000);
+  }
+  std::vector<TimePoint> starts;
+};
+
+class Burst : public Process {
+ public:
+  void on_start() override {
+    for (int i = 0; i < 3; ++i) ctx().send(1, to_bytes("x"));
+  }
+  void on_message(NodeId, BytesView) override {}
+};
+
+TEST(Sim, ChargedCpuSerializesHandlers) {
+  Simulation sim(7);
+  sim.set_default_link(LinkModel{100, 0, 0, 0});
+  sim.add_node(std::make_unique<Burst>(), "burst");
+  sim.add_node(std::make_unique<Charger>(), "charger");
+  sim.start();
+  sim.run_until_idle();
+  auto& c = dynamic_cast<Charger&>(sim.process(1));
+  ASSERT_EQ(c.starts.size(), 3u);
+  // All arrive at t=100 but handlers run back-to-back 1000us apart.
+  EXPECT_EQ(c.starts[0], 100);
+  EXPECT_EQ(c.starts[1], 1100);
+  EXPECT_EQ(c.starts[2], 2100);
+}
+
+TEST(Sim, RunUntilStopsAtDeadline) {
+  Simulation sim(8);
+  sim.add_node(std::make_unique<TimerProc>(), "t");
+  sim.start();
+  sim.run_until(1000);
+  EXPECT_EQ(dynamic_cast<TimerProc&>(sim.process(0)).fired_at, -1);
+  EXPECT_EQ(sim.now(), 1000);
+  sim.run_until(3000);
+  EXPECT_EQ(dynamic_cast<TimerProc&>(sim.process(0)).fired_at, 2500);
+}
+
+TEST(ThreadNet, PingPongOverThreads) {
+  net::ThreadNet net;
+  net.add_node(std::make_unique<Pinger>(), "pinger");
+  net.add_node(std::make_unique<Echo>(), "echo");
+  net.start();
+  for (int i = 0; i < 100; ++i) {
+    if (dynamic_cast<Pinger&>(net.process(0)).reply_at >= 0) break;
+    net::ThreadNet::sleep_ms(10);
+  }
+  net.stop();
+  EXPECT_GE(dynamic_cast<Pinger&>(net.process(0)).reply_at, 0);
+}
+
+class ThreadTimer : public Process {
+ public:
+  void on_start() override { ctx().set_timer(20'000); }  // 20ms
+  void on_message(NodeId, BytesView) override {}
+  void on_timer(std::uint64_t) override { fired = true; }
+  std::atomic<bool> fired{false};
+};
+
+TEST(ThreadNet, TimersFire) {
+  net::ThreadNet net;
+  net.add_node(std::make_unique<ThreadTimer>(), "t");
+  net.start();
+  for (int i = 0; i < 100; ++i) {
+    if (dynamic_cast<ThreadTimer&>(net.process(0)).fired) break;
+    net::ThreadNet::sleep_ms(10);
+  }
+  net.stop();
+  EXPECT_TRUE(dynamic_cast<ThreadTimer&>(net.process(0)).fired);
+}
+
+}  // namespace
+}  // namespace ddemos::sim

@@ -1,0 +1,171 @@
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "crypto/rng.hpp"
+#include "crypto/commit.hpp"
+#include "ea/ea.hpp"
+#include "store/ballot_store.hpp"
+
+namespace ddemos::store {
+namespace {
+
+using core::Serial;
+using core::VcBallotInit;
+
+std::vector<VcBallotInit> make_ballots(std::size_t n, std::uint64_t seed) {
+  // Small synthetic records with all fields populated.
+  crypto::Rng rng(seed);
+  std::set<Serial> serials;
+  while (serials.size() < n) serials.insert(rng.u64());
+  std::vector<VcBallotInit> out;
+  for (Serial s : serials) {
+    VcBallotInit b;
+    b.serial = s;
+    for (auto& part : b.parts) {
+      part.resize(2);
+      for (auto& line : part) {
+        Bytes code = rng.bytes(20);
+        line.salt = rng.bytes(8);
+        line.code_hash = crypto::salted_commit(code, line.salt);
+        line.receipt_share =
+            crypto::Share{1, crypto::Fn::from_u64(rng.u64())};
+        line.share_root = crypto::MerkleTree::leaf_hash(code);
+        line.share_path = {line.share_root};
+      }
+    }
+    out.push_back(std::move(b));
+  }
+  return out;
+}
+
+TEST(MemorySource, FindAndIndex) {
+  auto ballots = make_ballots(50, 1);
+  std::vector<Serial> serials;
+  for (const auto& b : ballots) serials.push_back(b.serial);
+  MemoryBallotSource src(ballots);
+  EXPECT_EQ(src.size(), 50u);
+  for (std::size_t i = 0; i < serials.size(); ++i) {
+    EXPECT_EQ(src.serial_at(i), serials[i]);
+    EXPECT_EQ(src.index_of(serials[i]), i);
+    auto found = src.find(serials[i]);
+    ASSERT_TRUE(found.has_value());
+    EXPECT_EQ(found->serial, serials[i]);
+  }
+  EXPECT_FALSE(src.find(0xdeadbeef).has_value());  // not a real serial
+}
+
+TEST(MemorySource, RejectsUnsorted) {
+  auto ballots = make_ballots(5, 2);
+  std::swap(ballots[0], ballots[1]);
+  EXPECT_THROW(MemoryBallotSource{ballots}, ProtocolError);
+}
+
+class DiskSourceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = "/tmp/ddemos_store_test";
+    std::filesystem::create_directories(dir_);
+    path_ = dir_ + "/test.ballots";
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+  std::string dir_, path_;
+};
+
+TEST_F(DiskSourceTest, RoundTripsAllRecords) {
+  auto ballots = make_ballots(200, 3);
+  DiskBallotSource::build(path_, ballots);
+  DiskBallotSource src(path_, 16);
+  EXPECT_EQ(src.size(), 200u);
+  for (const auto& b : ballots) {
+    auto found = src.find(b.serial);
+    ASSERT_TRUE(found.has_value());
+    EXPECT_EQ(found->serial, b.serial);
+    ASSERT_EQ(found->parts[0].size(), b.parts[0].size());
+    EXPECT_EQ(found->parts[0][0].code_hash, b.parts[0][0].code_hash);
+    EXPECT_EQ(found->parts[1][1].salt, b.parts[1][1].salt);
+  }
+}
+
+TEST_F(DiskSourceTest, MissingSerialReturnsNullopt) {
+  auto ballots = make_ballots(20, 4);
+  DiskBallotSource::build(path_, ballots);
+  DiskBallotSource src(path_);
+  EXPECT_FALSE(src.find(1).has_value());
+}
+
+TEST_F(DiskSourceTest, SerialAtMatchesSortedOrder) {
+  auto ballots = make_ballots(64, 5);
+  DiskBallotSource::build(path_, ballots);
+  DiskBallotSource src(path_);
+  for (std::size_t i = 0; i < 64; ++i) {
+    EXPECT_EQ(src.serial_at(i), ballots[i].serial);
+    EXPECT_EQ(src.index_of(ballots[i].serial), i);
+  }
+  EXPECT_THROW(src.serial_at(64), ProtocolError);
+}
+
+TEST_F(DiskSourceTest, CacheHitsGrowOnRepeatedLookups) {
+  auto ballots = make_ballots(500, 6);
+  DiskBallotSource::build(path_, ballots);
+  DiskBallotSource src(path_, 128);
+  for (int round = 0; round < 3; ++round) {
+    for (std::size_t i = 0; i < 500; i += 7) {
+      (void)src.find(ballots[i].serial);
+    }
+  }
+  EXPECT_GT(src.cache_hits(), src.page_reads());
+}
+
+TEST_F(DiskSourceTest, TinyCacheStillCorrect) {
+  auto ballots = make_ballots(300, 7);
+  DiskBallotSource::build(path_, ballots);
+  DiskBallotSource src(path_, 4);  // pathologically small cache
+  crypto::Rng rng(8);
+  for (int i = 0; i < 500; ++i) {
+    std::size_t idx = rng.below(300);
+    auto found = src.find(ballots[idx].serial);
+    ASSERT_TRUE(found.has_value());
+    EXPECT_EQ(found->serial, ballots[idx].serial);
+  }
+}
+
+TEST_F(DiskSourceTest, StreamingBuilderMatchesBatchBuild) {
+  auto ballots = make_ballots(40, 9);
+  DiskBallotSource::build(path_, ballots);
+  std::string path2 = dir_ + "/stream.ballots";
+  DiskBallotSource::Builder builder(path2);
+  for (const auto& b : ballots) builder.add(b);
+  builder.finish();
+  DiskBallotSource a(path_), b(path2);
+  ASSERT_EQ(a.size(), b.size());
+  for (const auto& ballot : ballots) {
+    EXPECT_EQ(a.find(ballot.serial)->parts[0][0].code_hash,
+              b.find(ballot.serial)->parts[0][0].code_hash);
+  }
+}
+
+TEST_F(DiskSourceTest, BuilderRejectsUnsorted) {
+  auto ballots = make_ballots(3, 10);
+  DiskBallotSource::Builder builder(path_);
+  builder.add(ballots[2]);
+  EXPECT_THROW(builder.add(ballots[0]), ProtocolError);
+}
+
+TEST_F(DiskSourceTest, RejectsCorruptHeader) {
+  auto ballots = make_ballots(3, 11);
+  DiskBallotSource::build(path_, ballots);
+  {
+    std::FILE* f = std::fopen(path_.c_str(), "r+b");
+    std::fputc(0x42, f);  // clobber magic
+    std::fclose(f);
+  }
+  EXPECT_THROW(DiskBallotSource{path_}, ProtocolError);
+}
+
+TEST_F(DiskSourceTest, MissingFileThrows) {
+  EXPECT_THROW(DiskBallotSource{"/tmp/no/such/file"}, ProtocolError);
+}
+
+}  // namespace
+}  // namespace ddemos::store

@@ -1,0 +1,97 @@
+// Transport independence: the same protocol state machines that run on the
+// deterministic simulator complete a full election over the real
+// multi-threaded transport (net::ThreadNet) with wall-clock timers.
+#include <gtest/gtest.h>
+
+#include "core/runner.hpp"
+#include "net/thread_net.hpp"
+
+namespace ddemos::core {
+namespace {
+
+TEST(ThreadNetE2E, FullElectionOverRealThreads) {
+  ElectionParams p;
+  p.election_id = to_bytes("threadnet-e2e");
+  p.options = {"yes", "no"};
+  p.n_voters = 3;
+  p.n_vc = 4;
+  p.f_vc = 1;
+  p.n_bb = 3;
+  p.f_bb = 1;
+  p.n_trustees = 3;
+  p.h_trustees = 2;
+  p.t_start = 0;
+  p.t_end = 1'500'000;  // 1.5 real seconds of voting
+
+  ea::SetupArtifacts arts = ea::ea_setup({p, 77, false, 64});
+
+  net::ThreadNet net;
+  std::vector<sim::NodeId> vc_ids, bb_ids;
+  for (std::size_t i = 0; i < p.n_vc; ++i) {
+    vc_ids.push_back(static_cast<sim::NodeId>(i));
+  }
+  for (std::size_t i = 0; i < p.n_bb; ++i) {
+    bb_ids.push_back(static_cast<sim::NodeId>(p.n_vc + i));
+  }
+  std::vector<vc::VcNode*> vcs;
+  for (std::size_t i = 0; i < p.n_vc; ++i) {
+    auto source = std::make_shared<store::MemoryBallotSource>(
+        arts.vc_inits[i].ballots);
+    auto id = net.add_node(
+        std::make_unique<vc::VcNode>(arts.vc_inits[i], source, vc_ids,
+                                     bb_ids),
+        "vc" + std::to_string(i));
+    vcs.push_back(dynamic_cast<vc::VcNode*>(&net.process(id)));
+  }
+  std::vector<bb::BbNode*> bbs;
+  for (std::size_t i = 0; i < p.n_bb; ++i) {
+    auto id = net.add_node(std::make_unique<bb::BbNode>(arts.bb_inits[i]),
+                           "bb" + std::to_string(i));
+    bbs.push_back(dynamic_cast<bb::BbNode*>(&net.process(id)));
+  }
+  for (std::size_t i = 0; i < p.n_trustees; ++i) {
+    trustee::TrusteeNode::Options topts;
+    topts.poll_interval_us = 100'000;
+    net.add_node(std::make_unique<trustee::TrusteeNode>(
+                     arts.trustee_inits[i], bb_ids, topts),
+                 "trustee" + std::to_string(i));
+  }
+  std::vector<client::Voter*> voters;
+  for (std::size_t v = 0; v < p.n_voters; ++v) {
+    client::Voter::Config vcfg;
+    vcfg.ballot = arts.voter_ballots[v];
+    vcfg.option_index = v % 2;
+    vcfg.vc_ids = vc_ids;
+    vcfg.patience_us = 400'000;
+    vcfg.vote_at = 50'000;
+    vcfg.seed = 1000 + v;
+    auto id = net.add_node(std::make_unique<client::Voter>(vcfg),
+                           "voter" + std::to_string(v));
+    voters.push_back(dynamic_cast<client::Voter*>(&net.process(id)));
+  }
+
+  net.start();
+  // Wait for the full pipeline: receipts -> consensus -> BB result.
+  bool done = false;
+  for (int i = 0; i < 300 && !done; ++i) {  // up to 15 s wall
+    net::ThreadNet::sleep_ms(50);
+    done = true;
+    for (auto* b : bbs) done = done && b->result_published();
+  }
+  net.stop();
+
+  for (std::size_t v = 0; v < voters.size(); ++v) {
+    EXPECT_TRUE(voters[v]->has_receipt()) << "voter " << v;
+  }
+  for (auto* b : bbs) {
+    ASSERT_TRUE(b->result_published());
+    EXPECT_EQ(b->result()->tally, (std::vector<std::uint64_t>{2, 1}));
+  }
+  for (auto* v : vcs) {
+    EXPECT_TRUE(v->push_complete());
+    EXPECT_EQ(v->final_vote_set().size(), 3u);
+  }
+}
+
+}  // namespace
+}  // namespace ddemos::core

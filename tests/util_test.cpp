@@ -1,0 +1,111 @@
+#include <gtest/gtest.h>
+
+#include "util/codec.hpp"
+#include "util/hex.hpp"
+
+namespace ddemos {
+namespace {
+
+TEST(Hex, RoundTrip) {
+  Bytes b = {0x00, 0x01, 0xab, 0xff, 0x7f};
+  EXPECT_EQ(to_hex(b), "0001abff7f");
+  EXPECT_EQ(from_hex("0001abff7f"), b);
+  EXPECT_EQ(from_hex("0001ABFF7F"), b);
+}
+
+TEST(Hex, Empty) {
+  EXPECT_EQ(to_hex(Bytes{}), "");
+  EXPECT_TRUE(from_hex("").empty());
+}
+
+TEST(Hex, RejectsOddLength) { EXPECT_THROW(from_hex("abc"), CodecError); }
+TEST(Hex, RejectsBadDigit) { EXPECT_THROW(from_hex("zz"), CodecError); }
+
+TEST(Bytes, CtEqual) {
+  Bytes a = {1, 2, 3};
+  Bytes b = {1, 2, 3};
+  Bytes c = {1, 2, 4};
+  EXPECT_TRUE(ct_equal(a, b));
+  EXPECT_FALSE(ct_equal(a, c));
+  EXPECT_FALSE(ct_equal(a, Bytes{1, 2}));
+}
+
+TEST(Codec, FixedWidthRoundTrip) {
+  Writer w;
+  w.u8(0xab);
+  w.u16(0xbeef);
+  w.u32(0xdeadbeef);
+  w.u64(0x0123456789abcdefULL);
+  w.boolean(true);
+  Reader r(w.data());
+  EXPECT_EQ(r.u8(), 0xab);
+  EXPECT_EQ(r.u16(), 0xbeef);
+  EXPECT_EQ(r.u32(), 0xdeadbeefu);
+  EXPECT_EQ(r.u64(), 0x0123456789abcdefULL);
+  EXPECT_TRUE(r.boolean());
+  r.expect_done();
+}
+
+TEST(Codec, VarintBoundaries) {
+  for (std::uint64_t v : {0ull, 1ull, 127ull, 128ull, 16383ull, 16384ull,
+                          0xffffffffull, ~0ull}) {
+    Writer w;
+    w.varint(v);
+    Reader r(w.data());
+    EXPECT_EQ(r.varint(), v);
+    r.expect_done();
+  }
+}
+
+TEST(Codec, BytesAndString) {
+  Writer w;
+  w.bytes(Bytes{9, 8, 7});
+  w.str("hello");
+  Reader r(w.data());
+  EXPECT_EQ(r.bytes(), (Bytes{9, 8, 7}));
+  EXPECT_EQ(r.str(), "hello");
+  r.expect_done();
+}
+
+TEST(Codec, VectorHelper) {
+  Writer w;
+  std::vector<std::uint32_t> in = {5, 10, 15};
+  w.vec(in, [](Writer& ww, std::uint32_t x) { ww.u32(x); });
+  Reader r(w.data());
+  auto out = r.vec<std::uint32_t>([](Reader& rr) { return rr.u32(); });
+  EXPECT_EQ(out, in);
+}
+
+TEST(Codec, TruncationThrows) {
+  Writer w;
+  w.u32(42);
+  Bytes data = w.data();
+  data.pop_back();
+  Reader r(data);
+  EXPECT_THROW(r.u32(), CodecError);
+}
+
+TEST(Codec, BytesLengthBeyondBufferThrows) {
+  Writer w;
+  w.varint(1000);  // claims 1000 bytes follow
+  Reader r(w.data());
+  EXPECT_THROW(r.bytes(), CodecError);
+}
+
+TEST(Codec, TrailingBytesDetected) {
+  Writer w;
+  w.u8(1);
+  w.u8(2);
+  Reader r(w.data());
+  r.u8();
+  EXPECT_THROW(r.expect_done(), CodecError);
+}
+
+TEST(Codec, BadBooleanThrows) {
+  Bytes b = {7};
+  Reader r(b);
+  EXPECT_THROW(r.boolean(), CodecError);
+}
+
+}  // namespace
+}  // namespace ddemos
