@@ -34,9 +34,9 @@ void LoadGen::send_next() {
   ctx().send(vc, VoteMsg{t.serial, t.code}.encode());
 }
 
-void LoadGen::on_message(NodeId, BytesView payload) {
+void LoadGen::on_message(NodeId, const net::Buffer& payload) {
   try {
-    Reader r(payload);
+    Reader r(payload.view());
     if (static_cast<MsgType>(r.u8()) != MsgType::kVoteReply) return;
     VoteReplyMsg m = VoteReplyMsg::decode(r);
     auto it = in_flight_.find(m.serial);

@@ -32,7 +32,7 @@ class LoadGen final : public sim::Process {
           std::size_t concurrency, std::uint64_t seed);
 
   void on_start() override;
-  void on_message(sim::NodeId from, BytesView payload) override;
+  void on_message(sim::NodeId from, const net::Buffer& payload) override;
 
   bool done() const { return completed_ == targets_.size(); }
   std::size_t completed() const { return completed_; }

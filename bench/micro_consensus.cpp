@@ -22,16 +22,18 @@ class BcHost final : public sim::Process {
         cfg, std::move(shares), std::move(roots),
         BatchBinaryConsensus::Hooks{
             [this](Bytes msg) {
+              // One payload allocation shared by every recipient.
+              net::Buffer buf(std::move(msg));
               for (std::size_t p = 0; p < cfg_.nodes; ++p) {
-                ctx().send(static_cast<sim::NodeId>(p), msg);
+                ctx().send(static_cast<sim::NodeId>(p), buf);
               }
             },
             nullptr,
             [this] { complete = true; }});
   }
   void on_start() override { engine_->start(input_); }
-  void on_message(sim::NodeId from, BytesView payload) override {
-    engine_->on_message(from, payload);
+  void on_message(sim::NodeId from, const net::Buffer& payload) override {
+    engine_->on_message(from, payload.view());
   }
   bool complete = false;
 

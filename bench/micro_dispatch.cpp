@@ -1,0 +1,123 @@
+// Dispatch-loop microbenchmark: raw events/sec through the simulator's
+// calendar-queue scheduler and payload allocations per multicast through
+// the zero-copy Buffer pipeline. Emits one BENCH_JSON line per metric for
+// the BENCH_* trajectory tooling.
+//
+//   DDEMOS_BENCH_EVENTS  total dispatched events in the storm (default 2e6)
+//   DDEMOS_BENCH_NODES   ring size (default 64)
+#include <chrono>
+#include <cstdio>
+
+#include "common.hpp"
+#include "net/buffer.hpp"
+#include "sim/sim.hpp"
+
+using namespace ddemos;
+
+namespace {
+
+// Forwards every received message to the next node in the ring, carrying a
+// remaining-hop budget in the first 4 payload bytes.
+class RingNode final : public sim::Process {
+ public:
+  RingNode(sim::NodeId next, std::size_t payload_bytes)
+      : next_(next), payload_bytes_(payload_bytes) {}
+
+  void inject(std::uint32_t hops) {
+    Writer w;
+    w.u32(hops);
+    w.raw(Bytes(payload_bytes_, 0x5a));
+    ctx().send(next_, w.take());
+  }
+
+  void on_start() override {}
+  void on_message(sim::NodeId, const net::Buffer& payload) override {
+    Reader r(payload.view());
+    std::uint32_t hops = r.u32();
+    if (hops == 0) return;
+    Writer w;
+    w.reserve(payload.size());
+    w.u32(hops - 1);
+    w.raw(r.raw_view(payload.size() - 4));
+    ctx().send(next_, w.take());
+  }
+
+ private:
+  sim::NodeId next_;
+  std::size_t payload_bytes_;
+};
+
+class FanoutNode final : public sim::Process {
+ public:
+  explicit FanoutNode(std::vector<sim::NodeId> peers)
+      : peers_(std::move(peers)) {}
+  void multicast_round() {
+    net::Buffer msg(Bytes(512, 0x77));
+    for (sim::NodeId p : peers_) ctx().send(p, msg);
+  }
+  void on_message(sim::NodeId, const net::Buffer&) override {}
+
+ private:
+  std::vector<sim::NodeId> peers_;
+};
+
+}  // namespace
+
+int main() {
+  const std::size_t total_events =
+      bench::env_size("DDEMOS_BENCH_EVENTS", 2'000'000);
+  const std::size_t n_nodes = bench::env_size("DDEMOS_BENCH_NODES", 64);
+
+  // --- events/sec through the dispatch loop -------------------------------
+  sim::Simulation sim(7);
+  sim.set_default_link(sim::LinkModel{100, 30, 0.0, 0.0});
+  std::vector<RingNode*> nodes;
+  for (std::size_t i = 0; i < n_nodes; ++i) {
+    auto next = static_cast<sim::NodeId>((i + 1) % n_nodes);
+    nodes.push_back(dynamic_cast<RingNode*>(&sim.process(sim.add_node(
+        std::make_unique<RingNode>(next, 128), "ring"))));
+  }
+  sim.start();
+  const std::uint32_t hops =
+      static_cast<std::uint32_t>(total_events / n_nodes);
+  for (auto* n : nodes) n->inject(hops);
+  // Injected sends depart from context of a finished handler; drain now.
+  auto wall_start = std::chrono::steady_clock::now();
+  std::size_t events = sim.run_until_idle(total_events + n_nodes + 16);
+  double secs = std::chrono::duration<double>(
+                    std::chrono::steady_clock::now() - wall_start)
+                    .count();
+  double events_per_sec = secs > 0 ? static_cast<double>(events) / secs : 0;
+
+  std::printf("# micro_dispatch: %zu nodes, %zu events, %.2fs wall\n",
+              n_nodes, events, secs);
+  std::printf("BENCH_JSON {\"bench\":\"micro_dispatch\","
+              "\"metric\":\"events_per_sec\",\"value\":%.0f,"
+              "\"nodes\":%zu,\"events\":%zu}\n",
+              events_per_sec, n_nodes, events);
+
+  // --- payload allocations per multicast ----------------------------------
+  const std::size_t fan = 32, rounds = 1000;
+  sim::Simulation msim(11);
+  std::vector<sim::NodeId> sinks;
+  for (std::size_t i = 0; i < fan; ++i) {
+    sinks.push_back(msim.add_node(
+        std::make_unique<FanoutNode>(std::vector<sim::NodeId>{}), "sink"));
+  }
+  auto* fanout = dynamic_cast<FanoutNode*>(&msim.process(
+      msim.add_node(std::make_unique<FanoutNode>(sinks), "fanout")));
+  msim.start();
+  msim.run_until_idle();
+  net::Buffer::reset_payload_allocations();
+  for (std::size_t r = 0; r < rounds; ++r) {
+    fanout->multicast_round();
+    msim.run_until_idle();
+  }
+  double allocs_per_multicast =
+      static_cast<double>(net::Buffer::payload_allocations()) / rounds;
+  std::printf("BENCH_JSON {\"bench\":\"micro_dispatch\","
+              "\"metric\":\"allocations_per_multicast\",\"value\":%.3f,"
+              "\"recipients\":%zu,\"rounds\":%zu}\n",
+              allocs_per_multicast, fan, rounds);
+  return 0;
+}

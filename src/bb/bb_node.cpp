@@ -64,9 +64,9 @@ std::size_t BbNode::ballot_index(Serial serial) const {
   return it->second;
 }
 
-void BbNode::on_message(NodeId from, BytesView payload) {
+void BbNode::on_message(NodeId from, const net::Buffer& payload) {
   try {
-    Reader r(payload);
+    Reader r(payload.view());
     auto type = static_cast<MsgType>(r.u8());
     switch (type) {
       case MsgType::kVoteSetChunk: {

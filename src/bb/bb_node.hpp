@@ -49,7 +49,7 @@ class BbNode final : public sim::Process {
  public:
   explicit BbNode(core::BbInit init);
 
-  void on_message(sim::NodeId from, BytesView payload) override;
+  void on_message(sim::NodeId from, const net::Buffer& payload) override;
 
   // --- public read API (also served over the network read channel) ------
   bool vote_set_published() const { return vote_set_accepted_; }

@@ -55,10 +55,10 @@ void Voter::on_timer(std::uint64_t token) {
   }
 }
 
-void Voter::on_message(NodeId from, BytesView payload) {
+void Voter::on_message(NodeId from, const net::Buffer& payload) {
   if (receipt_ok_ || gave_up_ || from != current_vc_) return;
   try {
-    Reader r(payload);
+    Reader r(payload.view());
     if (static_cast<MsgType>(r.u8()) != MsgType::kVoteReply) return;
     VoteReplyMsg m = VoteReplyMsg::decode(r);
     if (m.serial != cfg_.ballot.serial) return;

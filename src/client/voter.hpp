@@ -32,7 +32,7 @@ class Voter final : public sim::Process {
   explicit Voter(Config config);
 
   void on_start() override;
-  void on_message(sim::NodeId from, BytesView payload) override;
+  void on_message(sim::NodeId from, const net::Buffer& payload) override;
   void on_timer(std::uint64_t token) override;
 
   bool has_receipt() const { return receipt_ok_; }

@@ -13,6 +13,7 @@ RbcEngine::RbcEngine(std::size_t n, std::size_t f, std::size_t self_index,
 Bytes RbcEngine::make_msg(Type t, std::size_t origin, std::uint64_t tag,
                           const Bytes& payload) const {
   Writer w;
+  w.reserve(payload.size() + 24);  // header + varints + length prefix
   w.u8(static_cast<std::uint8_t>(t));
   w.varint(origin);
   w.varint(tag);

@@ -207,11 +207,12 @@ RecoverResponseMsg RecoverResponseMsg::decode(Reader& r) {
 
 Bytes wrap_consensus(BytesView inner) {
   Writer w = with_type(MsgType::kConsensus);
+  w.reserve(inner.size() + 10);
   w.bytes(inner);
   return w.take();
 }
 
-Bytes unwrap_consensus(Reader& r) { return r.bytes(); }
+BytesView unwrap_consensus(Reader& r) { return r.bytes_view(); }
 
 Bytes VoteSetChunkMsg::encode() const {
   Writer w = with_type(MsgType::kVoteSetChunk);

@@ -141,7 +141,8 @@ struct RecoverResponseMsg {
 };
 
 Bytes wrap_consensus(BytesView inner);
-Bytes unwrap_consensus(Reader& r);
+// Zero-copy: the returned view aliases the message payload being decoded.
+BytesView unwrap_consensus(Reader& r);
 
 // --- VC -> BB -------------------------------------------------------------
 

@@ -6,22 +6,20 @@ namespace ddemos::core {
 
 using sim::NodeId;
 
-ElectionRunner::ElectionRunner(RunnerConfig config)
-    : cfg_(std::move(config)),
-      artifacts_(ea::ea_setup({cfg_.params, cfg_.seed, false, 64})),
-      sim_(cfg_.seed ^ 0x5151515151515151ull) {
-  if (cfg_.tamper_setup) cfg_.tamper_setup(artifacts_);
-  sim_.set_default_link(cfg_.link);
-  const ElectionParams& p = cfg_.params;
+ElectionTopology build_election(sim::RuntimeHost& host,
+                                const ea::SetupArtifacts& artifacts,
+                                const RunnerConfig& cfg) {
+  const ElectionParams& p = cfg.params;
+  ElectionTopology topo;
 
   // Votes: fill defaults (round robin over options).
-  effective_votes_ = cfg_.votes;
-  effective_votes_.resize(p.n_voters, kAbstain);
-  for (std::size_t i = cfg_.votes.size(); i < p.n_voters; ++i) {
-    effective_votes_[i] = i % p.m();
+  topo.effective_votes = cfg.votes;
+  topo.effective_votes.resize(p.n_voters, kAbstain);
+  for (std::size_t i = cfg.votes.size(); i < p.n_voters; ++i) {
+    topo.effective_votes[i] = i % p.m();
   }
 
-  // VC nodes take simulation ids 0..Nv-1 (the convention BB nodes use to
+  // VC nodes take host ids 0..Nv-1 (the convention BB nodes use to
   // identify authenticated VC writers).
   std::vector<NodeId> vc_ids(p.n_vc), bb_ids(p.n_bb);
   for (std::size_t i = 0; i < p.n_vc; ++i) vc_ids[i] = static_cast<NodeId>(i);
@@ -30,39 +28,41 @@ ElectionRunner::ElectionRunner(RunnerConfig config)
   }
   for (std::size_t i = 0; i < p.n_vc; ++i) {
     std::shared_ptr<store::BallotDataSource> source;
-    if (cfg_.store_factory) {
-      source = cfg_.store_factory(artifacts_.vc_inits[i]);
+    if (cfg.store_factory) {
+      source = cfg.store_factory(artifacts.vc_inits[i]);
     } else {
       source = std::make_shared<store::MemoryBallotSource>(
-          artifacts_.vc_inits[i].ballots);
+          artifacts.vc_inits[i].ballots);
     }
-    NodeId id = sim_.add_node(
-        std::make_unique<vc::VcNode>(artifacts_.vc_inits[i], source, vc_ids,
-                                     bb_ids, cfg_.vc_options),
+    NodeId id = host.add_node(
+        std::make_unique<vc::VcNode>(artifacts.vc_inits[i], source, vc_ids,
+                                     bb_ids, cfg.vc_options),
         "vc" + std::to_string(i));
-    vc_ids_.push_back(id);
+    topo.vc_ids.push_back(id);
   }
   for (std::size_t i = 0; i < p.n_bb; ++i) {
-    NodeId id = sim_.add_node(
-        std::make_unique<bb::BbNode>(artifacts_.bb_inits[i]),
+    NodeId id = host.add_node(
+        std::make_unique<bb::BbNode>(artifacts.bb_inits[i]),
         "bb" + std::to_string(i));
-    bb_ids_.push_back(id);
+    topo.bb_ids.push_back(id);
   }
   for (std::size_t i = 0; i < p.n_trustees; ++i) {
-    NodeId id = sim_.add_node(std::make_unique<trustee::TrusteeNode>(
-                                  artifacts_.trustee_inits[i], bb_ids_),
-                              "trustee" + std::to_string(i));
-    trustee_ids_.push_back(id);
+    NodeId id = host.add_node(
+        std::make_unique<trustee::TrusteeNode>(artifacts.trustee_inits[i],
+                                               topo.bb_ids,
+                                               cfg.trustee_options),
+        "trustee" + std::to_string(i));
+    topo.trustee_ids.push_back(id);
   }
   for (std::size_t v = 0; v < p.n_voters; ++v) {
-    if (effective_votes_[v] == kAbstain) continue;
-    client::Voter::Config vcfg = cfg_.voter_template;
-    vcfg.ballot = artifacts_.voter_ballots[v];
-    vcfg.option_index = effective_votes_[v];
-    vcfg.vc_ids = vc_ids_;
-    vcfg.seed = cfg_.seed * 1000003 + v;
-    if (cfg_.vote_time) {
-      vcfg.vote_at = cfg_.vote_time(v);
+    if (topo.effective_votes[v] == kAbstain) continue;
+    client::Voter::Config vcfg = cfg.voter_template;
+    vcfg.ballot = artifacts.voter_ballots[v];
+    vcfg.option_index = topo.effective_votes[v];
+    vcfg.vc_ids = topo.vc_ids;
+    vcfg.seed = cfg.seed * 1000003 + v;
+    if (cfg.vote_time) {
+      vcfg.vote_at = cfg.vote_time(v);
     } else {
       // Even spread over the first three quarters of the window.
       sim::Duration window = (p.t_end - p.t_start) * 3 / 4;
@@ -71,13 +71,25 @@ ElectionRunner::ElectionRunner(RunnerConfig config)
           static_cast<sim::Duration>(
               static_cast<std::uint64_t>(window) * (v + 1) / (p.n_voters + 1));
     }
-    NodeId id = sim_.add_node(std::make_unique<client::Voter>(vcfg),
+    NodeId id = host.add_node(std::make_unique<client::Voter>(vcfg),
                               "voter" + std::to_string(v));
-    voter_ids_.push_back(id);
+    topo.voter_ids.push_back(id);
   }
-  for (std::size_t i : cfg_.crashed_vcs) sim_.crash(vc_ids_.at(i));
-  for (std::size_t i : cfg_.crashed_bbs) sim_.crash(bb_ids_.at(i));
-  for (std::size_t i : cfg_.crashed_trustees) sim_.crash(trustee_ids_.at(i));
+  return topo;
+}
+
+ElectionRunner::ElectionRunner(RunnerConfig config)
+    : cfg_(std::move(config)),
+      artifacts_(ea::ea_setup({cfg_.params, cfg_.seed, false, 64})),
+      sim_(cfg_.seed ^ 0x5151515151515151ull) {
+  if (cfg_.tamper_setup) cfg_.tamper_setup(artifacts_);
+  sim_.set_default_link(cfg_.link);
+  topo_ = build_election(sim_, artifacts_, cfg_);
+  for (std::size_t i : cfg_.crashed_vcs) sim_.crash(topo_.vc_ids.at(i));
+  for (std::size_t i : cfg_.crashed_bbs) sim_.crash(topo_.bb_ids.at(i));
+  for (std::size_t i : cfg_.crashed_trustees) {
+    sim_.crash(topo_.trustee_ids.at(i));
+  }
 }
 
 void ElectionRunner::run_to_completion() {
@@ -86,25 +98,25 @@ void ElectionRunner::run_to_completion() {
 }
 
 vc::VcNode& ElectionRunner::vc_node(std::size_t i) {
-  return dynamic_cast<vc::VcNode&>(sim_.process(vc_ids_.at(i)));
+  return dynamic_cast<vc::VcNode&>(sim_.process(topo_.vc_ids.at(i)));
 }
 
 bb::BbNode& ElectionRunner::bb_node(std::size_t i) {
-  return dynamic_cast<bb::BbNode&>(sim_.process(bb_ids_.at(i)));
+  return dynamic_cast<bb::BbNode&>(sim_.process(topo_.bb_ids.at(i)));
 }
 
 trustee::TrusteeNode& ElectionRunner::trustee_node(std::size_t i) {
   return dynamic_cast<trustee::TrusteeNode&>(
-      sim_.process(trustee_ids_.at(i)));
+      sim_.process(topo_.trustee_ids.at(i)));
 }
 
 client::Voter& ElectionRunner::voter(std::size_t i) {
-  return dynamic_cast<client::Voter&>(sim_.process(voter_ids_.at(i)));
+  return dynamic_cast<client::Voter&>(sim_.process(topo_.voter_ids.at(i)));
 }
 
 std::vector<const bb::BbNode*> ElectionRunner::bb_views() const {
   std::vector<const bb::BbNode*> views;
-  for (NodeId id : bb_ids_) {
+  for (NodeId id : topo_.bb_ids) {
     if (!sim_.crashed(id)) {
       views.push_back(dynamic_cast<const bb::BbNode*>(
           &const_cast<sim::Simulation&>(sim_).process(id)));
@@ -117,10 +129,11 @@ std::vector<std::uint64_t> ElectionRunner::expected_tally() const {
   std::vector<std::uint64_t> tally(cfg_.params.m(), 0);
   std::size_t voter_idx = 0;
   for (std::size_t v = 0; v < cfg_.params.n_voters; ++v) {
-    if (effective_votes_[v] == kAbstain) continue;
+    if (topo_.effective_votes[v] == kAbstain) continue;
     const auto& voter = dynamic_cast<const client::Voter&>(
-        const_cast<sim::Simulation&>(sim_).process(voter_ids_[voter_idx]));
-    if (voter.has_receipt()) ++tally[effective_votes_[v]];
+        const_cast<sim::Simulation&>(sim_).process(
+            topo_.voter_ids[voter_idx]));
+    if (voter.has_receipt()) ++tally[topo_.effective_votes[v]];
     ++voter_idx;
   }
   return tally;

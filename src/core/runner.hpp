@@ -45,7 +45,26 @@ struct RunnerConfig {
   // verifiability tests and examples to play a malicious EA (modification /
   // clash attacks) against the auditors.
   std::function<void(ea::SetupArtifacts&)> tamper_setup;
+  // Trustee behaviour (poll interval etc.) shared by both runtimes.
+  trustee::TrusteeNode::Options trustee_options;
 };
+
+// Node ids of an election instantiated on some RuntimeHost.
+struct ElectionTopology {
+  std::vector<sim::NodeId> vc_ids, bb_ids, trustee_ids, voter_ids;
+  // Option index per configured voter slot (kAbstain for non-voters);
+  // voter_ids only contains the non-abstaining voters, in slot order.
+  std::vector<std::size_t> effective_votes;
+};
+
+// Instantiates every protocol node of the election described by `cfg` on
+// `host` — the deterministic simulator or the multi-threaded transport.
+// This is the single code path both ElectionRunner and the runtime-parity
+// tests use; runtime-specific setup (link models, crash injection) happens
+// on the concrete runtime before/after this call.
+ElectionTopology build_election(sim::RuntimeHost& host,
+                                const ea::SetupArtifacts& artifacts,
+                                const RunnerConfig& cfg);
 
 class ElectionRunner {
  public:
@@ -62,7 +81,8 @@ class ElectionRunner {
   bb::BbNode& bb_node(std::size_t i);
   trustee::TrusteeNode& trustee_node(std::size_t i);
   client::Voter& voter(std::size_t i);
-  std::size_t voter_count() const { return voter_ids_.size(); }
+  std::size_t voter_count() const { return topo_.voter_ids.size(); }
+  const ElectionTopology& topology() const { return topo_; }
 
   std::vector<const bb::BbNode*> bb_views() const;
   client::MajorityReader reader() const {
@@ -76,8 +96,7 @@ class ElectionRunner {
   RunnerConfig cfg_;
   ea::SetupArtifacts artifacts_;
   sim::Simulation sim_;
-  std::vector<sim::NodeId> vc_ids_, bb_ids_, trustee_ids_, voter_ids_;
-  std::vector<std::size_t> effective_votes_;
+  ElectionTopology topo_;
 };
 
 }  // namespace ddemos::core

@@ -87,8 +87,11 @@ SetupArtifacts ea_setup_streaming(const EaConfig& cfg,
     vi.coin_roots = coin_deal.round_roots;
   }
 
-  std::set<Serial> serials;
-  while (serials.size() < p.n_voters) serials.insert(rng.u64());
+  // Contiguous serials starting at 1: ballot `i` has serial `i + 1`, so
+  // the dense instance numbering used by the batched vote-set consensus
+  // and the VC nodes' serial-indexed state vectors is just `serial - 1`.
+  std::vector<Serial> serials(p.n_voters);
+  for (std::size_t i = 0; i < p.n_voters; ++i) serials[i] = i + 1;
 
   std::vector<VcBallotInit> per_vc(p.n_vc);
   for (Serial serial : serials) {
@@ -218,8 +221,10 @@ SetupArtifacts ea_setup(const EaConfig& cfg) {
   }
 
   // --- Unique sorted serials ----------------------------------------------
-  std::set<Serial> serials;
-  while (serials.size() < p.n_voters) serials.insert(rng.u64());
+  // Contiguous from 1, matching ea_setup_streaming above: instance index
+  // and serial differ by exactly one everywhere in the system.
+  std::vector<Serial> serials(p.n_voters);
+  for (std::size_t i = 0; i < p.n_voters; ++i) serials[i] = i + 1;
 
   // --- Per-ballot generation ------------------------------------------------
   for (Serial serial : serials) {

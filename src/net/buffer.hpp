@@ -1,0 +1,63 @@
+// Ref-counted immutable message payload. A Buffer is created once per
+// encoded message (one heap allocation for the payload) and then shared by
+// handle across every hop of the pipeline: an N-recipient multicast enqueues
+// N cheap handle copies of the same allocation instead of N deep copies of
+// the bytes. Receivers observe the payload through read-only views
+// (BytesView), so the underlying bytes are never mutated after construction
+// and sharing across ThreadNet worker threads is safe.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <utility>
+
+#include "util/bytes.hpp"
+
+namespace ddemos::net {
+
+class Buffer {
+ public:
+  Buffer() = default;
+
+  // Wraps an encoded message. Implicit on purpose: protocol call sites keep
+  // writing ctx().send(to, msg.encode()). This is the only operation that
+  // counts as a payload allocation; copying a Buffer just bumps a refcount.
+  Buffer(Bytes bytes)  // NOLINT(google-explicit-constructor)
+      : data_(std::make_shared<const Bytes>(std::move(bytes))) {
+    payload_allocations_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  static Buffer copy_of(BytesView v) { return Buffer(Bytes(v.begin(), v.end())); }
+
+  BytesView view() const {
+    return data_ ? BytesView(*data_) : BytesView();
+  }
+  // NOLINTNEXTLINE(google-explicit-constructor): pervasive read-only use.
+  operator BytesView() const { return view(); }
+
+  const std::uint8_t* data() const { return data_ ? data_->data() : nullptr; }
+  std::size_t size() const { return data_ ? data_->size() : 0; }
+  bool empty() const { return size() == 0; }
+  // Precondition: i < size() (like vector; an empty handle has size 0).
+  std::uint8_t operator[](std::size_t i) const { return view()[i]; }
+  auto begin() const { return view().begin(); }
+  auto end() const { return view().end(); }
+
+  // How many handles share this payload (1 for a freshly wrapped message).
+  long use_count() const { return data_.use_count(); }
+
+  // --- allocation accounting (asserted by tests and the dispatch bench) ---
+  static std::uint64_t payload_allocations() {
+    return payload_allocations_.load(std::memory_order_relaxed);
+  }
+  static void reset_payload_allocations() {
+    payload_allocations_.store(0, std::memory_order_relaxed);
+  }
+
+ private:
+  std::shared_ptr<const Bytes> data_;
+  inline static std::atomic<std::uint64_t> payload_allocations_{0};
+};
+
+}  // namespace ddemos::net

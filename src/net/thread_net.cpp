@@ -10,7 +10,7 @@ class ThreadNet::NodeContext final : public sim::Context {
  public:
   NodeContext(ThreadNet* net, NodeId id) : net_(net), id_(id) {}
 
-  void send(NodeId to, Bytes payload) override {
+  void send(NodeId to, Buffer payload) override {
     net_->deliver(to, id_, std::move(payload));
   }
 
@@ -45,7 +45,9 @@ ThreadNet::ThreadNet() = default;
 ThreadNet::~ThreadNet() { stop(); }
 
 NodeId ThreadNet::add_node(std::unique_ptr<Process> proc, std::string name) {
-  if (running_) throw ProtocolError("ThreadNet: add_node after start");
+  if (running_.load(std::memory_order_acquire)) {
+    throw ProtocolError("ThreadNet: add_node after start");
+  }
   NodeId id = static_cast<NodeId>(nodes_.size());
   auto node = std::make_unique<Node>();
   node->proc = std::move(proc);
@@ -58,7 +60,11 @@ NodeId ThreadNet::add_node(std::unique_ptr<Process> proc, std::string name) {
 
 Process& ThreadNet::process(NodeId id) { return *nodes_.at(id)->proc; }
 
-void ThreadNet::deliver(NodeId to, NodeId from, Bytes payload) {
+const std::string& ThreadNet::node_name(NodeId id) const {
+  return nodes_.at(id)->name;
+}
+
+void ThreadNet::deliver(NodeId to, NodeId from, Buffer payload) {
   if (to >= nodes_.size()) return;  // unknown destination: drop
   Node& n = *nodes_.at(to);
   {
@@ -69,9 +75,9 @@ void ThreadNet::deliver(NodeId to, NodeId from, Bytes payload) {
 }
 
 void ThreadNet::start() {
-  if (running_) return;
-  running_ = true;
-  stop_ = false;
+  if (running_.load(std::memory_order_acquire)) return;
+  running_.store(true, std::memory_order_release);
+  stop_.store(false, std::memory_order_release);
   epoch_ = std::chrono::steady_clock::now();
   for (auto& node : nodes_) {
     node->worker = std::thread([this, n = node.get()] { worker_loop(*n); });
@@ -79,19 +85,25 @@ void ThreadNet::start() {
 }
 
 void ThreadNet::stop() {
-  if (!running_) return;
-  stop_ = true;
-  for (auto& node : nodes_) node->cv.notify_all();
+  if (!running_.load(std::memory_order_acquire)) return;
+  stop_.store(true, std::memory_order_release);
+  for (auto& node : nodes_) {
+    // Take the node lock before notifying: a worker that already checked
+    // stop_ but has not started waiting yet holds the lock, so this cannot
+    // slip into the gap and lose the wakeup.
+    std::scoped_lock lk(node->mu);
+    node->cv.notify_all();
+  }
   for (auto& node : nodes_) {
     if (node->worker.joinable()) node->worker.join();
   }
-  running_ = false;
+  running_.store(false, std::memory_order_release);
 }
 
 void ThreadNet::worker_loop(Node& node) {
   node.proc->on_start();
   std::unique_lock lk(node.mu);
-  while (!stop_) {
+  while (!stop_.load(std::memory_order_acquire)) {
     auto now = std::chrono::steady_clock::now();
     // Fire due timers.
     std::vector<std::uint64_t> due;
@@ -116,6 +128,7 @@ void ThreadNet::worker_loop(Node& node) {
       lk.lock();
       continue;
     }
+    if (stop_.load(std::memory_order_acquire)) break;
     // Sleep until next timer or new mail.
     if (node.timers.empty()) {
       node.cv.wait_for(lk, std::chrono::milliseconds(50));

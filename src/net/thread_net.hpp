@@ -1,10 +1,13 @@
 // Real multi-threaded in-process transport hosting the same Process state
 // machines as the simulator: one worker thread per node, lock-protected
-// mailboxes, real wall-clock timers. Used by integration tests and examples
-// to demonstrate the protocol under genuine concurrency; the simulator is
-// used where determinism or scale is needed.
+// mailboxes of shared Buffer handles, real wall-clock timers. Used by
+// integration tests and examples to demonstrate the protocol under genuine
+// concurrency; the simulator is used where determinism or scale is needed.
+// Implements sim::RuntimeHost so election builders can target either
+// backend through one interface.
 #pragma once
 
+#include <atomic>
 #include <chrono>
 #include <condition_variable>
 #include <deque>
@@ -23,19 +26,21 @@ using sim::NodeId;
 using sim::Process;
 using sim::TimePoint;
 
-class ThreadNet {
+class ThreadNet final : public sim::RuntimeHost {
  public:
   ThreadNet();
-  ~ThreadNet();
+  ~ThreadNet() override;
 
   ThreadNet(const ThreadNet&) = delete;
   ThreadNet& operator=(const ThreadNet&) = delete;
 
-  NodeId add_node(std::unique_ptr<Process> proc, std::string name);
-  Process& process(NodeId id);
+  NodeId add_node(std::unique_ptr<Process> proc, std::string name) override;
+  Process& process(NodeId id) override;
+  const std::string& node_name(NodeId id) const override;
+  std::size_t node_count() const override { return nodes_.size(); }
 
   // Spawns one worker thread per node and delivers on_start.
-  void start();
+  void start() override;
   // Signals all workers and joins them. Safe to call twice.
   void stop();
 
@@ -48,7 +53,7 @@ class ThreadNet {
   class NodeContext;
   struct Mail {
     NodeId from;
-    Bytes payload;
+    Buffer payload;  // refcounted: multicast senders share one allocation
   };
   struct Timer {
     std::chrono::steady_clock::time_point due;
@@ -64,16 +69,17 @@ class ThreadNet {
     std::deque<Mail> inbox;
     std::vector<Timer> timers;
     std::uint64_t next_token = 1;
-    bool started = false;
   };
 
   void worker_loop(Node& node);
-  void deliver(NodeId to, NodeId from, Bytes payload);
+  void deliver(NodeId to, NodeId from, Buffer payload);
 
   std::vector<std::unique_ptr<Node>> nodes_;
   std::chrono::steady_clock::time_point epoch_;
-  bool running_ = false;
-  bool stop_ = false;
+  // Read by every worker thread without holding a node lock; stop() also
+  // flips stop_ from outside the workers, so both must be atomic.
+  std::atomic<bool> running_{false};
+  std::atomic<bool> stop_{false};
 
   friend class NodeContext;
 };

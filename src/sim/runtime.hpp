@@ -5,11 +5,20 @@
 // (net/thread_net.hpp). This mirrors the paper's asynchronous communications
 // stack: connection semantics are hidden, the upper layers are message
 // oriented.
+//
+// Messages travel as net::Buffer handles: the payload is allocated once at
+// the sender (usually by Writer::take() via the implicit Bytes -> Buffer
+// conversion) and shared by reference count through queues, multicasts and
+// duplicate deliveries. Handlers read it through a BytesView and must copy
+// any bytes they want to keep beyond the handler invocation only if they
+// drop the Buffer handle itself.
 #pragma once
 
 #include <cstdint>
 #include <memory>
+#include <string>
 
+#include "net/buffer.hpp"
 #include "util/bytes.hpp"
 
 namespace ddemos::sim {
@@ -25,8 +34,10 @@ class Context {
  public:
   virtual ~Context() = default;
   // Asynchronous, unordered, unreliable message send (delivery semantics
-  // depend on the hosting runtime's link model).
-  virtual void send(NodeId to, Bytes payload) = 0;
+  // depend on the hosting runtime's link model). The Buffer handle is
+  // cheap to copy: multicast loops send the same Buffer to every
+  // recipient and pay for the payload allocation exactly once.
+  virtual void send(NodeId to, net::Buffer payload) = 0;
   // One-shot timer; returns a token passed back to Process::on_timer.
   virtual std::uint64_t set_timer(Duration after) = 0;
   virtual TimePoint now() const = 0;
@@ -43,7 +54,7 @@ class Process {
   void bind(Context* ctx) { ctx_ = ctx; }
 
   virtual void on_start() {}
-  virtual void on_message(NodeId from, BytesView payload) = 0;
+  virtual void on_message(NodeId from, const net::Buffer& payload) = 0;
   virtual void on_timer(std::uint64_t /*token*/) {}
 
  protected:
@@ -52,6 +63,23 @@ class Process {
 
  private:
   Context* ctx_ = nullptr;
+};
+
+// Common node-hosting surface implemented by both runtimes
+// (sim::Simulation and net::ThreadNet). Election builders and tests are
+// written against this interface so the exact same protocol topology can be
+// hosted on either backend without parallel code paths; runtime-specific
+// concerns (link models, crash injection, virtual-time stepping, wall-clock
+// waiting) stay on the concrete classes.
+class RuntimeHost {
+ public:
+  virtual ~RuntimeHost() = default;
+  virtual NodeId add_node(std::unique_ptr<Process> proc, std::string name) = 0;
+  virtual Process& process(NodeId id) = 0;
+  virtual const std::string& node_name(NodeId id) const = 0;
+  virtual std::size_t node_count() const = 0;
+  // Delivers on_start to all nodes (and, for ThreadNet, spawns workers).
+  virtual void start() = 0;
 };
 
 }  // namespace ddemos::sim

@@ -13,7 +13,7 @@ class Simulation::NodeContext final : public Context {
  public:
   NodeContext(Simulation* sim, NodeId id) : sim_(sim), id_(id) {}
 
-  void send(NodeId to, Bytes payload) override {
+  void send(NodeId to, net::Buffer payload) override {
     sim_->submit_send(id_, to, std::move(payload), handler_end_);
   }
   std::uint64_t set_timer(Duration after) override {
@@ -86,7 +86,7 @@ void Simulation::start() {
   }
 }
 
-void Simulation::submit_send(NodeId from, NodeId to, Bytes payload,
+void Simulation::submit_send(NodeId from, NodeId to, net::Buffer payload,
                              TimePoint depart) {
   if (to >= nodes_.size()) throw ProtocolError("send to unknown node");
   const LinkModel& lm = link_for(from, to);
@@ -103,6 +103,8 @@ void Simulation::submit_send(NodeId from, NodeId to, Bytes payload,
     }
     extra = *d;
   }
+  // Each enqueue copies only the Buffer handle; the payload allocation is
+  // shared with the sender (and with every other recipient of a multicast).
   auto enqueue = [&](TimePoint when) {
     queue_.push(Event{when, seq_++, to, from, 0, payload});
   };
@@ -110,7 +112,11 @@ void Simulation::submit_send(NodeId from, NodeId to, Bytes payload,
       lm.jitter > 0 ? static_cast<Duration>(rng_.below(
                           static_cast<std::uint64_t>(lm.jitter) + 1))
                     : 0;
-  TimePoint arrive = depart + lm.base_latency + jitter + extra;
+  // A message cannot arrive before it departs (an adversarial LinkFilter
+  // may return a negative extra delay; the calendar queue also relies on
+  // event times being non-negative).
+  TimePoint arrive =
+      std::max(depart + lm.base_latency + jitter + extra, depart);
   enqueue(arrive);
   if (lm.dup_prob > 0 && rng_.uniform01() < lm.dup_prob) {
     enqueue(arrive + lm.base_latency);
@@ -120,7 +126,8 @@ void Simulation::submit_send(NodeId from, NodeId to, Bytes payload,
 std::uint64_t Simulation::submit_timer(NodeId node, Duration after,
                                        TimePoint from_time) {
   std::uint64_t token = ++timer_tokens_;
-  queue_.push(Event{from_time + after, seq_++, node, kNoNode, token, {}});
+  queue_.push(Event{std::max(from_time + after, from_time), seq_++, node,
+                    kNoNode, token, {}});
   return token;
 }
 
@@ -149,8 +156,7 @@ void Simulation::dispatch(const Event& ev) {
 
 bool Simulation::step() {
   if (queue_.empty()) return false;
-  Event ev = queue_.top();
-  queue_.pop();
+  Event ev = queue_.pop();
   now_ = std::max(now_, ev.at);
   dispatch(ev);
   return true;

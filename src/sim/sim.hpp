@@ -3,17 +3,22 @@
 // reorder, per-node CPU service-time accounting (each node is a single
 // virtual processor; handler costs serialize), and adversary hooks for
 // bounded message delay and node crashes. Fully deterministic given a seed.
+//
+// Events carry net::Buffer payload handles, so enqueueing, duplication and
+// multicast fan-out never deep-copy message bytes; the event set itself is
+// a bucketed calendar queue (sim/calendar_queue.hpp) with amortized O(1)
+// push/pop in the dispatch hot path.
 #pragma once
 
 #include <functional>
 #include <map>
 #include <memory>
 #include <optional>
-#include <queue>
 #include <string>
 #include <vector>
 
 #include "crypto/rng.hpp"
+#include "sim/calendar_queue.hpp"
 #include "sim/runtime.hpp"
 
 namespace ddemos::sim {
@@ -36,18 +41,18 @@ struct LinkModel {
 using LinkFilter =
     std::function<std::optional<Duration>(NodeId from, NodeId to, TimePoint)>;
 
-class Simulation {
+class Simulation final : public RuntimeHost {
  public:
   explicit Simulation(std::uint64_t seed);
-  ~Simulation();
+  ~Simulation() override;
 
   Simulation(const Simulation&) = delete;
   Simulation& operator=(const Simulation&) = delete;
 
-  NodeId add_node(std::unique_ptr<Process> proc, std::string name);
-  Process& process(NodeId id);
-  const std::string& node_name(NodeId id) const;
-  std::size_t node_count() const { return nodes_.size(); }
+  NodeId add_node(std::unique_ptr<Process> proc, std::string name) override;
+  Process& process(NodeId id) override;
+  const std::string& node_name(NodeId id) const override;
+  std::size_t node_count() const override { return nodes_.size(); }
 
   void set_default_link(const LinkModel& model) { default_link_ = model; }
   void set_link(NodeId a, NodeId b, const LinkModel& model);
@@ -64,7 +69,7 @@ class Simulation {
   void set_measure_cpu(bool enabled) { measure_cpu_ = enabled; }
 
   // Calls on_start on all nodes not yet started.
-  void start();
+  void start() override;
 
   TimePoint now() const { return now_; }
   // Process a single event. Returns false when the queue is empty.
@@ -79,7 +84,8 @@ class Simulation {
   std::uint64_t dropped_messages() const { return dropped_; }
 
   // Used by NodeContext (internal).
-  void submit_send(NodeId from, NodeId to, Bytes payload, TimePoint depart);
+  void submit_send(NodeId from, NodeId to, net::Buffer payload,
+                   TimePoint depart);
   std::uint64_t submit_timer(NodeId node, Duration after, TimePoint from_time);
 
  private:
@@ -89,13 +95,7 @@ class Simulation {
     NodeId target;
     NodeId from;          // kNoNode for timers
     std::uint64_t token;  // timer token
-    Bytes payload;
-  };
-  struct EventCmp {
-    bool operator()(const Event& a, const Event& b) const {
-      if (a.at != b.at) return a.at > b.at;
-      return a.seq > b.seq;
-    }
+    net::Buffer payload;  // shared handle; empty for timers
   };
   class NodeContext;
   struct Node {
@@ -114,7 +114,7 @@ class Simulation {
   LinkModel default_link_ = LinkModel::lan();
   std::map<std::pair<NodeId, NodeId>, LinkModel> links_;
   LinkFilter filter_;
-  std::priority_queue<Event, std::vector<Event>, EventCmp> queue_;
+  CalendarQueue<Event> queue_;
   TimePoint now_ = 0;
   bool measure_cpu_ = false;
   std::uint64_t seq_ = 0;

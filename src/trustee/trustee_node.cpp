@@ -30,13 +30,14 @@ void TrusteeNode::poll_bbs() {
   BbReadMsg m;
   m.section = "cast-info";
   m.request_id = current_request_;
-  for (NodeId bb : bb_ids_) ctx().send(bb, m.encode());
+  net::Buffer msg = m.encode();  // one allocation for all BB recipients
+  for (NodeId bb : bb_ids_) ctx().send(bb, msg);
 }
 
-void TrusteeNode::on_message(NodeId, BytesView payload) {
+void TrusteeNode::on_message(NodeId, const net::Buffer& payload) {
   if (submitted_) return;
   try {
-    Reader r(payload);
+    Reader r(payload.view());
     if (static_cast<MsgType>(r.u8()) != MsgType::kBbReadReply) return;
     BbReadReplyMsg m = BbReadReplyMsg::decode(r);
     if (m.request_id != current_request_ || !m.available) return;
@@ -147,7 +148,7 @@ void TrusteeNode::submit_all(BytesView cast_info_payload) {
     }
     msg.signature = crypto::schnorr_sign(
         init_.signing_key, msg.signing_bytes(init_.params.election_id));
-    Bytes encoded = msg.encode();
+    net::Buffer encoded = msg.encode();
     for (NodeId bb : bb_ids_) ctx().send(bb, encoded);
   }
 
@@ -159,7 +160,7 @@ void TrusteeNode::submit_all(BytesView cast_info_payload) {
     }
     tally.signature = crypto::schnorr_sign(
         init_.signing_key, tally.signing_bytes(init_.params.election_id));
-    Bytes encoded = tally.encode();
+    net::Buffer encoded = tally.encode();
     for (NodeId bb : bb_ids_) ctx().send(bb, encoded);
   }
   (void)coins;

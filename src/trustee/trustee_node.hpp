@@ -28,7 +28,7 @@ class TrusteeNode final : public sim::Process {
               Options options = {});
 
   void on_start() override;
-  void on_message(sim::NodeId from, BytesView payload) override;
+  void on_message(sim::NodeId from, const net::Buffer& payload) override;
   void on_timer(std::uint64_t token) override;
 
   bool submitted() const { return submitted_; }

@@ -77,9 +77,21 @@ bool Reader::boolean() {
 }
 
 Bytes Reader::bytes() {
+  BytesView v = bytes_view();
+  return Bytes(v.begin(), v.end());
+}
+
+BytesView Reader::bytes_view() {
   std::uint64_t n = varint();
   if (n > remaining()) throw CodecError("bytes: length exceeds buffer");
-  return raw(static_cast<std::size_t>(n));
+  return raw_view(static_cast<std::size_t>(n));
+}
+
+BytesView Reader::raw_view(std::size_t n) {
+  need(n);
+  BytesView out = data_.subspan(pos_, n);
+  pos_ += n;
+  return out;
 }
 
 std::string Reader::str() {
@@ -88,11 +100,8 @@ std::string Reader::str() {
 }
 
 Bytes Reader::raw(std::size_t n) {
-  need(n);
-  Bytes out(data_.begin() + static_cast<std::ptrdiff_t>(pos_),
-            data_.begin() + static_cast<std::ptrdiff_t>(pos_ + n));
-  pos_ += n;
-  return out;
+  BytesView v = raw_view(n);
+  return Bytes(v.begin(), v.end());
 }
 
 }  // namespace ddemos

@@ -18,6 +18,10 @@ class Writer {
  public:
   Writer() = default;
 
+  // Pre-sizes the backing buffer so hot encode paths (multicast bodies,
+  // consensus batches) reach their final allocation in one step.
+  void reserve(std::size_t n) { buf_.reserve(buf_.size() + n); }
+
   void u8(std::uint8_t v) { buf_.push_back(v); }
   void u16(std::uint16_t v);
   void u32(std::uint32_t v);
@@ -57,6 +61,11 @@ class Reader {
   std::string str();
   // Read exactly n raw bytes.
   Bytes raw(std::size_t n);
+  // Zero-copy variants: a view into the underlying message buffer. Valid
+  // only while the message payload (the Buffer the view was created over)
+  // is alive; copy into owned Bytes to keep data past the handler.
+  BytesView bytes_view();
+  BytesView raw_view(std::size_t n);
 
   template <typename T, typename Fn>
   std::vector<T> vec(Fn&& decode_one, std::size_t max_elems = 1u << 24) {

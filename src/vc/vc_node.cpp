@@ -24,6 +24,14 @@ VcNode::VcNode(VcInit init, std::shared_ptr<store::BallotDataSource> source,
     throw ProtocolError("VcNode: vc id list size mismatch");
   }
   announce_done_ = Bitmap(init_.params.n_vc);
+  n_ballots_ = source_->size();
+  if (n_ballots_ > 0) {
+    first_serial_ = source_->serial_at(0);
+    contiguous_serials_ =
+        source_->serial_at(n_ballots_ - 1) == first_serial_ + n_ballots_ - 1;
+  }
+  states_.resize(n_ballots_);
+  endorse_states_.resize(n_ballots_);
 }
 
 void VcNode::on_start() {
@@ -31,7 +39,7 @@ void VcNode::on_start() {
   end_timer_ = ctx().set_timer(std::max<sim::Duration>(until_end, 0));
 }
 
-void VcNode::multicast_vc(const Bytes& msg) {
+void VcNode::multicast_vc(const net::Buffer& msg) {
   for (NodeId id : vc_ids_) ctx().send(id, msg);
 }
 
@@ -45,6 +53,21 @@ std::optional<std::size_t> VcNode::vc_index_of(NodeId id) const {
 bool VcNode::within_hours() const {
   return ctx().now() >= init_.params.t_start &&
          ctx().now() < init_.params.t_end;
+}
+
+std::optional<std::size_t> VcNode::instance_of(Serial serial) const {
+  if (contiguous_serials_) {
+    if (serial < first_serial_ || serial >= first_serial_ + n_ballots_) {
+      return std::nullopt;
+    }
+    return static_cast<std::size_t>(serial - first_serial_);
+  }
+  return source_->index_of(serial);
+}
+
+Serial VcNode::serial_of(std::size_t instance) {
+  return contiguous_serials_ ? first_serial_ + instance
+                             : source_->serial_at(instance);
 }
 
 std::optional<std::pair<std::uint8_t, std::uint32_t>> VcNode::verify_vote_code(
@@ -100,10 +123,6 @@ Bytes VcNode::sign_endorsement(Serial serial, BytesView code) {
       endorsement_digest(init_.params.election_id, serial, code));
 }
 
-VcNode::BallotState& VcNode::state_for(Serial serial) {
-  return states_[serial];
-}
-
 std::optional<VcBallotInit> VcNode::find_ballot(Serial serial) {
   std::uint64_t before = source_->page_faults();
   auto ballot = source_->find(serial);
@@ -115,10 +134,10 @@ std::optional<VcBallotInit> VcNode::find_ballot(Serial serial) {
   return ballot;
 }
 
-void VcNode::on_message(NodeId from, BytesView payload) {
+void VcNode::on_message(NodeId from, const net::Buffer& payload) {
   ctx().charge(opt_.base_handler_cost_us);
   try {
-    Reader r(payload);
+    Reader r(payload.view());
     auto type = static_cast<MsgType>(r.u8());
     switch (type) {
       case MsgType::kVote:
@@ -145,13 +164,15 @@ void VcNode::on_message(NodeId from, BytesView payload) {
       case MsgType::kConsensus: {
         auto idx = vc_index_of(from);
         if (!idx) break;
-        Bytes inner = unwrap_consensus(r);
         if (!consensus_started_) {
           // A faster peer reached vote-set consensus before our election-end
-          // timer fired (clock drift): buffer until we join.
-          queued_consensus_.emplace_back(*idx, std::move(inner));
+          // timer fired (clock drift): keep the payload handle (no byte
+          // copy) until we join.
+          queued_consensus_.emplace_back(*idx, payload);
         } else {
-          consensus_->on_message(*idx, inner);
+          // Zero-copy: the view aliases `payload`, which stays alive for
+          // the whole handler invocation.
+          consensus_->on_message(*idx, unwrap_consensus(r));
         }
         break;
       }
@@ -177,12 +198,17 @@ void VcNode::handle_vote(NodeId from, Reader& r) {
     reply(VoteReplyStatus::kOutsideHours);
     return;
   }
+  auto inst = instance_of(m.serial);
+  if (!inst) {
+    reply(VoteReplyStatus::kUnknown);
+    return;
+  }
   auto ballot = find_ballot(m.serial);
   if (!ballot) {
     reply(VoteReplyStatus::kUnknown);
     return;
   }
-  BallotState& st = state_for(m.serial);
+  BallotState& st = state_at(*inst);
   if (st.status == BallotStatus::kVoted) {
     if (st.code == m.vote_code) {
       ++stats_.receipts_issued;
@@ -206,12 +232,13 @@ void VcNode::handle_vote(NodeId from, Reader& r) {
     return;
   }
   // Become the responder: gather endorsements for a uniqueness certificate.
-  auto [eit, inserted] = endorse_states_.try_emplace(m.serial);
-  if (inserted) {
-    eit->second.code = m.vote_code;
-    eit->second.part = loc->first;
-    eit->second.line = loc->second;
-  } else if (eit->second.code != m.vote_code) {
+  EndorseState& es = endorse_states_[*inst];
+  if (!es.active) {
+    es.active = true;
+    es.code = m.vote_code;
+    es.part = loc->first;
+    es.line = loc->second;
+  } else if (es.code != m.vote_code) {
     // We already started endorsing a different code for this ballot.
     reply(VoteReplyStatus::kAlreadyVoted);
     return;
@@ -225,15 +252,18 @@ void VcNode::handle_endorse(NodeId from, Reader& r) {
   if (phase_ != Phase::kVoting) return;
   auto sender = vc_index_of(from);
   if (!sender) return;
+  auto inst = instance_of(m.serial);
+  if (!inst) return;
   auto ballot = find_ballot(m.serial);
   if (!ballot || !verify_vote_code(*ballot, m.vote_code)) return;
   // Endorse at most one vote code per ballot, ever.
-  BallotState& st = state_for(m.serial);
+  BallotState& st = state_at(*inst);
   if (st.status != BallotStatus::kNotVoted && st.code != m.vote_code) return;
-  auto [it, inserted] = endorse_states_.try_emplace(m.serial);
-  if (inserted) {
-    it->second.code = m.vote_code;
-  } else if (it->second.code != m.vote_code) {
+  EndorseState& es = endorse_states_[*inst];
+  if (!es.active) {
+    es.active = true;
+    es.code = m.vote_code;
+  } else if (es.code != m.vote_code) {
     return;  // already endorsed a different code
   }
   Bytes sig = sign_endorsement(m.serial, m.vote_code);
@@ -248,9 +278,10 @@ void VcNode::handle_endorsement(NodeId from, Reader& r) {
   if (phase_ != Phase::kVoting) return;
   auto sender = vc_index_of(from);
   if (!sender || m.node_index != *sender) return;
-  auto it = endorse_states_.find(m.serial);
-  if (it == endorse_states_.end() || it->second.ucert_formed) return;
-  EndorseState& es = it->second;
+  auto inst = instance_of(m.serial);
+  if (!inst) return;
+  EndorseState& es = endorse_states_[*inst];
+  if (!es.active || es.ucert_formed) return;
   if (es.code != m.vote_code) return;
   if (!opt_.model_signatures) {
     Bytes digest =
@@ -267,7 +298,7 @@ void VcNode::handle_endorsement(NodeId from, Reader& r) {
 
   // UCERT formed: mark pending and disclose our receipt share.
   es.ucert_formed = true;
-  BallotState& st = state_for(m.serial);
+  BallotState& st = state_at(*inst);
   if (st.status == BallotStatus::kNotVoted) {
     st.status = BallotStatus::kPending;
     st.code = es.code;
@@ -303,6 +334,8 @@ void VcNode::handle_vote_p(NodeId from, Reader& r) {
   if (phase_ != Phase::kVoting) return;
   if (!vc_index_of(from)) return;
   if (m.ucert.vote_code != m.vote_code) return;
+  auto inst = instance_of(m.serial);
+  if (!inst) return;
   if (!verify_ucert(m.serial, m.ucert)) return;
   auto ballot = find_ballot(m.serial);
   if (!ballot) return;
@@ -319,7 +352,7 @@ void VcNode::handle_vote_p(NodeId from, Reader& r) {
                             m.share_path)) {
     return;
   }
-  BallotState& st = state_for(m.serial);
+  BallotState& st = state_at(*inst);
   if (st.status == BallotStatus::kNotVoted) {
     st.status = BallotStatus::kPending;
     st.code = m.vote_code;
@@ -347,12 +380,15 @@ void VcNode::complete_vote(Serial serial, BallotState& st) {
   for (int i = 24; i < 32; ++i) receipt = receipt << 8 | be[static_cast<std::size_t>(i)];
   st.receipt = receipt;
   st.status = BallotStatus::kVoted;
-  for (NodeId voter : st.waiters) {
-    ++stats_.receipts_issued;
-    ctx().send(voter, VoteReplyMsg{serial, VoteReplyStatus::kOk, receipt}
-                          .encode());
+  if (!st.waiters.empty()) {
+    net::Buffer reply =
+        VoteReplyMsg{serial, VoteReplyStatus::kOk, receipt}.encode();
+    for (NodeId voter : st.waiters) {
+      ++stats_.receipts_issued;
+      ctx().send(voter, reply);
+    }
+    st.waiters.clear();
   }
-  st.waiters.clear();
 }
 
 // --- Vote-set consensus ------------------------------------------------------
@@ -368,20 +404,19 @@ void VcNode::on_timer(std::uint64_t token) {
 void VcNode::begin_vote_set_consensus() {
   phase_ = Phase::kAnnounce;
   stats_.voting_ended_at = ctx().now();
-  const std::size_t n_ballots = source_->size();
-  consensus_input_ = Bitmap(n_ballots);
-  recover_needed_ = Bitmap(n_ballots);
+  consensus_input_ = Bitmap(n_ballots_);
+  recover_needed_ = Bitmap(n_ballots_);
 
-  // ANNOUNCE: disperse every certified vote code we know.
+  // ANNOUNCE: disperse every certified vote code we know. The state table
+  // is dense by instance index, so this is one linear scan.
   std::vector<AnnounceEntry> entries;
-  for (const auto& [serial, st] : states_) {
+  for (std::size_t i = 0; i < n_ballots_; ++i) {
+    const BallotState& st = states_[i];
     if (st.status == BallotStatus::kNotVoted || st.ucert.signatures.empty()) {
       continue;
     }
-    auto idx = source_->index_of(serial);
-    if (!idx) continue;
     AnnounceEntry e;
-    e.instance = *idx;
+    e.instance = i;
     e.vote_code = st.code;
     e.ucert = st.ucert;
     entries.push_back(std::move(e));
@@ -403,7 +438,7 @@ void VcNode::begin_vote_set_consensus() {
   consensus::ConsensusConfig ccfg;
   ccfg.nodes = init_.params.n_vc;
   ccfg.faults = init_.params.f_vc;
-  ccfg.instances = n_ballots;
+  ccfg.instances = n_ballots_;
   ccfg.self_index = init_.node_index;
   ccfg.max_rounds = init_.coin_roots.size();
   consensus_ = std::make_unique<consensus::BatchBinaryConsensus>(
@@ -429,9 +464,9 @@ void VcNode::handle_announce(NodeId from, Reader& r) {
 }
 
 void VcNode::adopt_entry(const AnnounceEntry& e) {
-  if (e.instance >= source_->size()) return;
-  Serial serial = source_->serial_at(e.instance);
-  BallotState& st = state_for(serial);
+  if (e.instance >= n_ballots_) return;
+  Serial serial = serial_of(e.instance);
+  BallotState& st = state_at(e.instance);
   if (st.status != BallotStatus::kNotVoted) return;  // already known
   if (e.ucert.vote_code != e.vote_code) return;
   if (!verify_ucert(serial, e.ucert)) return;
@@ -446,9 +481,6 @@ void VcNode::adopt_entry(const AnnounceEntry& e) {
       st.line = loc->second;
     }
   }
-  if (consensus_started_ && !consensus_->decided(e.instance)) {
-    // Too late to change our input, but the recovery path will use it.
-  }
 }
 
 void VcNode::maybe_start_consensus() {
@@ -456,14 +488,16 @@ void VcNode::maybe_start_consensus() {
   if (announce_done_.count() < init_.params.vc_quorum()) return;
   phase_ = Phase::kConsensus;
   consensus_started_ = true;
-  for (const auto& [serial, st] : states_) {
-    if (st.status == BallotStatus::kNotVoted) continue;
-    auto idx = source_->index_of(serial);
-    if (idx) consensus_input_.set(*idx);
+  for (std::size_t i = 0; i < n_ballots_; ++i) {
+    if (states_[i].status != BallotStatus::kNotVoted) {
+      consensus_input_.set(i);
+    }
   }
   consensus_->start(consensus_input_);
-  for (auto& [idx, msg] : queued_consensus_) {
-    consensus_->on_message(idx, msg);
+  for (auto& [idx, buffered] : queued_consensus_) {
+    Reader r(buffered.view());
+    r.u8();  // MsgType::kConsensus, validated on arrival
+    consensus_->on_message(idx, unwrap_consensus(r));
   }
   queued_consensus_.clear();
 }
@@ -474,9 +508,7 @@ void VcNode::on_consensus_complete() {
   const Bitmap& decisions = consensus_->decisions();
   for (std::size_t i = 0; i < decisions.size(); ++i) {
     if (!decisions.get(i)) continue;
-    Serial serial = source_->serial_at(i);
-    auto it = states_.find(serial);
-    if (it == states_.end() || it->second.status == BallotStatus::kNotVoted) {
+    if (states_[i].status == BallotStatus::kNotVoted) {
       recover_needed_.set(i);
     }
   }
@@ -496,20 +528,18 @@ void VcNode::send_recover_request() {
 void VcNode::handle_recover_request(NodeId from, Reader& r) {
   RecoverRequestMsg m = RecoverRequestMsg::decode(r);
   if (!vc_index_of(from)) return;
-  if (m.instances.size() != source_->size()) return;
+  if (m.instances.size() != n_ballots_) return;
   RecoverResponseMsg resp;
   for (std::size_t i = 0; i < m.instances.size(); ++i) {
     if (!m.instances.get(i)) continue;
-    Serial serial = source_->serial_at(i);
-    auto it = states_.find(serial);
-    if (it == states_.end() || it->second.status == BallotStatus::kNotVoted ||
-        it->second.ucert.signatures.empty()) {
+    const BallotState& st = states_[i];
+    if (st.status == BallotStatus::kNotVoted || st.ucert.signatures.empty()) {
       continue;
     }
     AnnounceEntry e;
     e.instance = i;
-    e.vote_code = it->second.code;
-    e.ucert = it->second.ucert;
+    e.vote_code = st.code;
+    e.ucert = st.ucert;
     resp.entries.push_back(std::move(e));
   }
   if (!resp.entries.empty()) ctx().send(from, resp.encode());
@@ -524,8 +554,7 @@ void VcNode::handle_recover_response(NodeId from, Reader& r) {
       continue;
     }
     adopt_entry(e);
-    Serial serial = source_->serial_at(e.instance);
-    if (states_[serial].status != BallotStatus::kNotVoted) {
+    if (states_[e.instance].status != BallotStatus::kNotVoted) {
       recover_needed_.set(e.instance, false);
     }
   }
@@ -542,25 +571,28 @@ void VcNode::push_to_bb() {
   const Bitmap& decisions = consensus_->decisions();
   for (std::size_t i = 0; i < decisions.size(); ++i) {
     if (!decisions.get(i)) continue;
-    Serial serial = source_->serial_at(i);
-    const BallotState& st = states_[serial];
-    final_set_.push_back(VoteSetEntry{serial, st.code});
+    final_set_.push_back(VoteSetEntry{serial_of(i), states_[i].code});
   }
   // Entries are in ascending serial order by construction.
   crypto::Hash32 h = vote_set_hash(final_set_);
+  // Pre-encode every BB message once; the per-BB loop only copies handles.
+  std::vector<net::Buffer> chunks;
+  for (std::size_t off = 0; off < final_set_.size();
+       off += opt_.push_chunk) {
+    VoteSetChunkMsg chunk;
+    std::size_t end = std::min(final_set_.size(), off + opt_.push_chunk);
+    chunk.entries.assign(
+        final_set_.begin() + static_cast<std::ptrdiff_t>(off),
+        final_set_.begin() + static_cast<std::ptrdiff_t>(end));
+    chunks.emplace_back(chunk.encode());
+  }
+  net::Buffer done = VoteSetDoneMsg{final_set_.size(), h}.encode();
+  net::Buffer msk = MskShareMsg{init_.msk_share, init_.msk_share_path}
+                        .encode();
   for (NodeId bb : bb_ids_) {
-    for (std::size_t off = 0; off < final_set_.size();
-         off += opt_.push_chunk) {
-      VoteSetChunkMsg chunk;
-      std::size_t end = std::min(final_set_.size(), off + opt_.push_chunk);
-      chunk.entries.assign(
-          final_set_.begin() + static_cast<std::ptrdiff_t>(off),
-          final_set_.begin() + static_cast<std::ptrdiff_t>(end));
-      ctx().send(bb, chunk.encode());
-    }
-    ctx().send(bb, VoteSetDoneMsg{final_set_.size(), h}.encode());
-    ctx().send(bb, MskShareMsg{init_.msk_share, init_.msk_share_path}
-                       .encode());
+    for (const net::Buffer& chunk : chunks) ctx().send(bb, chunk);
+    ctx().send(bb, done);
+    ctx().send(bb, msk);
   }
   phase_ = Phase::kDone;
   stats_.push_done_at = ctx().now();

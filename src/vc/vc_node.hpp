@@ -66,7 +66,7 @@ class VcNode final : public sim::Process {
          Options options = {});
 
   void on_start() override;
-  void on_message(sim::NodeId from, BytesView payload) override;
+  void on_message(sim::NodeId from, const net::Buffer& payload) override;
   void on_timer(std::uint64_t token) override;
 
   Phase phase() const { return phase_; }
@@ -89,6 +89,7 @@ class VcNode final : public sim::Process {
     std::vector<sim::NodeId> waiters;  // voters awaiting the receipt
   };
   struct EndorseState {
+    bool active = false;  // dense storage: slot in use
     Bytes code;
     std::uint8_t part = 0;
     std::uint32_t line = 0;
@@ -117,7 +118,8 @@ class VcNode final : public sim::Process {
   void push_to_bb();
 
   // --- helpers -------------------------------------------------------------
-  void multicast_vc(const Bytes& msg);
+  // One payload allocation total: every recipient shares the Buffer handle.
+  void multicast_vc(const net::Buffer& msg);
   std::optional<std::size_t> vc_index_of(sim::NodeId id) const;
   bool within_hours() const;  // uses the node's (virtual) local clock
   // Locates (part, line) of a vote code in a ballot; nullopt if absent.
@@ -129,7 +131,12 @@ class VcNode final : public sim::Process {
                             std::span<const crypto::Hash32> path);
   bool verify_ucert(core::Serial serial, const core::Ucert& ucert);
   Bytes sign_endorsement(core::Serial serial, BytesView code);
-  BallotState& state_for(core::Serial serial);
+  // Dense ballot index for a registered serial (nullopt if unknown). O(1)
+  // when the EA issued contiguous serials (the default); falls back to the
+  // source's index lookup otherwise.
+  std::optional<std::size_t> instance_of(core::Serial serial) const;
+  core::Serial serial_of(std::size_t instance);
+  BallotState& state_at(std::size_t instance) { return states_[instance]; }
   // Store lookup with modeled storage latency per page fault.
   std::optional<core::VcBallotInit> find_ballot(core::Serial serial);
 
@@ -140,8 +147,15 @@ class VcNode final : public sim::Process {
   Options opt_;
 
   Phase phase_ = Phase::kVoting;
-  std::map<core::Serial, BallotState> states_;
-  std::map<core::Serial, EndorseState> endorse_states_;
+  // Per-ballot state, dense by instance index (serials are contiguous from
+  // EA setup, so instance = serial - first serial). Replaces the former
+  // std::map<Serial, ...>: O(1) lookups, no rebalancing, cache-linear
+  // scans during the announce/push phases.
+  std::vector<BallotState> states_;
+  std::vector<EndorseState> endorse_states_;
+  std::size_t n_ballots_ = 0;
+  core::Serial first_serial_ = 0;
+  bool contiguous_serials_ = false;
   std::uint64_t end_timer_ = 0;
   std::uint64_t recover_timer_ = 0;
 
@@ -150,7 +164,10 @@ class VcNode final : public sim::Process {
   Bitmap announce_done_;        // which VC peers completed their announce
   Bitmap consensus_input_;      // defers until announce quorum
   bool consensus_started_ = false;
-  std::vector<std::pair<std::size_t, Bytes>> queued_consensus_;
+  // Whole payload Buffers (handle copies, not byte copies) of consensus
+  // messages that arrived before our own election-end timer fired; they
+  // are re-unwrapped when consensus starts.
+  std::vector<std::pair<std::size_t, net::Buffer>> queued_consensus_;
   Bitmap recover_needed_;
   std::vector<core::VoteSetEntry> final_set_;
 

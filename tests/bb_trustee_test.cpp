@@ -41,10 +41,11 @@ TEST(BbNode, SectionsBecomeAvailableInOrder) {
   EXPECT_TRUE(runner.bb_node(0).read_section("cast-info").has_value());
   EXPECT_TRUE(runner.bb_node(0).read_section("challenge").has_value());
   EXPECT_TRUE(runner.bb_node(0).read_section("result").has_value());
-  // Ballot sections are per-serial.
+  // Ballot sections are per-serial; serial 0 is never issued (the EA
+  // numbers ballots contiguously from 1).
   Serial s = runner.artifacts().voter_ballots[0].serial;
   EXPECT_TRUE(runner.bb_node(0).read_section("ballot", s).has_value());
-  EXPECT_FALSE(runner.bb_node(0).read_section("ballot", 1).has_value());
+  EXPECT_FALSE(runner.bb_node(0).read_section("ballot", 0).has_value());
 }
 
 TEST(BbNode, RepliesAreByteIdenticalAcrossReplicas) {
@@ -99,7 +100,7 @@ TEST(BbNode, VoteSetNeedsFvPlusOneIdenticalPushes) {
   // Inject pushes as VC nodes 0 and 1 (simulation ids match VC indices).
   class Injector : public sim::Process {
    public:
-    void on_message(sim::NodeId, BytesView) override {}
+    void on_message(sim::NodeId, const net::Buffer&) override {}
   };
   sim.start();
   auto& bb = runner.bb_node(0);

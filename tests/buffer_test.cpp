@@ -1,0 +1,152 @@
+// net::Buffer sharing semantics, the one-allocation-per-multicast
+// guarantee through the simulator, and the calendar queue's ordering
+// equivalence with the binary heap it replaced.
+#include <gtest/gtest.h>
+
+#include <queue>
+
+#include "net/buffer.hpp"
+#include "sim/calendar_queue.hpp"
+#include "sim/sim.hpp"
+
+namespace ddemos {
+namespace {
+
+TEST(Buffer, WrapCountsExactlyOneAllocation) {
+  net::Buffer::reset_payload_allocations();
+  net::Buffer b(to_bytes("payload"));
+  EXPECT_EQ(net::Buffer::payload_allocations(), 1u);
+  // Handle copies share the allocation; no new payloads.
+  net::Buffer c = b;
+  net::Buffer d = c;
+  EXPECT_EQ(net::Buffer::payload_allocations(), 1u);
+  EXPECT_EQ(b.use_count(), 3);
+  EXPECT_EQ(to_string(d.view()), "payload");
+  // Views alias the same bytes.
+  EXPECT_EQ(b.data(), d.data());
+}
+
+TEST(Buffer, EmptyBufferIsSafe) {
+  net::Buffer b;
+  EXPECT_TRUE(b.empty());
+  EXPECT_EQ(b.size(), 0u);
+  EXPECT_EQ(b.view().size(), 0u);
+}
+
+// A process that multicasts one message to every other node at start.
+class Multicaster : public sim::Process {
+ public:
+  explicit Multicaster(std::vector<sim::NodeId> peers)
+      : peers_(std::move(peers)) {}
+  void on_start() override {
+    net::Buffer msg(Bytes(1024, 0xab));  // the single payload allocation
+    for (sim::NodeId p : peers_) ctx().send(p, msg);
+  }
+  void on_message(sim::NodeId, const net::Buffer&) override {}
+
+ private:
+  std::vector<sim::NodeId> peers_;
+};
+
+class Sink : public sim::Process {
+ public:
+  void on_message(sim::NodeId, const net::Buffer& payload) override {
+    ++received;
+    EXPECT_EQ(payload.size(), 1024u);
+  }
+  int received = 0;
+};
+
+TEST(Buffer, NRecipientMulticastIsOneAllocation) {
+  constexpr std::size_t kRecipients = 16;
+  sim::Simulation sim(9);
+  // Duplication on every link: deliveries exceed sends, still no copies.
+  sim.set_default_link(sim::LinkModel{100, 0, 0.0, 1.0});
+  std::vector<sim::NodeId> peers;
+  for (std::size_t i = 0; i < kRecipients; ++i) {
+    peers.push_back(sim.add_node(std::make_unique<Sink>(),
+                                 "sink" + std::to_string(i)));
+  }
+  sim.add_node(std::make_unique<Multicaster>(peers), "mcast");
+  net::Buffer::reset_payload_allocations();
+  sim.start();
+  sim.run_until_idle();
+  // Exactly one payload allocation for the whole multicast, despite
+  // kRecipients sends and 2 * kRecipients deliveries (dup_prob = 1).
+  EXPECT_EQ(net::Buffer::payload_allocations(), 1u);
+  int delivered = 0;
+  for (sim::NodeId id : peers) {
+    delivered += dynamic_cast<Sink&>(sim.process(id)).received;
+  }
+  EXPECT_EQ(delivered, static_cast<int>(2 * kRecipients));
+}
+
+// --- Calendar queue ------------------------------------------------------
+
+struct TestEvent {
+  std::int64_t at;
+  std::uint64_t seq;
+};
+
+struct RefCmp {
+  bool operator()(const TestEvent& a, const TestEvent& b) const {
+    if (a.at != b.at) return a.at > b.at;
+    return a.seq > b.seq;
+  }
+};
+
+TEST(CalendarQueue, MatchesBinaryHeapOrder) {
+  sim::CalendarQueue<TestEvent> cq;
+  std::priority_queue<TestEvent, std::vector<TestEvent>, RefCmp> ref;
+  std::uint64_t seq = 0;
+  std::uint64_t state = 0x243f6a8885a308d3ull;
+  auto next = [&state] {
+    state ^= state << 13;
+    state ^= state >> 7;
+    state ^= state << 17;
+    return state;
+  };
+  // Interleaved pushes and pops, with duplicate timestamps and a few
+  // far-future outliers (election-end style timers).
+  for (int round = 0; round < 5000; ++round) {
+    std::int64_t at = static_cast<std::int64_t>(next() % 50'000);
+    if (round % 97 == 0) at += 4'000'000'000ll;  // sparse outlier
+    if (round % 11 == 0) at = 12'345;            // duplicate timestamp
+    TestEvent ev{at, seq++};
+    cq.push(ev);
+    ref.push(ev);
+    if (round % 3 == 0) {
+      ASSERT_FALSE(cq.empty());
+      TestEvent got = cq.pop();
+      TestEvent want = ref.top();
+      ref.pop();
+      ASSERT_EQ(got.at, want.at);
+      ASSERT_EQ(got.seq, want.seq);
+    }
+  }
+  while (!ref.empty()) {
+    TestEvent got = cq.pop();
+    TestEvent want = ref.top();
+    ref.pop();
+    ASSERT_EQ(got.at, want.at);
+    ASSERT_EQ(got.seq, want.seq);
+  }
+  EXPECT_TRUE(cq.empty());
+}
+
+TEST(CalendarQueue, TopIsStableAndMatchesPop) {
+  sim::CalendarQueue<TestEvent> cq;
+  cq.push(TestEvent{50, 1});
+  cq.push(TestEvent{10, 2});
+  cq.push(TestEvent{10, 0});
+  EXPECT_EQ(cq.top().at, 10);
+  EXPECT_EQ(cq.top().seq, 0u);
+  TestEvent ev = cq.pop();
+  EXPECT_EQ(ev.seq, 0u);
+  EXPECT_EQ(cq.pop().seq, 2u);
+  EXPECT_EQ(cq.pop().at, 50);
+  EXPECT_TRUE(cq.empty());
+}
+
+}  // namespace
+}  // namespace ddemos

@@ -20,8 +20,9 @@ class RbcNode : public sim::Process {
         n, f, index,
         RbcEngine::Hooks{
             [this](Bytes msg) {
+              net::Buffer buf(std::move(msg));  // one allocation, n handles
               for (std::size_t p = 0; p < n_; ++p) {
-                ctx().send(static_cast<NodeId>(p), msg);
+                ctx().send(static_cast<NodeId>(p), buf);
               }
             },
             [this](std::size_t origin, std::uint64_t tag,
@@ -30,7 +31,7 @@ class RbcNode : public sim::Process {
             }});
   }
 
-  void on_message(NodeId from, BytesView payload) override {
+  void on_message(NodeId from, const net::Buffer& payload) override {
     engine_->on_message(from, payload);
   }
 
@@ -61,7 +62,7 @@ class EquivocatingRbcNode : public sim::Process {
       ctx().send(static_cast<NodeId>(p), w.take());
     }
   }
-  void on_message(NodeId, BytesView) override {}  // stays silent after
+  void on_message(NodeId, const net::Buffer&) override {}  // stays silent after
 
  private:
   std::size_t n_, index_;
@@ -171,8 +172,9 @@ class BcNode : public sim::Process {
         cfg, std::move(shares), std::move(roots),
         BatchBinaryConsensus::Hooks{
             [this](Bytes msg) {
+              net::Buffer buf(std::move(msg));  // one allocation, n handles
               for (std::size_t p = 0; p < cfg_.nodes; ++p) {
-                ctx().send(static_cast<NodeId>(p), msg);
+                ctx().send(static_cast<NodeId>(p), buf);
               }
             },
             nullptr,
@@ -180,7 +182,7 @@ class BcNode : public sim::Process {
   }
 
   void on_start() override { engine_->start(input_); }
-  void on_message(NodeId from, BytesView payload) override {
+  void on_message(NodeId from, const net::Buffer& payload) override {
     engine_->on_message(from, payload);
   }
 
@@ -222,7 +224,7 @@ class ByzBcNode : public sim::Process {
       ctx().send(static_cast<NodeId>(p), claim);
     }
   }
-  void on_message(NodeId, BytesView) override {}
+  void on_message(NodeId, const net::Buffer&) override {}
 
  private:
   std::size_t n_, instances_;

@@ -1,0 +1,135 @@
+// Runtime parity: the exact same election, built once through the shared
+// sim::RuntimeHost interface, completes on both backends — the
+// deterministic simulator and the real multi-threaded transport — with
+// identical tallies, identical final vote sets and the same voter receipts.
+// Also pins down simulator determinism: a fixed seed reproduces
+// bit-identical tallies and phase timings across runs.
+#include <gtest/gtest.h>
+
+#include "core/runner.hpp"
+#include "net/thread_net.hpp"
+
+namespace ddemos::core {
+namespace {
+
+ElectionParams parity_params() {
+  ElectionParams p;
+  p.election_id = to_bytes("runtime-parity");
+  p.options = {"yes", "no"};
+  p.n_voters = 3;
+  p.n_vc = 4;
+  p.f_vc = 1;
+  p.n_bb = 3;
+  p.f_bb = 1;
+  p.n_trustees = 3;
+  p.h_trustees = 2;
+  p.t_start = 0;
+  p.t_end = 1'500'000;  // short enough for a wall-clock run
+  return p;
+}
+
+RunnerConfig parity_config(const ElectionParams& p) {
+  RunnerConfig cfg;
+  cfg.params = p;
+  cfg.seed = 2026;
+  cfg.votes = {0, 1, 0};
+  cfg.vote_time = [](std::size_t) { return 50'000; };
+  cfg.voter_template.patience_us = 400'000;
+  cfg.trustee_options.poll_interval_us = 100'000;
+  return cfg;
+}
+
+struct Outcome {
+  std::vector<std::uint64_t> tally;
+  std::vector<VoteSetEntry> vote_set;
+  std::vector<std::uint64_t> receipts;  // observed by each voter, in order
+};
+
+Outcome harvest(sim::RuntimeHost& host, const ElectionTopology& topo) {
+  Outcome out;
+  auto& bb = dynamic_cast<bb::BbNode&>(host.process(topo.bb_ids[0]));
+  if (bb.result()) out.tally = bb.result()->tally;
+  out.vote_set = dynamic_cast<vc::VcNode&>(host.process(topo.vc_ids[0]))
+                     .final_vote_set();
+  for (sim::NodeId id : topo.voter_ids) {
+    auto& voter = dynamic_cast<client::Voter&>(host.process(id));
+    EXPECT_TRUE(voter.has_receipt());
+    // has_receipt means the receipt on the wire matched the printed one.
+    out.receipts.push_back(voter.expected_receipt());
+  }
+  return out;
+}
+
+TEST(RuntimeParity, SameElectionOnSimAndThreads) {
+  ElectionParams p = parity_params();
+  RunnerConfig cfg = parity_config(p);
+  ea::SetupArtifacts arts = ea::ea_setup({p, cfg.seed, false, 64});
+
+  // Backend 1: deterministic simulator.
+  sim::Simulation sim(cfg.seed);
+  ElectionTopology sim_topo = build_election(sim, arts, cfg);
+  sim.start();
+  sim.run_until_idle();
+  Outcome sim_out = harvest(sim, sim_topo);
+
+  // Backend 2: real threads, same build path, same artifacts.
+  net::ThreadNet net;
+  ElectionTopology net_topo = build_election(net, arts, cfg);
+  ASSERT_EQ(net.node_count(), sim.node_count());
+  for (sim::NodeId id = 0; id < net.node_count(); ++id) {
+    EXPECT_EQ(net.node_name(id), sim.node_name(id));
+  }
+  net.start();
+  bool done = false;
+  for (int i = 0; i < 300 && !done; ++i) {  // up to 15 s wall
+    net::ThreadNet::sleep_ms(50);
+    done = true;
+    for (sim::NodeId id : net_topo.bb_ids) {
+      done = done &&
+             dynamic_cast<bb::BbNode&>(net.process(id)).result_published();
+    }
+  }
+  net.stop();
+  Outcome net_out = harvest(net, net_topo);
+
+  // Identical outcomes across runtimes.
+  ASSERT_EQ(sim_out.tally, (std::vector<std::uint64_t>{2, 1}));
+  EXPECT_EQ(net_out.tally, sim_out.tally);
+  EXPECT_EQ(net_out.vote_set, sim_out.vote_set);
+  EXPECT_EQ(net_out.receipts, sim_out.receipts);
+}
+
+TEST(RuntimeParity, FixedSeedIsBitIdenticalAcrossRuns) {
+  struct Trace {
+    std::vector<std::uint64_t> tally;
+    std::vector<sim::TimePoint> timings;
+    std::uint64_t delivered;
+  };
+  auto run = [] {
+    RunnerConfig cfg;
+    cfg.params = parity_params();
+    cfg.params.t_end = 10'000'000;
+    cfg.seed = 777;
+    cfg.votes = {1, 0, 1};
+    ElectionRunner runner(cfg);
+    runner.run_to_completion();
+    Trace t;
+    t.tally = runner.bb_node(0).result()->tally;
+    for (std::size_t i = 0; i < cfg.params.n_vc; ++i) {
+      const vc::VcStats& s = runner.vc_node(i).stats();
+      t.timings.push_back(s.voting_ended_at);
+      t.timings.push_back(s.consensus_done_at);
+      t.timings.push_back(s.push_done_at);
+    }
+    t.delivered = runner.simulation().delivered_messages();
+    return t;
+  };
+  Trace a = run();
+  Trace b = run();
+  EXPECT_EQ(a.tally, b.tally);
+  EXPECT_EQ(a.timings, b.timings);  // phase timings bit-identical
+  EXPECT_EQ(a.delivered, b.delivered);
+}
+
+}  // namespace
+}  // namespace ddemos::core

@@ -9,7 +9,7 @@ namespace {
 // Test process: echoes received payloads back, counts deliveries.
 class Echo : public Process {
  public:
-  void on_message(NodeId from, BytesView payload) override {
+  void on_message(NodeId from, const net::Buffer& payload) override {
     ++received;
     last = Bytes(payload.begin(), payload.end());
     if (!payload.empty() && payload[0] == 'p') {
@@ -27,7 +27,7 @@ class Pinger : public Process {
     sent_at = ctx().now();
     ctx().send(1, to_bytes("p"));
   }
-  void on_message(NodeId, BytesView) override { reply_at = ctx().now(); }
+  void on_message(NodeId, const net::Buffer&) override { reply_at = ctx().now(); }
   TimePoint sent_at = -1, reply_at = -1;
 };
 
@@ -111,7 +111,7 @@ TEST(Sim, LinkFilterCanDelayAndDrop) {
 class TimerProc : public Process {
  public:
   void on_start() override { token = ctx().set_timer(2500); }
-  void on_message(NodeId, BytesView) override {}
+  void on_message(NodeId, const net::Buffer&) override {}
   void on_timer(std::uint64_t t) override {
     if (t == token) fired_at = ctx().now();
   }
@@ -130,7 +130,7 @@ TEST(Sim, TimersFireAtRequestedTime) {
 // CPU charging serializes a node's handlers in virtual time.
 class Charger : public Process {
  public:
-  void on_message(NodeId, BytesView) override {
+  void on_message(NodeId, const net::Buffer&) override {
     starts.push_back(ctx().now());
     ctx().charge(1000);
   }
@@ -142,7 +142,7 @@ class Burst : public Process {
   void on_start() override {
     for (int i = 0; i < 3; ++i) ctx().send(1, to_bytes("x"));
   }
-  void on_message(NodeId, BytesView) override {}
+  void on_message(NodeId, const net::Buffer&) override {}
 };
 
 TEST(Sim, ChargedCpuSerializesHandlers) {
@@ -187,7 +187,7 @@ TEST(ThreadNet, PingPongOverThreads) {
 class ThreadTimer : public Process {
  public:
   void on_start() override { ctx().set_timer(20'000); }  // 20ms
-  void on_message(NodeId, BytesView) override {}
+  void on_message(NodeId, const net::Buffer&) override {}
   void on_timer(std::uint64_t) override { fired = true; }
   std::atomic<bool> fired{false};
 };

@@ -31,7 +31,7 @@ ElectionParams tiny_params(std::size_t voters, std::size_t options = 2) {
 // A scripted client process that sends raw messages to VC nodes.
 class RawClient : public sim::Process {
  public:
-  void on_message(sim::NodeId from, BytesView payload) override {
+  void on_message(sim::NodeId from, const net::Buffer& payload) override {
     Reader r(payload);
     if (static_cast<MsgType>(r.u8()) != MsgType::kVoteReply) return;
     replies.push_back({from, VoteReplyMsg::decode(r)});
