@@ -11,49 +11,6 @@ namespace ddemos::bench {
 using namespace core;
 using sim::NodeId;
 
-LoadGen::LoadGen(std::vector<VoteTarget> targets,
-                 std::vector<NodeId> vc_ids, std::size_t concurrency,
-                 std::uint64_t seed)
-    : targets_(std::move(targets)),
-      vc_ids_(std::move(vc_ids)),
-      concurrency_(concurrency),
-      rng_(seed) {}
-
-void LoadGen::on_start() {
-  first_send_ = ctx().now();
-  for (std::size_t i = 0; i < concurrency_ && next_ < targets_.size(); ++i) {
-    send_next();
-  }
-}
-
-void LoadGen::send_next() {
-  if (next_ >= targets_.size()) return;
-  const VoteTarget& t = targets_[next_++];
-  in_flight_[t.serial] = ctx().now();
-  NodeId vc = vc_ids_[rng_.below(vc_ids_.size())];
-  ctx().send(vc, VoteMsg{t.serial, t.code}.encode());
-}
-
-void LoadGen::on_message(NodeId, const net::Buffer& payload) {
-  try {
-    Reader r(payload.view());
-    if (static_cast<MsgType>(r.u8()) != MsgType::kVoteReply) return;
-    VoteReplyMsg m = VoteReplyMsg::decode(r);
-    auto it = in_flight_.find(m.serial);
-    if (it == in_flight_.end()) return;
-    if (m.status != VoteReplyStatus::kOk) {
-      throw ProtocolError("benchmark vote rejected");
-    }
-    latency_sum_us_ += static_cast<double>(ctx().now() - it->second);
-    ++latency_count_;
-    in_flight_.erase(it);
-    ++completed_;
-    last_receipt_ = ctx().now();
-    send_next();
-  } catch (const CodecError&) {
-  }
-}
-
 CalibratedCosts calibrate_signature_costs() {
   crypto::Rng rng(123);
   crypto::KeyPair kp = crypto::schnorr_keygen(rng);
@@ -181,10 +138,23 @@ VoteCollectionResult run_vote_collection(const VoteCollectionConfig& cfg) {
     }
   }
 
-  sim.start();
+  // Completion wait through the RuntimeHost surface: run until the closed
+  // loop has drained every cast. The bench measures vote collection only,
+  // so the tight probe interval keeps the sim from chasing far-future
+  // election-end timers once the loop finishes.
   auto& gen = dynamic_cast<LoadGen&>(sim.process(gen_id));
-  while (!gen.done() && sim.step()) {
+  sim::RunOptions run_opts;
+  run_opts.probe_interval = 16;
+  // Scale the stuck-run budget with the cast count so paper-size sweeps
+  // (millions of casts) never trip it; it only exists to catch true hangs.
+  run_opts.max_events =
+      std::max<std::size_t>(50'000'000, cfg.casts * 10'000);
+  if (!sim.run_to_quiescence([&gen] { return gen.done(); }, run_opts)) {
+    // The queue drained with casts unresolved (e.g. a lossy link ate a
+    // vote): fail loudly rather than emit metrics over partial counts.
+    throw ProtocolError("benchmark stalled before completing every cast");
   }
+  if (gen.rejected() > 0) throw ProtocolError("benchmark vote rejected");
 
   VoteCollectionResult out;
   out.completed = gen.completed();

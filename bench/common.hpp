@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "core/types.hpp"
+#include "core/workload.hpp"
 #include "crypto/rng.hpp"
 #include "ea/ea.hpp"
 #include "sim/sim.hpp"
@@ -16,47 +17,10 @@
 
 namespace ddemos::bench {
 
-// One castable vote: a ballot's serial with a chosen code and its receipt.
-struct VoteTarget {
-  core::Serial serial = 0;
-  Bytes code;
-  std::uint64_t receipt = 0;
-};
-
-// Closed-loop load generator: `concurrency` in-flight voters; each completed
-// receipt immediately triggers the next vote, as in the paper's
-// multi-threaded voting client.
-class LoadGen final : public sim::Process {
- public:
-  LoadGen(std::vector<VoteTarget> targets, std::vector<sim::NodeId> vc_ids,
-          std::size_t concurrency, std::uint64_t seed);
-
-  void on_start() override;
-  void on_message(sim::NodeId from, const net::Buffer& payload) override;
-
-  bool done() const { return completed_ == targets_.size(); }
-  std::size_t completed() const { return completed_; }
-  sim::TimePoint first_send() const { return first_send_; }
-  sim::TimePoint last_receipt() const { return last_receipt_; }
-  double mean_latency_us() const {
-    return latency_count_ ? latency_sum_us_ / latency_count_ : 0.0;
-  }
-
- private:
-  void send_next();
-
-  std::vector<VoteTarget> targets_;
-  std::vector<sim::NodeId> vc_ids_;
-  std::size_t concurrency_;
-  crypto::Rng rng_;
-  std::size_t next_ = 0;
-  std::size_t completed_ = 0;
-  std::map<core::Serial, sim::TimePoint> in_flight_;
-  sim::TimePoint first_send_ = -1;
-  sim::TimePoint last_receipt_ = -1;
-  double latency_sum_us_ = 0;
-  std::size_t latency_count_ = 0;
-};
+// The closed-loop load generator now lives in core (it backs the driver's
+// ClosedLoopWorkload); the benches keep their historical names.
+using VoteTarget = core::VoteTarget;
+using LoadGen = core::ClosedLoopClient;
 
 // Measured Schnorr costs on this machine, used as the modeled signature
 // charges in the simulator (see DESIGN.md Section 2).

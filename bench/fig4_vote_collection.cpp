@@ -4,8 +4,12 @@
 // One (vc, cc) grid per network setting serves all six plots.
 // Election parameters follow the paper (m = 4); the cast count and ballot
 // universe are scaled down for single-machine runs and can be raised with
-// DDEMOS_BENCH_CASTS / DDEMOS_BENCH_BALLOTS.
+// DDEMOS_BENCH_CASTS / DDEMOS_BENCH_BALLOTS. For CI smoke runs the sweep
+// grids shrink with DDEMOS_FIG4_MAX_VC / DDEMOS_FIG4_MAX_CC (upper bounds
+// on the #VC and concurrency axes); every cell also emits a BENCH_JSON
+// line for the perf-trajectory tooling.
 #include <cstdio>
+#include <vector>
 
 #include "common.hpp"
 
@@ -17,8 +21,20 @@ int main() {
   // Casts scale with concurrency so the closed loop reaches steady state
   // (Little's law: latency ~ cc / throughput needs cc votes in flight).
   std::size_t cast_factor = env_size("DDEMOS_BENCH_CAST_FACTOR", 1);
-  const std::size_t vcs[] = {4, 7, 10, 13, 16};
-  const std::size_t ccs[] = {500, 1000, 2000};
+  std::size_t cast_floor = env_size("DDEMOS_BENCH_CASTS", 400);
+  std::size_t max_vc = env_size("DDEMOS_FIG4_MAX_VC", 16);
+  std::size_t max_cc = env_size("DDEMOS_FIG4_MAX_CC", 2000);
+  std::vector<std::size_t> vcs, ccs;
+  for (std::size_t vc : {4, 7, 10, 13, 16}) {
+    if (vc <= max_vc) vcs.push_back(vc);
+  }
+  for (std::size_t cc : {500, 1000, 2000}) {
+    if (cc <= max_cc) ccs.push_back(cc);
+  }
+  if (vcs.empty() || ccs.empty()) {
+    std::printf("# fig4: empty sweep (check DDEMOS_FIG4_MAX_*)\n");
+    return 1;
+  }
 
   struct Row {
     std::size_t vc, cc;
@@ -33,7 +49,7 @@ int main() {
         cfg.n_vc = vc;
         cfg.f_vc = (vc - 1) / 3;
         cfg.concurrency = cc;
-        cfg.casts = std::max<std::size_t>(cc * cast_factor / 2, 400);
+        cfg.casts = std::max<std::size_t>(cc * cast_factor / 2, cast_floor);
         cfg.n_ballots = std::max(ballots, cfg.casts + 100);
         cfg.options = 4;
         cfg.link = net == std::string("wan") ? sim::LinkModel::wan()
@@ -41,12 +57,20 @@ int main() {
         cfg.seed = 42 + vc * 100 + cc;
         VoteCollectionResult r = run_vote_collection(cfg);
         rows.push_back(Row{vc, cc, r.mean_latency_ms, r.throughput_ops});
+        std::printf("BENCH_JSON {\"bench\":\"fig4\",\"net\":\"%s\","
+                    "\"vc\":%zu,\"cc\":%zu,\"casts\":%zu,"
+                    "\"throughput_ops\":%.0f,\"latency_ms\":%.2f}\n",
+                    net, vc, cc, cfg.casts, r.throughput_ops,
+                    r.mean_latency_ms);
+        std::fflush(stdout);
       }
     }
     // Figures 4a/4d: response time vs #VC, one series per cc.
     std::printf("\n# fig4%s: response time (ms) vs #VC, %s\n",
                 net == std::string("lan") ? "a" : "d", net);
-    std::printf("%-6s %8s %8s %8s\n", "#VC", "500cc", "1000cc", "2000cc");
+    std::printf("%-6s", "#VC");
+    for (std::size_t cc : ccs) std::printf(" %6zucc", cc);
+    std::printf("\n");
     for (std::size_t vc : vcs) {
       std::printf("%-6zu", vc);
       for (std::size_t cc : ccs) {
@@ -59,7 +83,9 @@ int main() {
     // Figures 4b/4e: throughput vs #VC.
     std::printf("\n# fig4%s: throughput (ops/sec) vs #VC, %s\n",
                 net == std::string("lan") ? "b" : "e", net);
-    std::printf("%-6s %8s %8s %8s\n", "#VC", "500cc", "1000cc", "2000cc");
+    std::printf("%-6s", "#VC");
+    for (std::size_t cc : ccs) std::printf(" %6zucc", cc);
+    std::printf("\n");
     for (std::size_t vc : vcs) {
       std::printf("%-6zu", vc);
       for (std::size_t cc : ccs) {

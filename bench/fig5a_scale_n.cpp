@@ -39,6 +39,10 @@ int main() {
     VoteCollectionResult r = run_vote_collection(cfg);
     std::printf("%-12zu %12.0f %12.1f\n", n, r.throughput_ops,
                 r.mean_latency_ms);
+    std::printf("BENCH_JSON {\"bench\":\"fig5a\",\"n\":%zu,"
+                "\"throughput_ops\":%.0f,\"latency_ms\":%.2f}\n",
+                n, r.throughput_ops, r.mean_latency_ms);
+    std::fflush(stdout);
   }
   std::filesystem::remove_all(dir);
   return 0;

@@ -27,6 +27,10 @@ int main() {
     VoteCollectionResult r = run_vote_collection(cfg);
     std::printf("%-6zu %12.0f %12.1f\n", m, r.throughput_ops,
                 r.mean_latency_ms);
+    std::printf("BENCH_JSON {\"bench\":\"fig5b\",\"m\":%zu,"
+                "\"throughput_ops\":%.0f,\"latency_ms\":%.2f}\n",
+                m, r.throughput_ops, r.mean_latency_ms);
+    std::fflush(stdout);
   }
   return 0;
 }

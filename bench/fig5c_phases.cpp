@@ -3,18 +3,19 @@
 // encrypted tally, Publish result. Runs the full system (real cryptography
 // everywhere) over the hybrid simulator; the cast counts are scaled down
 // from the paper's 50k..200k (see EXPERIMENTS.md). Scale with
-// DDEMOS_FIG5C_STEP.
-#include <algorithm>
+// DDEMOS_FIG5C_STEP. Phase durations come straight out of the driver's
+// ElectionReport — no node-internal scraping.
 #include <cstdio>
 
 #include "common.hpp"
-#include "core/runner.hpp"
+#include "core/driver.hpp"
 
 using namespace ddemos;
 using namespace ddemos::core;
 
 int main() {
   std::size_t step = bench::env_size("DDEMOS_FIG5C_STEP", 25);
+  std::size_t points = bench::env_size("DDEMOS_FIG5C_POINTS", 4);
 
   std::printf(
       "# fig5c: phase durations (virtual seconds) vs #ballots cast\n");
@@ -22,9 +23,9 @@ int main() {
               "Push to BB and encrypted tally | Publish result\n");
   std::printf("%-10s %14s %14s %14s %14s\n", "#cast", "collection_s",
               "consensus_s", "push_tally_s", "publish_s");
-  for (std::size_t i = 1; i <= 4; ++i) {
+  for (std::size_t i = 1; i <= points; ++i) {
     std::size_t casts = i * step;
-    RunnerConfig cfg;
+    DriverConfig cfg;
     cfg.params.election_id = to_bytes("fig5c");
     cfg.params.options = {"yes", "no", "abstain", "blank"};  // m = 4
     cfg.params.n_voters = casts;
@@ -42,39 +43,24 @@ int main() {
     cfg.voter_template.patience_us = 60'000'000;
     // Voters arrive nearly at once: the collection phase is then limited by
     // VC throughput, as in the paper's 400-concurrent-client setup.
-    cfg.vote_time = [&cfg](std::size_t v) {
-      return cfg.params.t_start + static_cast<sim::TimePoint>(v) * 100;
-    };
-    ElectionRunner runner(cfg);
-    runner.simulation().set_measure_cpu(true);
-    runner.run_to_completion();
+    cfg.workload = RoundRobinWorkload::make([](std::size_t v) {
+      return static_cast<sim::TimePoint>(v) * 100;
+    });
+    cfg.measure_cpu = true;
+    ElectionDriver driver(cfg);
+    ElectionReport r = driver.run();
 
-    // Phase boundaries in virtual time.
-    sim::TimePoint last_receipt = 0;
-    for (std::size_t v = 0; v < runner.voter_count(); ++v) {
-      last_receipt = std::max(last_receipt, runner.voter(v).receipt_at());
-    }
-    sim::TimePoint consensus_done = 0, push_done = 0;
-    for (std::size_t v = 0; v < cfg.params.n_vc; ++v) {
-      consensus_done =
-          std::max(consensus_done, runner.vc_node(v).stats().consensus_done_at);
-      push_done = std::max(push_done, runner.vc_node(v).stats().push_done_at);
-    }
-    sim::TimePoint tally_published = 0, result_published = 0;
-    for (std::size_t b = 0; b < cfg.params.n_bb; ++b) {
-      tally_published =
-          std::max(tally_published, runner.bb_node(b).codes_published_at());
-      result_published =
-          std::max(result_published, runner.bb_node(b).result_published_at());
-    }
-    double collection = static_cast<double>(last_receipt) / 1e6;
-    double consensus =
-        static_cast<double>(consensus_done - cfg.params.t_end) / 1e6;
-    double push = static_cast<double>(tally_published - consensus_done) / 1e6;
-    double publish =
-        static_cast<double>(result_published - tally_published) / 1e6;
-    std::printf("%-10zu %14.2f %14.2f %14.2f %14.2f\n", casts, collection,
-                consensus, push, publish);
+    std::printf("%-10zu %14.2f %14.2f %14.2f %14.2f\n", casts,
+                r.phases.collection_s(), r.phases.consensus_s(),
+                r.phases.push_tally_s(), r.phases.publish_s());
+    std::printf("BENCH_JSON {\"bench\":\"fig5c\",\"casts\":%zu,"
+                "\"collection_s\":%.3f,\"consensus_s\":%.3f,"
+                "\"push_tally_s\":%.3f,\"publish_s\":%.3f,"
+                "\"events\":%llu,\"allocations\":%llu}\n",
+                casts, r.phases.collection_s(), r.phases.consensus_s(),
+                r.phases.push_tally_s(), r.phases.publish_s(),
+                static_cast<unsigned long long>(r.events_processed),
+                static_cast<unsigned long long>(r.payload_allocations));
     std::fflush(stdout);
   }
   return 0;

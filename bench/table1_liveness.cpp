@@ -7,7 +7,7 @@
 #include <cstdio>
 
 #include "common.hpp"
-#include "core/runner.hpp"
+#include "core/driver.hpp"
 
 using namespace ddemos;
 using namespace ddemos::core;
@@ -23,7 +23,7 @@ int main() {
   std::printf("%-6s %14s %14s %14s %8s\n", "Nv", "Tcomp_ms", "Twait_ms",
               "measured_ms", "bound");
   for (std::size_t nv : {4u, 7u, 10u}) {
-    RunnerConfig cfg;
+    DriverConfig cfg;
     cfg.params.election_id = to_bytes("table1");
     cfg.params.options = {"yes", "no"};
     cfg.params.n_voters = 1;
@@ -36,12 +36,12 @@ int main() {
     cfg.params.t_start = 0;
     cfg.params.t_end = 60'000'000;
     cfg.seed = 1234 + nv;
-    cfg.votes = {0};
+    cfg.workload = VoteListWorkload::make({0});
     cfg.voter_template.patience_us = 30'000'000;
     cfg.link = sim::LinkModel{delta_us, 0, 0, 0};  // exactly delta always
-    ElectionRunner runner(cfg);
-    runner.simulation().set_measure_cpu(true);
-    runner.run_to_completion();
+    cfg.measure_cpu = true;
+    ElectionDriver runner(cfg);
+    ElectionReport report = runner.run();
 
     // Tcomp: worst-case per-step computation. The heaviest procedure is
     // verifying Nv-1 endorsement signatures plus one signing operation.
@@ -52,9 +52,13 @@ int main() {
     const auto& voter = runner.voter(0);
     double measured_ms =
         (voter.receipt_at() - voter.started_at()) / 1000.0;
-    bool ok = voter.has_receipt() && measured_ms <= twait_ms;
+    bool ok = report.receipts_issued == 1 && measured_ms <= twait_ms;
     std::printf("%-6zu %14.1f %14.1f %14.1f %8s\n", nv, tcomp_ms, twait_ms,
                 measured_ms, ok ? "HOLDS" : "VIOLATED");
+    std::printf("BENCH_JSON {\"bench\":\"table1\",\"nv\":%zu,"
+                "\"twait_ms\":%.1f,\"measured_ms\":%.1f,\"holds\":%s}\n",
+                nv, twait_ms, measured_ms, ok ? "true" : "false");
+    std::fflush(stdout);
   }
   return 0;
 }

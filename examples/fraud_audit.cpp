@@ -10,7 +10,7 @@
 //   ./build/examples/fraud_audit
 #include <cstdio>
 
-#include "core/runner.hpp"
+#include "core/driver.hpp"
 
 using namespace ddemos;
 using namespace ddemos::core;
@@ -39,7 +39,7 @@ void tamper_with_ballot(ea::SetupArtifacts& arts, std::size_t ballot_idx,
 }  // namespace
 
 int main() {
-  RunnerConfig cfg;
+  DriverConfig cfg;
   cfg.params.election_id = to_bytes("fraud-demo");
   cfg.params.options = {"incumbent", "challenger"};
   cfg.params.n_voters = 8;
@@ -52,7 +52,7 @@ int main() {
   cfg.params.t_start = 0;
   cfg.params.t_end = 40'000'000;
   cfg.seed = 4242;
-  cfg.votes = {1, 1, 1, 1, 1, 1, 1, 1};  // everyone votes "challenger"
+  cfg.workload = VoteListWorkload::make({1, 1, 1, 1, 1, 1, 1, 1});  // everyone votes "challenger"
 
   // The malicious EA tampers with both parts of voters 0..2's ballots
   // (swapping which options two vote codes commit to) before any component
@@ -65,8 +65,8 @@ int main() {
   };
 
   std::printf("== malicious-EA modification attack vs. auditors ==\n");
-  ElectionRunner runner(cfg);
-  runner.run_to_completion();
+  ElectionDriver runner(cfg);
+  runner.run();
 
   client::Auditor auditor(runner.reader());
   std::size_t detected = 0;

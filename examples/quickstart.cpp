@@ -1,17 +1,37 @@
 // Quickstart: run a tiny end-to-end D-DEMOS election (5 voters, 3 options,
 // 4 vote collectors, 3 bulletin boards, 3 trustees) on the deterministic
-// simulator, print every stage, and verify the election as an auditor.
+// simulator through the runtime-neutral ElectionDriver, watch the phases
+// through an ElectionObserver, and verify the election as an auditor.
 //
 //   ./build/examples/quickstart
 #include <cstdio>
 
-#include "core/runner.hpp"
+#include "core/driver.hpp"
 
 using namespace ddemos;
 using namespace ddemos::core;
 
+namespace {
+
+// Phase hooks fire on either backend as the election crosses boundaries.
+class PhasePrinter final : public ElectionObserver {
+ public:
+  void on_phase_entered(ElectionPhase phase, sim::TimePoint at) override {
+    const char* name = "?";
+    switch (phase) {
+      case ElectionPhase::kVoting: name = "voting"; break;
+      case ElectionPhase::kConsensus: name = "vote-set consensus"; break;
+      case ElectionPhase::kTally: name = "push to BB + tally"; break;
+      case ElectionPhase::kResult: name = "result published"; break;
+    }
+    std::printf("  [t=%8.3fs] phase: %s\n", at / 1e6, name);
+  }
+};
+
+}  // namespace
+
 int main() {
-  RunnerConfig cfg;
+  DriverConfig cfg;
   cfg.params.election_id = to_bytes("quickstart-2026");
   cfg.params.options = {"alice", "bob", "carol"};
   cfg.params.n_voters = 5;
@@ -24,37 +44,45 @@ int main() {
   cfg.params.t_start = 0;
   cfg.params.t_end = 20'000'000;  // 20 (virtual) seconds of voting
   cfg.seed = 2026;
-  cfg.votes = {0, 1, 0, 2, 0};  // who each voter chooses
+  // Who each voter chooses; workloads stream, so a million-voter config
+  // would look exactly the same (see RandomWorkload / DiskTraceWorkload).
+  cfg.workload = VoteListWorkload::make({0, 1, 0, 2, 0});
+  PhasePrinter printer;
+  cfg.observers = {&printer};
 
   std::printf("== D-DEMOS quickstart ==\n");
   std::printf("setting up election (EA) and running all phases...\n");
-  ElectionRunner runner(cfg);
-  runner.run_to_completion();
+  ElectionDriver driver(cfg);
+  ElectionReport report = driver.run();
 
-  for (std::size_t v = 0; v < runner.voter_count(); ++v) {
-    const auto& voter = runner.voter(v);
+  for (std::size_t v = 0; v < driver.voter_count(); ++v) {
+    const auto& voter = driver.voter(v);
     std::printf("voter %zu: part %c, receipt %s after %zu attempt(s)\n", v,
                 voter.used_part() == 0 ? 'A' : 'B',
                 voter.has_receipt() ? "VALID" : "MISSING", voter.attempts());
   }
 
-  const auto& set = runner.vc_node(0).final_vote_set();
-  std::printf("vote-set consensus agreed on %zu cast ballots\n", set.size());
-
-  const auto& result = runner.bb_node(0).result();
+  std::printf("vote-set consensus agreed on %zu cast ballots\n",
+              report.vote_set.size());
   std::printf("published tally:");
   for (std::size_t j = 0; j < cfg.params.options.size(); ++j) {
     std::printf(" %s=%llu", cfg.params.options[j].c_str(),
-                static_cast<unsigned long long>(result->tally[j]));
+                static_cast<unsigned long long>(report.tally[j]));
   }
   std::printf("\n");
+  std::printf("report: %zu/%zu receipts, %llu sim events, %llu message "
+              "allocations, %.2fs virtual collection phase\n",
+              report.receipts_issued, report.voters_launched,
+              static_cast<unsigned long long>(report.events_processed),
+              static_cast<unsigned long long>(report.payload_allocations),
+              report.phases.collection_s());
 
-  client::Auditor auditor(runner.reader());
-  client::AuditReport report = auditor.verify_election();
+  client::Auditor auditor(driver.reader());
+  client::AuditReport audit = auditor.verify_election();
   std::printf("full election audit: %s\n",
-              report.passed ? "PASSED" : "FAILED");
-  for (const std::string& f : report.failures) {
+              audit.passed ? "PASSED" : "FAILED");
+  for (const std::string& f : audit.failures) {
     std::printf("  failure: %s\n", f.c_str());
   }
-  return report.passed ? 0 : 1;
+  return audit.passed && report.completed ? 0 : 1;
 }

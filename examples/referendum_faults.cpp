@@ -6,13 +6,13 @@
 //   ./build/examples/referendum_faults
 #include <cstdio>
 
-#include "core/runner.hpp"
+#include "core/driver.hpp"
 
 using namespace ddemos;
 using namespace ddemos::core;
 
 int main() {
-  RunnerConfig cfg;
+  DriverConfig cfg;
   cfg.params.election_id = to_bytes("referendum-2026");
   cfg.params.options = {"yes", "no"};
   cfg.params.n_voters = 12;
@@ -25,7 +25,7 @@ int main() {
   cfg.params.t_start = 0;
   cfg.params.t_end = 60'000'000;
   cfg.seed = 99;
-  cfg.votes = {0, 0, 1, 0, 1, 1, 0, 0, 0, 1, 0, 0};  // yes wins 8-4
+  cfg.workload = VoteListWorkload::make({0, 0, 1, 0, 1, 1, 0, 0, 0, 1, 0, 0});  // yes wins 8-4
   cfg.crashed_vcs = {2};
   cfg.crashed_bbs = {0};
   cfg.crashed_trustees = {1};
@@ -33,8 +33,8 @@ int main() {
 
   std::printf("== referendum with 1 crashed VC, 1 crashed BB, 1 crashed "
               "trustee ==\n");
-  ElectionRunner runner(cfg);
-  runner.run_to_completion();
+  ElectionDriver runner(cfg);
+  runner.run();
 
   std::size_t retried = 0;
   for (std::size_t v = 0; v < runner.voter_count(); ++v) {

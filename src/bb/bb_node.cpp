@@ -418,6 +418,7 @@ void BbNode::maybe_publish_result() {
     result_ = ElectionResult{std::vector<std::uint64_t>(m, 0),
                              std::vector<crypto::Fn>(m, crypto::Fn::zero())};
     result_at_ = ctx().now();
+    result_published_ = true;  // after result_ settles (cross-thread flag)
     return;
   }
   if (trustee_tally_data_.size() < ht) return;
@@ -481,6 +482,7 @@ void BbNode::maybe_publish_result() {
   }
   result_ = std::move(res);
   result_at_ = ctx().now();
+  result_published_ = true;  // after result_ settles (cross-thread flag)
 }
 
 void BbNode::handle_read(NodeId from, Reader& r) {

@@ -11,6 +11,7 @@
 //    completes the ZK proofs and publishes the final tally.
 #pragma once
 
+#include <atomic>
 #include <map>
 #include <optional>
 #include <set>
@@ -52,9 +53,14 @@ class BbNode final : public sim::Process {
   void on_message(sim::NodeId from, const net::Buffer& payload) override;
 
   // --- public read API (also served over the network read channel) ------
+  // These three completion flags are atomic because the ThreadNet
+  // completion predicate and the driver's phase probe read them from the
+  // waiter thread while this node's worker is still running; everything
+  // else on this class is single-writer node state, safe to read only
+  // after the runtime has stopped.
   bool vote_set_published() const { return vote_set_accepted_; }
   bool codes_published() const { return codes_published_; }
-  bool result_published() const { return result_.has_value(); }
+  bool result_published() const { return result_published_; }
   // Phase timestamps (virtual time) for the Figure 5c breakdown.
   sim::TimePoint vote_set_accepted_at() const { return vote_set_at_; }
   sim::TimePoint codes_published_at() const { return codes_at_; }
@@ -106,13 +112,13 @@ class BbNode final : public sim::Process {
     std::uint64_t expected = 0;
   };
   std::vector<VcSubmission> submissions_;
-  bool vote_set_accepted_ = false;
+  std::atomic<bool> vote_set_accepted_{false};
   std::vector<core::VoteSetEntry> accepted_set_;
 
   // msk reconstruction.
   std::map<std::uint32_t, crypto::Share> msk_shares_;
   std::optional<Bytes> msk_;
-  bool codes_published_ = false;
+  std::atomic<bool> codes_published_{false};
   std::vector<CastInfo> cast_info_;
   Bytes coins_;
   crypto::Fn challenge_;
@@ -123,6 +129,7 @@ class BbNode final : public sim::Process {
   std::map<std::uint32_t, core::TrusteeTallyMsg> trustee_tally_data_;
   std::map<core::Serial, PublishedBallot> published_;
   std::optional<ElectionResult> result_;
+  std::atomic<bool> result_published_{false};  // set after result_ settles
   sim::TimePoint vote_set_at_ = -1;
   sim::TimePoint codes_at_ = -1;
   sim::TimePoint result_at_ = -1;

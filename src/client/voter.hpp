@@ -6,6 +6,7 @@
 // is resubmitted to another randomly selected node.
 #pragma once
 
+#include <atomic>
 #include <optional>
 #include <set>
 
@@ -35,6 +36,7 @@ class Voter final : public sim::Process {
   void on_message(sim::NodeId from, const net::Buffer& payload) override;
   void on_timer(std::uint64_t token) override;
 
+  // Atomic: ThreadNet completion predicates may read it mid-run.
   bool has_receipt() const { return receipt_ok_; }
   bool gave_up() const { return gave_up_; }
   std::uint8_t used_part() const { return part_; }
@@ -66,7 +68,7 @@ class Voter final : public sim::Process {
   std::optional<sim::NodeId> current_vc_;
   std::uint64_t patience_timer_ = 0;
   std::uint64_t start_timer_ = 0;
-  bool receipt_ok_ = false;
+  std::atomic<bool> receipt_ok_{false};
   bool gave_up_ = false;
   std::size_t attempts_ = 0;
   sim::TimePoint receipt_at_ = -1;

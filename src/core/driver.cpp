@@ -1,0 +1,393 @@
+#include "core/driver.hpp"
+
+#include <chrono>
+#include <unordered_set>
+
+#include "util/error.hpp"
+
+namespace ddemos::core {
+
+using sim::NodeId;
+
+ElectionTopology build_election(sim::RuntimeHost& host,
+                                const ea::SetupArtifacts& artifacts,
+                                const DriverConfig& cfg) {
+  const ElectionParams& p = cfg.params;
+  ElectionTopology topo;
+
+  // VC nodes take host ids 0..Nv-1 (the convention BB nodes use to
+  // identify authenticated VC writers).
+  std::vector<NodeId> vc_ids(p.n_vc), bb_ids(p.n_bb);
+  for (std::size_t i = 0; i < p.n_vc; ++i) vc_ids[i] = static_cast<NodeId>(i);
+  for (std::size_t i = 0; i < p.n_bb; ++i) {
+    bb_ids[i] = static_cast<NodeId>(p.n_vc + i);
+  }
+  for (std::size_t i = 0; i < p.n_vc; ++i) {
+    std::shared_ptr<store::BallotDataSource> source;
+    if (cfg.store_factory) {
+      source = cfg.store_factory(artifacts.vc_inits[i]);
+    } else {
+      source = std::make_shared<store::MemoryBallotSource>(
+          artifacts.vc_inits[i].ballots);
+    }
+    NodeId id = host.add_node(
+        std::make_unique<vc::VcNode>(artifacts.vc_inits[i], source, vc_ids,
+                                     bb_ids, cfg.vc_options),
+        "vc" + std::to_string(i));
+    topo.vc_ids.push_back(id);
+  }
+  for (std::size_t i = 0; i < p.n_bb; ++i) {
+    NodeId id = host.add_node(
+        std::make_unique<bb::BbNode>(artifacts.bb_inits[i]),
+        "bb" + std::to_string(i));
+    topo.bb_ids.push_back(id);
+  }
+  for (std::size_t i = 0; i < p.n_trustees; ++i) {
+    NodeId id = host.add_node(
+        std::make_unique<trustee::TrusteeNode>(artifacts.trustee_inits[i],
+                                               topo.bb_ids,
+                                               cfg.trustee_options),
+        "trustee" + std::to_string(i));
+    topo.trustee_ids.push_back(id);
+  }
+
+  // Stream the voter workload: one Voter node per open-loop intent, or one
+  // multiplexing ClosedLoopClient for closed-loop sources. The workload is
+  // the only description of the electorate — no O(n_voters) vectors.
+  std::shared_ptr<Workload> workload =
+      cfg.workload ? cfg.workload : RoundRobinWorkload::make();
+  workload->bind(p);
+  // Shared intent validation for both client shapes. Slots are bounded by
+  // the configured electorate AND by the ballots the (possibly reused)
+  // artifacts actually carry.
+  auto next_intent = [&]() -> std::optional<VoteIntent> {
+    while (auto in = workload->next()) {
+      if (in->option == kAbstain) continue;
+      if (in->slot >= p.n_voters ||
+          in->slot >= artifacts.voter_ballots.size() || in->option >= p.m()) {
+        throw ProtocolError("workload intent out of range");
+      }
+      return in;
+    }
+    return std::nullopt;
+  };
+  if (workload->concurrency() > 0) {
+    if (artifacts.voter_ballots.empty()) {
+      throw ProtocolError(
+          "closed-loop workload needs the EA's printed ballots");
+    }
+    crypto::Rng part_rng(cfg.seed ^ 0x9e3779b97f4a7c15ull);
+    std::vector<VoteTarget> targets;
+    std::unordered_set<std::size_t> seen_slots;
+    while (auto in = next_intent()) {
+      // The client keys in-flight casts by serial; a duplicate slot would
+      // silently wedge the loop (the overwritten entry never resolves).
+      if (!seen_slots.insert(in->slot).second) {
+        throw ProtocolError("closed-loop workload yields duplicate slot");
+      }
+      const Ballot& ballot = artifacts.voter_ballots[in->slot];
+      std::size_t part = part_rng.below(kNumParts);
+      const BallotLine& line = ballot.parts[part].lines[in->option];
+      targets.push_back(
+          VoteTarget{ballot.serial, line.vote_code, line.receipt, in->option});
+    }
+    topo.load_client_id = host.add_node(
+        std::make_unique<ClosedLoopClient>(std::move(targets), topo.vc_ids,
+                                           workload->concurrency(),
+                                           cfg.seed ^ 0x1),
+        "loadgen");
+    return topo;
+  }
+  while (auto in = next_intent()) {
+    if (in->cast_at == kCastWhenReady) {
+      throw ProtocolError(
+          "kCastWhenReady intent from an open-loop workload");
+    }
+    client::Voter::Config vcfg = cfg.voter_template;
+    vcfg.ballot = artifacts.voter_ballots[in->slot];
+    vcfg.option_index = in->option;
+    vcfg.vc_ids = topo.vc_ids;
+    vcfg.seed = cfg.seed * 1000003 + in->slot;
+    vcfg.vote_at = in->cast_at;
+    NodeId id = host.add_node(std::make_unique<client::Voter>(vcfg),
+                              "voter" + std::to_string(in->slot));
+    topo.voter_ids.push_back(id);
+    topo.voter_slots.push_back(VoterSlot{in->slot, in->option});
+  }
+  return topo;
+}
+
+ElectionDriver::ElectionDriver(DriverConfig config)
+    : cfg_(std::move(config)),
+      owned_sim_(std::make_unique<sim::Simulation>(
+          cfg_.seed ^ 0x5151515151515151ull)) {
+  host_ = owned_sim_.get();
+  sim_ = owned_sim_.get();
+  init();
+}
+
+ElectionDriver::ElectionDriver(sim::RuntimeHost& host, DriverConfig config)
+    : cfg_(std::move(config)) {
+  host_ = &host;
+  sim_ = dynamic_cast<sim::Simulation*>(&host);
+  init();
+}
+
+void ElectionDriver::init() {
+  observers_ = cfg_.observers;
+  if (cfg_.artifacts) {
+    artifacts_ = cfg_.artifacts;
+  } else {
+    auto arts = std::make_shared<ea::SetupArtifacts>(
+        ea::ea_setup({cfg_.params, cfg_.seed, false, 64}));
+    if (cfg_.tamper_setup) cfg_.tamper_setup(*arts);
+    artifacts_ = std::move(arts);
+  }
+  for (ElectionObserver* o : observers_) o->on_setup_complete(*artifacts_);
+
+  if (owned_sim_) {
+    // Backend knobs configure the driver-owned simulator only; an external
+    // backend belongs to the caller (its link model etc. stay untouched).
+    sim_->set_default_link(cfg_.link);
+    if (cfg_.measure_cpu) sim_->set_measure_cpu(true);
+  }
+  if (!sim_ && (!cfg_.crashed_vcs.empty() || !cfg_.crashed_bbs.empty() ||
+                !cfg_.crashed_trustees.empty())) {
+    throw ProtocolError("crash injection requires the simulator backend");
+  }
+  topo_ = build_election(*host_, *artifacts_, cfg_);
+  if (sim_) {
+    for (std::size_t i : cfg_.crashed_vcs) sim_->crash(topo_.vc_ids.at(i));
+    for (std::size_t i : cfg_.crashed_bbs) sim_->crash(topo_.bb_ids.at(i));
+    for (std::size_t i : cfg_.crashed_trustees) {
+      sim_->crash(topo_.trustee_ids.at(i));
+    }
+  }
+  for (NodeId id : topo_.vc_ids) {
+    vcs_.push_back(&dynamic_cast<vc::VcNode&>(host_->process(id)));
+  }
+  for (NodeId id : topo_.bb_ids) {
+    bbs_.push_back(&dynamic_cast<bb::BbNode&>(host_->process(id)));
+  }
+  if (topo_.load_client_id != sim::kNoNode) {
+    client_ = &dynamic_cast<ClosedLoopClient&>(
+        host_->process(topo_.load_client_id));
+  }
+  for (ElectionObserver* o : observers_) o->on_election_built(topo_);
+}
+
+void ElectionDriver::add_observer(ElectionObserver* observer) {
+  observers_.push_back(observer);
+}
+
+bool ElectionDriver::crashed(NodeId id) const {
+  return sim_ && sim_->crashed(id);
+}
+
+bool ElectionDriver::completion_reached() const {
+  for (std::size_t i = 0; i < bbs_.size(); ++i) {
+    if (!crashed(topo_.bb_ids[i]) && !bbs_[i]->result_published()) {
+      return false;
+    }
+  }
+  for (std::size_t i = 0; i < vcs_.size(); ++i) {
+    if (!crashed(topo_.vc_ids[i]) && !vcs_[i]->push_complete()) return false;
+  }
+  if (client_ && !client_->done()) return false;
+  return true;
+}
+
+void ElectionDriver::probe_phases() {
+  if (observers_.empty()) return;
+  sim::TimePoint at = host_->now();
+  auto fire = [&](ElectionPhase phase) {
+    for (ElectionObserver* o : observers_) o->on_phase_entered(phase, at);
+  };
+  if (!consensus_seen_) {
+    bool all = true;
+    for (std::size_t i = 0; i < vcs_.size(); ++i) {
+      if (crashed(topo_.vc_ids[i])) continue;
+      all = all && vcs_[i]->phase() != vc::Phase::kVoting;
+    }
+    if (all) {
+      consensus_seen_ = true;
+      fire(ElectionPhase::kConsensus);
+    }
+  }
+  if (consensus_seen_ && !tally_seen_) {
+    bool all = true;
+    for (std::size_t i = 0; i < bbs_.size(); ++i) {
+      if (crashed(topo_.bb_ids[i])) continue;
+      all = all && bbs_[i]->codes_published();
+    }
+    if (all) {
+      tally_seen_ = true;
+      fire(ElectionPhase::kTally);
+    }
+  }
+  if (tally_seen_ && !result_seen_) {
+    bool all = true;
+    for (std::size_t i = 0; i < bbs_.size(); ++i) {
+      if (crashed(topo_.bb_ids[i])) continue;
+      all = all && bbs_[i]->result_published();
+    }
+    if (all) {
+      result_seen_ = true;
+      fire(ElectionPhase::kResult);
+    }
+  }
+}
+
+ElectionReport ElectionDriver::run() {
+  auto wall_start = std::chrono::steady_clock::now();
+  std::uint64_t alloc_base = net::Buffer::payload_allocations();
+  std::uint64_t events_base = sim_ ? sim_->events_processed() : 0;
+  std::uint64_t delivered_base = sim_ ? sim_->delivered_messages() : 0;
+  std::uint64_t dropped_base = sim_ ? sim_->dropped_messages() : 0;
+
+  sim::RunOptions opts;
+  opts.max_events = cfg_.max_events;
+  opts.wall_timeout_us = cfg_.wall_timeout_us;
+  opts.probe = [this] { probe_phases(); };
+
+  for (ElectionObserver* o : observers_) {
+    o->on_phase_entered(ElectionPhase::kVoting, host_->now());
+  }
+  bool done_in_budget;
+  if (sim_) {
+    // Natural quiescence keeps the simulator's established semantics (and
+    // bit-identical timings): drain the queue, then check completion.
+    done_in_budget = sim_->run_to_quiescence(nullptr, opts);
+  } else {
+    done_in_budget = host_->run_to_quiescence(
+        [this] { return completion_reached(); }, opts);
+  }
+  // ThreadNet joins its workers here so the harvest below reads settled
+  // node state; a no-op on the simulator.
+  host_->stop();
+  // Final probe over settled state: phase hooks the in-run probes raced
+  // past (e.g. the completion wait returning the moment `done` held).
+  probe_phases();
+
+  report_ = harvest();
+  report_.completed = report_.completed && done_in_budget;
+  if (sim_) {
+    report_.events_processed = sim_->events_processed() - events_base;
+    report_.messages_delivered = sim_->delivered_messages() - delivered_base;
+    report_.messages_dropped = sim_->dropped_messages() - dropped_base;
+  }
+  report_.payload_allocations =
+      net::Buffer::payload_allocations() - alloc_base;
+  report_.wall_seconds =
+      std::chrono::duration_cast<std::chrono::duration<double>>(
+          std::chrono::steady_clock::now() - wall_start)
+          .count();
+  for (ElectionObserver* o : observers_) o->on_complete(report_);
+  return report_;
+}
+
+ElectionReport ElectionDriver::harvest() const {
+  ElectionReport r;
+  r.phases.t_start = cfg_.params.t_start;
+  r.phases.t_end = cfg_.params.t_end;
+
+  r.vc_stats.reserve(vcs_.size());
+  for (std::size_t i = 0; i < vcs_.size(); ++i) {
+    const vc::VcStats& s = vcs_[i]->stats();
+    r.vc_stats.push_back(s);
+    r.vc_totals.votes_received += s.votes_received;
+    r.vc_totals.receipts_issued += s.receipts_issued;
+    r.vc_totals.rejected_votes += s.rejected_votes;
+    r.vc_totals.voting_ended_at =
+        std::max(r.vc_totals.voting_ended_at, s.voting_ended_at);
+    r.vc_totals.consensus_done_at =
+        std::max(r.vc_totals.consensus_done_at, s.consensus_done_at);
+    r.vc_totals.push_done_at =
+        std::max(r.vc_totals.push_done_at, s.push_done_at);
+  }
+  r.phases.voting_ended_at = r.vc_totals.voting_ended_at;
+  r.phases.consensus_done_at = r.vc_totals.consensus_done_at;
+  r.phases.push_done_at = r.vc_totals.push_done_at;
+
+  // Fail closed: an election with no live BB never "completes".
+  bool any_live_bb = false;
+  r.completed = true;
+  for (std::size_t i = 0; i < bbs_.size(); ++i) {
+    if (crashed(topo_.bb_ids[i])) continue;
+    any_live_bb = true;
+    const bb::BbNode& bb = *bbs_[i];
+    r.completed = r.completed && bb.result_published();
+    if (r.tally.empty() && bb.result()) r.tally = bb.result()->tally;
+    r.phases.tally_published_at =
+        std::max(r.phases.tally_published_at, bb.codes_published_at());
+    r.phases.result_published_at =
+        std::max(r.phases.result_published_at, bb.result_published_at());
+  }
+  r.completed = r.completed && any_live_bb;
+  for (std::size_t i = 0; i < vcs_.size(); ++i) {
+    if (crashed(topo_.vc_ids[i])) continue;
+    r.vote_set = vcs_[i]->final_vote_set();
+    break;
+  }
+
+  r.expected_tally.assign(cfg_.params.m(), 0);
+  if (client_) {
+    r.voters_launched = client_->target_count();
+    r.receipts_issued = client_->completed();
+    r.expected_tally = client_->completed_by_option(cfg_.params.m());
+    r.phases.last_receipt_at = std::max<sim::TimePoint>(
+        r.phases.last_receipt_at, client_->last_receipt());
+  } else {
+    r.voters_launched = topo_.voter_ids.size();
+    for (std::size_t i = 0; i < topo_.voter_ids.size(); ++i) {
+      const auto& voter = dynamic_cast<const client::Voter&>(
+          host_->process(topo_.voter_ids[i]));
+      if (!voter.has_receipt()) continue;
+      ++r.receipts_issued;
+      ++r.expected_tally[topo_.voter_slots[i].option];
+      r.receipts.push_back(voter.expected_receipt());
+      r.phases.last_receipt_at =
+          std::max(r.phases.last_receipt_at, voter.receipt_at());
+    }
+  }
+  return r;
+}
+
+sim::Simulation& ElectionDriver::simulation() {
+  if (!sim_) {
+    throw ProtocolError("ElectionDriver: backend is not the simulator");
+  }
+  return *sim_;
+}
+
+vc::VcNode& ElectionDriver::vc_node(std::size_t i) { return *vcs_.at(i); }
+
+bb::BbNode& ElectionDriver::bb_node(std::size_t i) { return *bbs_.at(i); }
+
+trustee::TrusteeNode& ElectionDriver::trustee_node(std::size_t i) {
+  return dynamic_cast<trustee::TrusteeNode&>(
+      host_->process(topo_.trustee_ids.at(i)));
+}
+
+client::Voter& ElectionDriver::voter(std::size_t i) {
+  return dynamic_cast<client::Voter&>(host_->process(topo_.voter_ids.at(i)));
+}
+
+ClosedLoopClient* ElectionDriver::load_client() { return client_; }
+
+std::vector<const bb::BbNode*> ElectionDriver::bb_views() const {
+  std::vector<const bb::BbNode*> views;
+  for (std::size_t i = 0; i < bbs_.size(); ++i) {
+    if (!crashed(topo_.bb_ids[i])) views.push_back(bbs_[i]);
+  }
+  return views;
+}
+
+std::vector<std::uint64_t> ElectionDriver::expected_tally() const {
+  // After run() the answer is already in the retained report; only a
+  // pre-run query pays for a fresh harvest.
+  if (!report_.expected_tally.empty()) return report_.expected_tally;
+  return harvest().expected_tally;
+}
+
+}  // namespace ddemos::core

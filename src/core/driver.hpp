@@ -1,0 +1,222 @@
+// Runtime-neutral election orchestration — the top of the public API.
+// ElectionDriver instantiates an election described by a DriverConfig on
+// any sim::RuntimeHost (the deterministic simulator or the multi-threaded
+// transport), streams the voter workload from a core::Workload source (so
+// configs stay O(1) in the number of voters), drives the run through the
+// host's run_to_quiescence completion wait, and harvests a structured
+// ElectionReport: tally, receipts, per-phase durations, VC stats, and
+// event/allocation counts. ElectionObserver hooks fire as the election
+// crosses phase boundaries on either backend.
+#pragma once
+
+#include <functional>
+#include <memory>
+
+#include "bb/bb_node.hpp"
+#include "client/auditor.hpp"
+#include "client/voter.hpp"
+#include "core/workload.hpp"
+#include "ea/ea.hpp"
+#include "sim/sim.hpp"
+#include "store/ballot_store.hpp"
+#include "trustee/trustee_node.hpp"
+#include "vc/vc_node.hpp"
+
+namespace ddemos::core {
+
+class ElectionObserver;
+
+struct DriverConfig {
+  ElectionParams params;
+  std::uint64_t seed = 1;
+  // Voter workload source; null defaults to RoundRobinWorkload (every slot
+  // votes, option = slot % m, casts spread over the window).
+  std::shared_ptr<Workload> workload;
+  vc::VcNode::Options vc_options;
+  client::Voter::Config voter_template;  // patience etc. (ballot filled in)
+  // Indices of nodes to crash before start (simulator backend only).
+  std::vector<std::size_t> crashed_vcs;
+  std::vector<std::size_t> crashed_bbs;
+  std::vector<std::size_t> crashed_trustees;
+  // Custom ballot source per VC node (e.g. DiskBallotSource); defaults to
+  // MemoryBallotSource over the EA's data.
+  std::function<std::shared_ptr<store::BallotDataSource>(const VcInit&)>
+      store_factory;
+  // Invoked on the EA's output before any node is constructed. Used by
+  // verifiability tests and examples to play a malicious EA (modification /
+  // clash attacks) against the auditors. Ignored when `artifacts` is set.
+  std::function<void(ea::SetupArtifacts&)> tamper_setup;
+  // Trustee behaviour (poll interval etc.) shared by both runtimes.
+  trustee::TrusteeNode::Options trustee_options;
+  // Precomputed setup to reuse across backends (runtime parity) or runs;
+  // null = the driver runs ea_setup itself.
+  std::shared_ptr<const ea::SetupArtifacts> artifacts;
+  // Borrowed observers, registered before setup so they see every hook
+  // (add_observer after construction only catches phase/completion hooks).
+  std::vector<ElectionObserver*> observers;
+
+  // Backend knobs. link/measure_cpu configure the driver-owned simulator;
+  // an externally hosted backend keeps whatever the caller set on it.
+  sim::LinkModel link = sim::LinkModel::lan();
+  bool measure_cpu = false;
+  std::size_t max_events = 50'000'000;  // simulator event budget per run()
+  sim::Duration wall_timeout_us = 60'000'000;  // ThreadNet completion cap
+};
+
+// Node ids of an election instantiated on some RuntimeHost.
+struct VoterSlot {
+  std::size_t slot = 0;    // ballot slot index
+  std::size_t option = 0;  // option this voter casts
+};
+struct ElectionTopology {
+  std::vector<sim::NodeId> vc_ids, bb_ids, trustee_ids;
+  // One entry per instantiated voter (non-abstaining workload intent), in
+  // stream order; O(votes cast), never O(n_voters).
+  std::vector<sim::NodeId> voter_ids;
+  std::vector<VoterSlot> voter_slots;  // parallel to voter_ids
+  // Closed-loop workloads get one multiplexing client instead of per-slot
+  // voters.
+  sim::NodeId load_client_id = sim::kNoNode;
+};
+
+// Phase boundaries of a completed election, in the host's time base
+// (virtual microseconds on the simulator, wall microseconds on ThreadNet),
+// with the paper's Figure-5c durations derived from them.
+struct PhaseBreakdown {
+  sim::TimePoint t_start = 0, t_end = 0;       // configured election hours
+  sim::TimePoint last_receipt_at = 0;          // vote collection ends
+  sim::TimePoint voting_ended_at = 0;          // max over VC nodes
+  sim::TimePoint consensus_done_at = 0;        // max over VC nodes
+  sim::TimePoint push_done_at = 0;             // max over VC nodes
+  sim::TimePoint tally_published_at = 0;       // max BB codes_published_at
+  sim::TimePoint result_published_at = 0;      // max BB result_published_at
+
+  double collection_s() const {
+    return static_cast<double>(last_receipt_at - t_start) / 1e6;
+  }
+  double consensus_s() const {
+    return static_cast<double>(consensus_done_at - t_end) / 1e6;
+  }
+  double push_tally_s() const {
+    return static_cast<double>(tally_published_at - consensus_done_at) / 1e6;
+  }
+  double publish_s() const {
+    return static_cast<double>(result_published_at - tally_published_at) / 1e6;
+  }
+};
+
+// Structured outcome of a driver run; everything the benches and tests
+// previously scraped from node internals.
+struct ElectionReport {
+  bool completed = false;  // every live BB published a result
+  std::vector<std::uint64_t> tally;  // published tally (empty if none)
+  // Ground truth from the workload: receipts obtained per option.
+  std::vector<std::uint64_t> expected_tally;
+  std::vector<VoteSetEntry> vote_set;  // agreed set (first live VC)
+  std::size_t voters_launched = 0;  // non-abstaining intents instantiated
+  std::size_t receipts_issued = 0;  // receipts actually obtained
+  // Printed receipt per voter holding one, in workload stream order (empty
+  // in closed-loop mode, where receipts_issued still counts completions).
+  std::vector<std::uint64_t> receipts;
+  PhaseBreakdown phases;
+  vc::VcStats vc_totals;               // counters summed, timings maxed
+  std::vector<vc::VcStats> vc_stats;   // per VC node
+  // Runtime accounting for the run() span (zeros on ThreadNet where noted).
+  std::uint64_t events_processed = 0;    // simulator only
+  std::uint64_t messages_delivered = 0;  // simulator only
+  std::uint64_t messages_dropped = 0;    // simulator only
+  std::uint64_t payload_allocations = 0;
+  double wall_seconds = 0;  // real time spent inside run()
+};
+
+enum class ElectionPhase : std::uint8_t {
+  kVoting,     // election hours: clients casting, receipts flowing
+  kConsensus,  // every live VC entered vote-set consensus
+  kTally,      // every live BB published the code/tally material
+  kResult,     // every live BB published the final result
+};
+
+// Phase hooks, fired from within the run on both backends (timestamps are
+// probe-time observations in the host's time base; exact boundaries land
+// in the report's PhaseBreakdown).
+class ElectionObserver {
+ public:
+  virtual ~ElectionObserver() = default;
+  virtual void on_setup_complete(const ea::SetupArtifacts&) {}
+  virtual void on_election_built(const ElectionTopology&) {}
+  virtual void on_phase_entered(ElectionPhase, sim::TimePoint /*at*/) {}
+  virtual void on_complete(const ElectionReport&) {}
+};
+
+// Instantiates every protocol node of the election described by `cfg` on
+// `host`, streaming voters from the workload. This is the single code path
+// every backend uses; runtime-specific setup (link models, crash
+// injection) happens on the concrete runtime around this call.
+ElectionTopology build_election(sim::RuntimeHost& host,
+                                const ea::SetupArtifacts& artifacts,
+                                const DriverConfig& cfg);
+
+class ElectionDriver {
+ public:
+  // Owns a deterministic simulator backend (the common case).
+  explicit ElectionDriver(DriverConfig config);
+  // Hosts the election on an externally owned backend (Simulation or
+  // ThreadNet); crash lists require the simulator.
+  ElectionDriver(sim::RuntimeHost& host, DriverConfig config);
+
+  // Observers are borrowed, not owned; add before run().
+  void add_observer(ElectionObserver* observer);
+
+  // Runs the election to completion on the configured backend and returns
+  // the harvested report (also retained, see report()).
+  ElectionReport run();
+  // Harvests a report from the current node state without running.
+  ElectionReport harvest() const;
+  const ElectionReport& report() const { return report_; }
+
+  sim::RuntimeHost& host() { return *host_; }
+  // The simulator backend; throws ProtocolError on a different backend.
+  sim::Simulation& simulation();
+  const ea::SetupArtifacts& artifacts() const { return *artifacts_; }
+  const ElectionTopology& topology() const { return topo_; }
+
+  vc::VcNode& vc_node(std::size_t i);
+  bb::BbNode& bb_node(std::size_t i);
+  trustee::TrusteeNode& trustee_node(std::size_t i);
+  client::Voter& voter(std::size_t i);
+  std::size_t voter_count() const { return topo_.voter_ids.size(); }
+  // The closed-loop client, or null when the workload is open-loop.
+  ClosedLoopClient* load_client();
+
+  std::vector<const bb::BbNode*> bb_views() const;
+  client::MajorityReader reader() const {
+    return client::MajorityReader(bb_views(), cfg_.params.f_bb);
+  }
+
+  // The expected tally given the configured workload (ground truth):
+  // receipts obtained per option.
+  std::vector<std::uint64_t> expected_tally() const;
+
+ private:
+  void init();
+  bool completion_reached() const;
+  void probe_phases();
+  bool crashed(sim::NodeId id) const;
+
+  DriverConfig cfg_;
+  std::shared_ptr<const ea::SetupArtifacts> artifacts_;
+  std::unique_ptr<sim::Simulation> owned_sim_;
+  sim::RuntimeHost* host_ = nullptr;
+  sim::Simulation* sim_ = nullptr;  // host_ when it is a Simulation
+  ElectionTopology topo_;
+  // Node pointers cached at build time so the ThreadNet completion
+  // predicate and the phase probe avoid per-call dynamic_casts.
+  std::vector<vc::VcNode*> vcs_;
+  std::vector<bb::BbNode*> bbs_;
+  ClosedLoopClient* client_ = nullptr;
+  std::vector<ElectionObserver*> observers_;
+  ElectionReport report_;
+  bool consensus_seen_ = false, tally_seen_ = false, result_seen_ = false;
+};
+
+}  // namespace ddemos::core

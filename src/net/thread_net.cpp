@@ -79,8 +79,69 @@ void ThreadNet::start() {
   running_.store(true, std::memory_order_release);
   stop_.store(false, std::memory_order_release);
   epoch_ = std::chrono::steady_clock::now();
+  started_once_ = true;
   for (auto& node : nodes_) {
     node->worker = std::thread([this, n = node.get()] { worker_loop(*n); });
+  }
+}
+
+sim::TimePoint ThreadNet::now() const {
+  if (!started_once_) return 0;
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now() - epoch_)
+      .count();
+}
+
+void ThreadNet::notify_progress() {
+  if (progress_waiters_.load(std::memory_order_acquire) == 0) return;
+  // Locking and releasing the mutex orders this worker's preceding state
+  // writes before the waiter's next predicate evaluation. try_lock keeps
+  // workers from serializing here under load: if the waiter (or another
+  // notifier) holds the mutex, the waiter is already awake or will re-check
+  // within its 100ms bounded wait, so skipping this notify is safe.
+  std::unique_lock lk(progress_mu_, std::try_to_lock);
+  if (!lk.owns_lock()) return;
+  lk.unlock();
+  progress_cv_.notify_all();
+}
+
+bool ThreadNet::run_to_quiescence(const std::function<bool()>& done,
+                                  const sim::RunOptions& options) {
+  if (!done) {
+    throw ProtocolError(
+        "ThreadNet::run_to_quiescence requires a completion predicate");
+  }
+  if (!running_.load(std::memory_order_acquire)) {
+    // Auto-start a fresh net, but never resurrect a stopped one: start()
+    // re-delivers on_start to every node, which would replay the protocol
+    // over completed state.
+    if (started_once_) {
+      throw ProtocolError("ThreadNet: cannot run_to_quiescence after stop");
+    }
+    start();
+  }
+  auto deadline = std::chrono::steady_clock::now() +
+                  std::chrono::microseconds(options.wall_timeout_us);
+  // RAII so a throwing predicate or probe cannot leak the waiter count
+  // (which would leave every worker paying the notify cost forever).
+  struct WaiterGuard {
+    std::atomic<int>& count;
+    explicit WaiterGuard(std::atomic<int>& c) : count(c) {
+      count.fetch_add(1, std::memory_order_acq_rel);
+    }
+    ~WaiterGuard() { count.fetch_sub(1, std::memory_order_acq_rel); }
+  } guard(progress_waiters_);
+  std::unique_lock lk(progress_mu_);
+  for (;;) {
+    if (options.probe) options.probe();
+    if (done()) return true;
+    auto now = std::chrono::steady_clock::now();
+    if (now >= deadline) return done();
+    // Bounded wait: a worker that read progress_waiters_ just before this
+    // waiter registered may skip one notify, so cap the sleep instead of
+    // trusting every wakeup to arrive (recurring timers re-notify anyway).
+    progress_cv_.wait_until(
+        lk, std::min(deadline, now + std::chrono::milliseconds(100)));
   }
 }
 
@@ -102,6 +163,7 @@ void ThreadNet::stop() {
 
 void ThreadNet::worker_loop(Node& node) {
   node.proc->on_start();
+  notify_progress();
   std::unique_lock lk(node.mu);
   while (!stop_.load(std::memory_order_acquire)) {
     auto now = std::chrono::steady_clock::now();
@@ -118,6 +180,7 @@ void ThreadNet::worker_loop(Node& node) {
     for (std::uint64_t token : due) {
       lk.unlock();
       node.proc->on_timer(token);
+      notify_progress();
       lk.lock();
     }
     if (!node.inbox.empty()) {
@@ -125,6 +188,7 @@ void ThreadNet::worker_loop(Node& node) {
       node.inbox.pop_front();
       lk.unlock();
       node.proc->on_message(m.from, m.payload);
+      notify_progress();
       lk.lock();
       continue;
     }

@@ -41,13 +41,23 @@ class ThreadNet final : public sim::RuntimeHost {
 
   // Spawns one worker thread per node and delivers on_start.
   void start() override;
-  // Signals all workers and joins them. Safe to call twice.
-  void stop();
+  // Signals all workers and joins them. Idempotent: a second (or later)
+  // call after completion is a no-op.
+  void stop() override;
 
-  // Convenience for tests: sleep while workers run.
-  static void sleep_ms(int ms) {
-    std::this_thread::sleep_for(std::chrono::milliseconds(ms));
-  }
+  // Wall-clock microseconds since start() (0 before the first start).
+  sim::TimePoint now() const override;
+
+  // Completion wait: blocks on a condition variable that every worker
+  // signals after each handler invocation, re-evaluating `done` on each
+  // wakeup — no sleep-and-poll. Requires a predicate (this backend has no
+  // notion of natural quiescence: trustees poll forever). Returns false if
+  // the wall-clock budget elapses first. `done` reads node state while
+  // workers still run; it must restrict itself to monotonic completion
+  // flags (result_published, push_complete, has_receipt).
+  using sim::RuntimeHost::run_to_quiescence;
+  bool run_to_quiescence(const std::function<bool()>& done,
+                         const sim::RunOptions& options) override;
 
  private:
   class NodeContext;
@@ -73,13 +83,25 @@ class ThreadNet final : public sim::RuntimeHost {
 
   void worker_loop(Node& node);
   void deliver(NodeId to, NodeId from, Buffer payload);
+  // Wakes any run_to_quiescence waiter; called by workers after each
+  // handler so completion predicates are re-checked promptly. Locking and
+  // releasing progress_mu_ orders the worker's preceding state writes
+  // before the waiter's predicate evaluation.
+  void notify_progress();
 
   std::vector<std::unique_ptr<Node>> nodes_;
   std::chrono::steady_clock::time_point epoch_;
+  bool started_once_ = false;
   // Read by every worker thread without holding a node lock; stop() also
   // flips stop_ from outside the workers, so both must be atomic.
   std::atomic<bool> running_{false};
   std::atomic<bool> stop_{false};
+  // Number of run_to_quiescence waiters; workers skip the notify entirely
+  // (no lock, no syscall) while it is zero, keeping the per-handler cost
+  // of the completion-wait machinery off the transport's hot path.
+  std::atomic<int> progress_waiters_{0};
+  std::mutex progress_mu_;
+  std::condition_variable progress_cv_;
 
   friend class NodeContext;
 };

@@ -15,6 +15,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <string>
 
@@ -65,12 +66,27 @@ class Process {
   Context* ctx_ = nullptr;
 };
 
+// Options for RuntimeHost::run_to_quiescence. One struct serves both
+// backends; each consumes the knobs that apply to it.
+struct RunOptions {
+  // Simulator: maximum events processed before the run is declared stuck
+  // (throws ProtocolError carrying the processed count and virtual time).
+  std::size_t max_events = 50'000'000;
+  // ThreadNet: wall-clock cap on the completion wait.
+  Duration wall_timeout_us = 60'000'000;
+  // Progress hook for phase observation: the simulator invokes it every
+  // `probe_interval` events and at quiescence; ThreadNet invokes it each
+  // time a worker signals progress. Never part of the completion decision.
+  std::function<void()> probe;
+  std::size_t probe_interval = 1024;
+};
+
 // Common node-hosting surface implemented by both runtimes
 // (sim::Simulation and net::ThreadNet). Election builders and tests are
 // written against this interface so the exact same protocol topology can be
 // hosted on either backend without parallel code paths; runtime-specific
-// concerns (link models, crash injection, virtual-time stepping, wall-clock
-// waiting) stay on the concrete classes.
+// concerns (link models, crash injection, virtual-time stepping) stay on
+// the concrete classes.
 class RuntimeHost {
  public:
   virtual ~RuntimeHost() = default;
@@ -80,6 +96,23 @@ class RuntimeHost {
   virtual std::size_t node_count() const = 0;
   // Delivers on_start to all nodes (and, for ThreadNet, spawns workers).
   virtual void start() = 0;
+  // Quiesces the backend: ThreadNet signals and joins its workers (safe to
+  // call repeatedly); the simulator needs no teardown.
+  virtual void stop() {}
+  // Current time: virtual microseconds on the simulator, wall-clock
+  // microseconds since start() on ThreadNet.
+  virtual TimePoint now() const = 0;
+  // Completion wait, replacing both bare run_until_idle calls and
+  // sleep-and-poll loops. Starts the backend if needed, then runs until
+  // `done()` holds — the simulator additionally runs to natural quiescence
+  // (empty event queue) and accepts a null predicate; ThreadNet requires
+  // one and blocks on a condition variable that workers signal after every
+  // handler, re-evaluating `done` on each wakeup. Returns whether the
+  // completion condition was met within the budget (the simulator throws
+  // on event-budget exhaustion; ThreadNet returns false on timeout).
+  virtual bool run_to_quiescence(const std::function<bool()>& done,
+                                 const RunOptions& options) = 0;
+  bool run_to_quiescence() { return run_to_quiescence(nullptr, RunOptions{}); }
 };
 
 }  // namespace ddemos::sim

@@ -1,5 +1,6 @@
 #include "sim/sim.hpp"
 
+#include <algorithm>
 #include <chrono>
 
 #include "util/error.hpp"
@@ -159,16 +160,57 @@ bool Simulation::step() {
   Event ev = queue_.pop();
   now_ = std::max(now_, ev.at);
   dispatch(ev);
+  ++events_processed_;
   return true;
 }
+
+namespace {
+[[noreturn]] void throw_budget_exhausted(std::size_t processed,
+                                         TimePoint now) {
+  throw ProtocolError(
+      "simulation did not quiesce within event budget: " +
+      std::to_string(processed) + " events processed, virtual time " +
+      std::to_string(now) + " us, events still pending");
+}
+}  // namespace
 
 std::size_t Simulation::run_until_idle(std::size_t max_events) {
   std::size_t count = 0;
   while (count < max_events && step()) ++count;
-  if (count == max_events) {
-    throw ProtocolError("simulation did not quiesce within event budget");
+  if (count == max_events && !queue_.empty()) {
+    throw_budget_exhausted(count, now_);
   }
   return count;
+}
+
+bool Simulation::run_to_quiescence(const std::function<bool()>& done,
+                                   const RunOptions& options) {
+  if (!started_) start();
+  // Clamp so a small event budget still gets completion checks before the
+  // budget trips.
+  std::size_t probe_interval = std::clamp<std::size_t>(
+      options.probe_interval, 1,
+      std::max<std::size_t>(options.max_events, 1));
+  std::size_t count = 0;
+  while (!queue_.empty()) {
+    if (count >= options.max_events) {
+      // Completion beats budget exhaustion: a satisfied predicate at the
+      // boundary is success, not a stuck simulation.
+      if (done && done()) return true;
+      throw_budget_exhausted(count, now_);
+    }
+    step();
+    ++count;
+    if (count % probe_interval == 0) {
+      if (options.probe) options.probe();
+      // The predicate only short-circuits at probe boundaries so its cost
+      // never dominates the dispatch loop; a null predicate means "run to
+      // natural quiescence" (the driver's default on this backend).
+      if (done && done()) return true;
+    }
+  }
+  if (options.probe) options.probe();
+  return done ? done() : true;
 }
 
 void Simulation::run_until(TimePoint deadline) {

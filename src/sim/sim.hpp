@@ -71,17 +71,26 @@ class Simulation final : public RuntimeHost {
   // Calls on_start on all nodes not yet started.
   void start() override;
 
-  TimePoint now() const { return now_; }
+  TimePoint now() const override { return now_; }
   // Process a single event. Returns false when the queue is empty.
   bool step();
   // Run until the queue drains or `max_events` is hit; returns events run.
+  // Throws ProtocolError (with the processed-event count and current
+  // virtual time) when the budget is exhausted with events still pending.
   std::size_t run_until_idle(std::size_t max_events = 50'000'000);
+  // RuntimeHost completion wait: run_until_idle under options.max_events,
+  // stopping early (at a probe boundary) once `done()` holds.
+  using RuntimeHost::run_to_quiescence;
+  bool run_to_quiescence(const std::function<bool()>& done,
+                         const RunOptions& options) override;
   // Run while events exist and now() < deadline.
   void run_until(TimePoint deadline);
 
   crypto::Rng& rng() { return rng_; }
   std::uint64_t delivered_messages() const { return delivered_; }
   std::uint64_t dropped_messages() const { return dropped_; }
+  // Cumulative events dispatched (messages + timers) over the sim's life.
+  std::uint64_t events_processed() const { return events_processed_; }
 
   // Used by NodeContext (internal).
   void submit_send(NodeId from, NodeId to, net::Buffer payload,
@@ -121,6 +130,7 @@ class Simulation final : public RuntimeHost {
   std::uint64_t timer_tokens_ = 0;
   std::uint64_t delivered_ = 0;
   std::uint64_t dropped_ = 0;
+  std::uint64_t events_processed_ = 0;
   bool started_ = false;
 };
 

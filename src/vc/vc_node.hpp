@@ -8,6 +8,7 @@
 //  * the final push of the agreed vote set and the msk key share to the BBs.
 #pragma once
 
+#include <atomic>
 #include <map>
 #include <memory>
 #include <optional>
@@ -69,6 +70,8 @@ class VcNode final : public sim::Process {
   void on_message(sim::NodeId from, const net::Buffer& payload) override;
   void on_timer(std::uint64_t token) override;
 
+  // phase_ is atomic: the ThreadNet completion predicate and the driver's
+  // phase probe read it from the waiter thread mid-run.
   Phase phase() const { return phase_; }
   bool push_complete() const { return phase_ == Phase::kDone; }
   const std::vector<core::VoteSetEntry>& final_vote_set() const {
@@ -146,7 +149,7 @@ class VcNode final : public sim::Process {
   std::vector<sim::NodeId> bb_ids_;
   Options opt_;
 
-  Phase phase_ = Phase::kVoting;
+  std::atomic<Phase> phase_{Phase::kVoting};
   // Per-ballot state, dense by instance index (serials are contiguous from
   // EA setup, so instance = serial - first serial). Replaces the former
   // std::map<Serial, ...>: O(1) lookups, no rebalancing, cache-linear

@@ -3,7 +3,7 @@
 // replicas, and read-section availability ordering.
 #include <gtest/gtest.h>
 
-#include "core/runner.hpp"
+#include "core/driver.hpp"
 
 namespace ddemos::core {
 namespace {
@@ -25,18 +25,18 @@ ElectionParams small(std::size_t voters) {
 }
 
 TEST(BbNode, SectionsBecomeAvailableInOrder) {
-  RunnerConfig cfg;
+  DriverConfig cfg;
   cfg.params = small(2);
   cfg.seed = 61;
-  cfg.votes = {0, 1};
-  ElectionRunner runner(cfg);
+  cfg.workload = VoteListWorkload::make({0, 1});
+  ElectionDriver runner(cfg);
   // Before anything runs: meta is served, dynamic sections are not.
   EXPECT_TRUE(runner.bb_node(0).read_section("meta").has_value());
   EXPECT_FALSE(runner.bb_node(0).read_section("voteset").has_value());
   EXPECT_FALSE(runner.bb_node(0).read_section("cast-info").has_value());
   EXPECT_FALSE(runner.bb_node(0).read_section("result").has_value());
   EXPECT_FALSE(runner.bb_node(0).read_section("nonsense").has_value());
-  runner.run_to_completion();
+  runner.run();
   EXPECT_TRUE(runner.bb_node(0).read_section("voteset").has_value());
   EXPECT_TRUE(runner.bb_node(0).read_section("cast-info").has_value());
   EXPECT_TRUE(runner.bb_node(0).read_section("challenge").has_value());
@@ -49,12 +49,12 @@ TEST(BbNode, SectionsBecomeAvailableInOrder) {
 }
 
 TEST(BbNode, RepliesAreByteIdenticalAcrossReplicas) {
-  RunnerConfig cfg;
+  DriverConfig cfg;
   cfg.params = small(4);
   cfg.seed = 62;
-  cfg.votes = {0, 1, 1, 0};
-  ElectionRunner runner(cfg);
-  runner.run_to_completion();
+  cfg.workload = VoteListWorkload::make({0, 1, 1, 0});
+  ElectionDriver runner(cfg);
+  runner.run();
   for (const char* section : {"meta", "voteset", "cast-info", "result"}) {
     auto a = runner.bb_node(0).read_section(section);
     auto b = runner.bb_node(1).read_section(section);
@@ -66,12 +66,12 @@ TEST(BbNode, RepliesAreByteIdenticalAcrossReplicas) {
 }
 
 TEST(MajorityReader, OutvotesDivergentReplica) {
-  RunnerConfig cfg;
+  DriverConfig cfg;
   cfg.params = small(3);
   cfg.seed = 63;
-  cfg.votes = {0, 0, 1};
-  ElectionRunner runner(cfg);
-  runner.run_to_completion();
+  cfg.workload = VoteListWorkload::make({0, 0, 1});
+  ElectionDriver runner(cfg);
+  runner.run();
   // Reader over {bb0, bb1, bb2} where bb2's answer is withheld: the two
   // identical replies still clear the fb+1 = 2 threshold.
   std::vector<const bb::BbNode*> views = {&runner.bb_node(0),
@@ -86,11 +86,11 @@ TEST(MajorityReader, OutvotesDivergentReplica) {
 TEST(BbNode, VoteSetNeedsFvPlusOneIdenticalPushes) {
   // Drive a BB node directly: one VC pushing alone must not be accepted;
   // a second identical push crosses fv+1 = 2.
-  RunnerConfig cfg;
+  DriverConfig cfg;
   cfg.params = small(1);
   cfg.seed = 64;
-  cfg.votes = {kAbstain};
-  ElectionRunner runner(cfg);
+  cfg.workload = VoteListWorkload::make({kAbstain});
+  ElectionDriver runner(cfg);
   auto& sim = runner.simulation();
 
   std::vector<VoteSetEntry> set = {
@@ -123,11 +123,11 @@ TEST(BbNode, VoteSetNeedsFvPlusOneIdenticalPushes) {
 }
 
 TEST(BbNode, RejectsWrongMskShare) {
-  RunnerConfig cfg;
+  DriverConfig cfg;
   cfg.params = small(1);
   cfg.seed = 65;
-  cfg.votes = {kAbstain};
-  ElectionRunner runner(cfg);
+  cfg.workload = VoteListWorkload::make({kAbstain});
+  ElectionDriver runner(cfg);
   runner.simulation().start();
   auto& bb = runner.bb_node(0);
   // A Byzantine VC submits another node's share as its own: x mismatch.
@@ -143,12 +143,12 @@ TEST(BbNode, RejectsWrongMskShare) {
 }
 
 TEST(BbNode, RejectsUnsignedTrusteeWrites) {
-  RunnerConfig cfg;
+  DriverConfig cfg;
   cfg.params = small(1);
   cfg.seed = 66;
-  cfg.votes = {0};
-  ElectionRunner runner(cfg);
-  runner.run_to_completion();
+  cfg.workload = VoteListWorkload::make({0});
+  ElectionDriver runner(cfg);
+  runner.run();
   ASSERT_TRUE(runner.bb_node(0).result_published());
   auto before = runner.bb_node(0).result()->tally;
 
@@ -166,10 +166,10 @@ TEST(BbNode, RejectsUnsignedTrusteeWrites) {
 TEST(Trustee, LoneByzantineTrusteeCannotCorruptTally) {
   // ht = 2 of 3: one trustee submitting garbage shares is outvoted because
   // the BB verifies every Pedersen share against the published commitments.
-  RunnerConfig cfg;
+  DriverConfig cfg;
   cfg.params = small(4);
   cfg.seed = 67;
-  cfg.votes = {0, 1, 0, 0};
+  cfg.workload = VoteListWorkload::make({0, 1, 0, 0});
   cfg.tamper_setup = [](ea::SetupArtifacts& arts) {
     // Trustee 0 holds corrupted shares (a "lazy/compromised" trustee whose
     // data was damaged): all its opening shares are shifted by one.
@@ -181,8 +181,8 @@ TEST(Trustee, LoneByzantineTrusteeCannotCorruptTally) {
       }
     }
   };
-  ElectionRunner runner(cfg);
-  runner.run_to_completion();
+  ElectionDriver runner(cfg);
+  runner.run();
   ASSERT_TRUE(runner.bb_node(0).result_published());
   EXPECT_EQ(runner.bb_node(0).result()->tally,
             (std::vector<std::uint64_t>{3, 1}));
@@ -191,12 +191,12 @@ TEST(Trustee, LoneByzantineTrusteeCannotCorruptTally) {
 }
 
 TEST(BbNode, PhaseTimestampsAreMonotone) {
-  RunnerConfig cfg;
+  DriverConfig cfg;
   cfg.params = small(3);
   cfg.seed = 68;
-  cfg.votes = {0, 1, 0};
-  ElectionRunner runner(cfg);
-  runner.run_to_completion();
+  cfg.workload = VoteListWorkload::make({0, 1, 0});
+  ElectionDriver runner(cfg);
+  runner.run();
   const auto& bb = runner.bb_node(0);
   EXPECT_GE(bb.vote_set_accepted_at(), cfg.params.t_end);
   EXPECT_GE(bb.codes_published_at(), bb.vote_set_accepted_at());
@@ -204,12 +204,12 @@ TEST(BbNode, PhaseTimestampsAreMonotone) {
 }
 
 TEST(BbNode, ChallengeMatchesVoterCoins) {
-  RunnerConfig cfg;
+  DriverConfig cfg;
   cfg.params = small(5);
   cfg.seed = 69;
-  cfg.votes = {0, 1, 0, 1, 0};
-  ElectionRunner runner(cfg);
-  runner.run_to_completion();
+  cfg.workload = VoteListWorkload::make({0, 1, 0, 1, 0});
+  ElectionDriver runner(cfg);
+  runner.run();
   // Recompute the challenge from the voters' actual part choices (coins),
   // ordered by serial as the BB does.
   std::vector<std::pair<Serial, std::uint8_t>> coins;

@@ -3,7 +3,7 @@
 // publication, trustee tally, auditing.
 #include <gtest/gtest.h>
 
-#include "core/runner.hpp"
+#include "core/driver.hpp"
 
 namespace ddemos::core {
 namespace {
@@ -27,12 +27,12 @@ ElectionParams small_params(std::size_t voters, std::size_t options) {
 }
 
 TEST(EndToEnd, HappyPathTalliesCorrectly) {
-  RunnerConfig cfg;
+  DriverConfig cfg;
   cfg.params = small_params(6, 3);
   cfg.seed = 7;
-  cfg.votes = {0, 1, 2, 0, 0, 1};  // expected tally 3,2,1
-  ElectionRunner runner(cfg);
-  runner.run_to_completion();
+  cfg.workload = VoteListWorkload::make({0, 1, 2, 0, 0, 1});  // expected tally 3,2,1
+  ElectionDriver runner(cfg);
+  runner.run();
 
   // Every voter got a valid (human-verifiable) receipt.
   for (std::size_t v = 0; v < runner.voter_count(); ++v) {
@@ -61,12 +61,12 @@ TEST(EndToEnd, HappyPathTalliesCorrectly) {
 }
 
 TEST(EndToEnd, AbstentionsAreNotCounted) {
-  RunnerConfig cfg;
+  DriverConfig cfg;
   cfg.params = small_params(5, 2);
   cfg.seed = 8;
-  cfg.votes = {0, kAbstain, 1, kAbstain, 0};
-  ElectionRunner runner(cfg);
-  runner.run_to_completion();
+  cfg.workload = VoteListWorkload::make({0, kAbstain, 1, kAbstain, 0});
+  ElectionDriver runner(cfg);
+  runner.run();
   ASSERT_TRUE(runner.bb_node(0).result_published());
   EXPECT_EQ(runner.bb_node(0).result()->tally,
             (std::vector<std::uint64_t>{2, 1}));
@@ -74,14 +74,14 @@ TEST(EndToEnd, AbstentionsAreNotCounted) {
 }
 
 TEST(EndToEnd, ToleratesCrashedVcNode) {
-  RunnerConfig cfg;
+  DriverConfig cfg;
   cfg.params = small_params(4, 2);
   cfg.seed = 9;
-  cfg.votes = {0, 1, 0, 1};
+  cfg.workload = VoteListWorkload::make({0, 1, 0, 1});
   cfg.crashed_vcs = {3};
   cfg.voter_template.patience_us = 1'000'000;
-  ElectionRunner runner(cfg);
-  runner.run_to_completion();
+  ElectionDriver runner(cfg);
+  runner.run();
   for (std::size_t v = 0; v < runner.voter_count(); ++v) {
     EXPECT_TRUE(runner.voter(v).has_receipt()) << "voter " << v;
   }
@@ -91,14 +91,14 @@ TEST(EndToEnd, ToleratesCrashedVcNode) {
 }
 
 TEST(EndToEnd, ToleratesCrashedBbAndTrustee) {
-  RunnerConfig cfg;
+  DriverConfig cfg;
   cfg.params = small_params(4, 2);
   cfg.seed = 10;
-  cfg.votes = {1, 1, 0, 1};
+  cfg.workload = VoteListWorkload::make({1, 1, 0, 1});
   cfg.crashed_bbs = {2};
   cfg.crashed_trustees = {0};  // ht=2 of 3: one crash tolerated
-  ElectionRunner runner(cfg);
-  runner.run_to_completion();
+  ElectionDriver runner(cfg);
+  runner.run();
   for (std::size_t i = 0; i < 2; ++i) {
     ASSERT_TRUE(runner.bb_node(i).result_published()) << i;
     EXPECT_EQ(runner.bb_node(i).result()->tally,
@@ -109,12 +109,12 @@ TEST(EndToEnd, ToleratesCrashedBbAndTrustee) {
 }
 
 TEST(EndToEnd, DelegatedAuditPasses) {
-  RunnerConfig cfg;
+  DriverConfig cfg;
   cfg.params = small_params(4, 3);
   cfg.seed = 11;
-  cfg.votes = {2, 0, 1, 2};
-  ElectionRunner runner(cfg);
-  runner.run_to_completion();
+  cfg.workload = VoteListWorkload::make({2, 0, 1, 2});
+  ElectionDriver runner(cfg);
+  runner.run();
   client::Auditor auditor(runner.reader());
   for (std::size_t v = 0; v < runner.voter_count(); ++v) {
     auto info = runner.voter(v).audit_info();
@@ -125,39 +125,39 @@ TEST(EndToEnd, DelegatedAuditPasses) {
 }
 
 TEST(EndToEnd, VoterRetriesOnUnresponsiveNode) {
-  RunnerConfig cfg;
+  DriverConfig cfg;
   cfg.params = small_params(2, 2);
   cfg.seed = 12;
-  cfg.votes = {0, 1};
+  cfg.workload = VoteListWorkload::make({0, 1});
   cfg.crashed_vcs = {0};  // voters may pick it first and must retry
   cfg.voter_template.patience_us = 500'000;
-  ElectionRunner runner(cfg);
-  runner.run_to_completion();
+  ElectionDriver runner(cfg);
+  runner.run();
   for (std::size_t v = 0; v < runner.voter_count(); ++v) {
     EXPECT_TRUE(runner.voter(v).has_receipt());
   }
 }
 
 TEST(EndToEnd, WanLatencyStillCompletes) {
-  RunnerConfig cfg;
+  DriverConfig cfg;
   cfg.params = small_params(3, 2);
   cfg.seed = 13;
-  cfg.votes = {0, 1, 0};
+  cfg.workload = VoteListWorkload::make({0, 1, 0});
   cfg.link = sim::LinkModel::wan();
-  ElectionRunner runner(cfg);
-  runner.run_to_completion();
+  ElectionDriver runner(cfg);
+  runner.run();
   ASSERT_TRUE(runner.bb_node(0).result_published());
   EXPECT_EQ(runner.bb_node(0).result()->tally,
             (std::vector<std::uint64_t>{2, 1}));
 }
 
 TEST(EndToEnd, ZeroVotesPublishesEmptyTally) {
-  RunnerConfig cfg;
+  DriverConfig cfg;
   cfg.params = small_params(3, 2);
   cfg.seed = 14;
-  cfg.votes = {kAbstain, kAbstain, kAbstain};
-  ElectionRunner runner(cfg);
-  runner.run_to_completion();
+  cfg.workload = VoteListWorkload::make({kAbstain, kAbstain, kAbstain});
+  ElectionDriver runner(cfg);
+  runner.run();
   ASSERT_TRUE(runner.bb_node(0).result_published());
   EXPECT_EQ(runner.bb_node(0).result()->tally,
             (std::vector<std::uint64_t>{0, 0}));

@@ -3,7 +3,7 @@
 // relies on), and auditor behaviour on degenerate inputs.
 #include <gtest/gtest.h>
 
-#include "core/runner.hpp"
+#include "core/driver.hpp"
 #include "crypto/commit.hpp"
 
 namespace ddemos::core {
@@ -194,13 +194,13 @@ TEST(Auditor, FailsClosedWithoutMajority) {
 
 TEST(Auditor, DetectsForeignAuditInfo) {
   // Audit info whose serial is not in the election: fail closed.
-  RunnerConfig cfg;
+  DriverConfig cfg;
   cfg.params = base_config().params;
   cfg.params.t_end = 30'000'000;
   cfg.seed = 71;
-  cfg.votes = {0, 1, 0};
-  ElectionRunner runner(cfg);
-  runner.run_to_completion();
+  cfg.workload = VoteListWorkload::make({0, 1, 0});
+  ElectionDriver runner(cfg);
+  runner.run();
   client::Auditor auditor(runner.reader());
   auto info = runner.voter(0).audit_info();
   info.serial = 0x12345;  // unknown ballot
@@ -209,13 +209,13 @@ TEST(Auditor, DetectsForeignAuditInfo) {
 
 TEST(Auditor, DetectsSwappedCastCode) {
   // Delegated info with a different cast code than the tallied one: (f).
-  RunnerConfig cfg;
+  DriverConfig cfg;
   cfg.params = base_config().params;
   cfg.params.t_end = 30'000'000;
   cfg.seed = 72;
-  cfg.votes = {0, 1, 0};
-  ElectionRunner runner(cfg);
-  runner.run_to_completion();
+  cfg.workload = VoteListWorkload::make({0, 1, 0});
+  ElectionDriver runner(cfg);
+  runner.run();
   client::Auditor auditor(runner.reader());
   auto info = runner.voter(0).audit_info();
   info.cast_code = runner.voter(1).used_code();  // not voter 0's code

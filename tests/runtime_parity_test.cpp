@@ -1,12 +1,13 @@
-// Runtime parity: the exact same election, built once through the shared
-// sim::RuntimeHost interface, completes on both backends — the
-// deterministic simulator and the real multi-threaded transport — with
-// identical tallies, identical final vote sets and the same voter receipts.
+// Runtime parity: the exact same election, configured once as a
+// DriverConfig with shared EA artifacts, driven through ElectionDriver on
+// both backends — the deterministic simulator and the real multi-threaded
+// transport — and the two ElectionReports agree on tally, vote set, and
+// receipt count (and, stronger, on the receipt values themselves).
 // Also pins down simulator determinism: a fixed seed reproduces
 // bit-identical tallies and phase timings across runs.
 #include <gtest/gtest.h>
 
-#include "core/runner.hpp"
+#include "core/driver.hpp"
 #include "net/thread_net.hpp"
 
 namespace ddemos::core {
@@ -28,75 +29,47 @@ ElectionParams parity_params() {
   return p;
 }
 
-RunnerConfig parity_config(const ElectionParams& p) {
-  RunnerConfig cfg;
+DriverConfig parity_config(const ElectionParams& p) {
+  DriverConfig cfg;
   cfg.params = p;
   cfg.seed = 2026;
-  cfg.votes = {0, 1, 0};
-  cfg.vote_time = [](std::size_t) { return 50'000; };
+  cfg.workload = VoteListWorkload::make(
+      {0, 1, 0}, [](std::size_t) -> sim::TimePoint { return 50'000; });
   cfg.voter_template.patience_us = 400'000;
   cfg.trustee_options.poll_interval_us = 100'000;
   return cfg;
 }
 
-struct Outcome {
-  std::vector<std::uint64_t> tally;
-  std::vector<VoteSetEntry> vote_set;
-  std::vector<std::uint64_t> receipts;  // observed by each voter, in order
-};
-
-Outcome harvest(sim::RuntimeHost& host, const ElectionTopology& topo) {
-  Outcome out;
-  auto& bb = dynamic_cast<bb::BbNode&>(host.process(topo.bb_ids[0]));
-  if (bb.result()) out.tally = bb.result()->tally;
-  out.vote_set = dynamic_cast<vc::VcNode&>(host.process(topo.vc_ids[0]))
-                     .final_vote_set();
-  for (sim::NodeId id : topo.voter_ids) {
-    auto& voter = dynamic_cast<client::Voter&>(host.process(id));
-    EXPECT_TRUE(voter.has_receipt());
-    // has_receipt means the receipt on the wire matched the printed one.
-    out.receipts.push_back(voter.expected_receipt());
-  }
-  return out;
-}
-
 TEST(RuntimeParity, SameElectionOnSimAndThreads) {
   ElectionParams p = parity_params();
-  RunnerConfig cfg = parity_config(p);
-  ea::SetupArtifacts arts = ea::ea_setup({p, cfg.seed, false, 64});
+  DriverConfig cfg = parity_config(p);
+  // One EA setup shared by both backends.
+  cfg.artifacts = std::make_shared<const ea::SetupArtifacts>(
+      ea::ea_setup({p, cfg.seed, false, 64}));
 
-  // Backend 1: deterministic simulator.
-  sim::Simulation sim(cfg.seed);
-  ElectionTopology sim_topo = build_election(sim, arts, cfg);
-  sim.start();
-  sim.run_until_idle();
-  Outcome sim_out = harvest(sim, sim_topo);
+  // Backend 1: deterministic simulator (driver-owned).
+  ElectionDriver sim_driver(cfg);
+  ElectionReport sim_report = sim_driver.run();
 
   // Backend 2: real threads, same build path, same artifacts.
   net::ThreadNet net;
-  ElectionTopology net_topo = build_election(net, arts, cfg);
-  ASSERT_EQ(net.node_count(), sim.node_count());
+  ElectionDriver net_driver(net, cfg);
+  ASSERT_EQ(net.node_count(), sim_driver.host().node_count());
   for (sim::NodeId id = 0; id < net.node_count(); ++id) {
-    EXPECT_EQ(net.node_name(id), sim.node_name(id));
+    EXPECT_EQ(net.node_name(id), sim_driver.host().node_name(id));
   }
-  net.start();
-  bool done = false;
-  for (int i = 0; i < 300 && !done; ++i) {  // up to 15 s wall
-    net::ThreadNet::sleep_ms(50);
-    done = true;
-    for (sim::NodeId id : net_topo.bb_ids) {
-      done = done &&
-             dynamic_cast<bb::BbNode&>(net.process(id)).result_published();
-    }
-  }
-  net.stop();
-  Outcome net_out = harvest(net, net_topo);
+  ElectionReport net_report = net_driver.run();
+  ASSERT_TRUE(net_report.completed);
+  ASSERT_TRUE(sim_report.completed);
 
   // Identical outcomes across runtimes.
-  ASSERT_EQ(sim_out.tally, (std::vector<std::uint64_t>{2, 1}));
-  EXPECT_EQ(net_out.tally, sim_out.tally);
-  EXPECT_EQ(net_out.vote_set, sim_out.vote_set);
-  EXPECT_EQ(net_out.receipts, sim_out.receipts);
+  ASSERT_EQ(sim_report.tally, (std::vector<std::uint64_t>{2, 1}));
+  EXPECT_EQ(net_report.tally, sim_report.tally);
+  EXPECT_EQ(net_report.vote_set, sim_report.vote_set);
+  EXPECT_EQ(net_report.receipts_issued, sim_report.receipts_issued);
+  EXPECT_EQ(net_report.receipts, sim_report.receipts);
+  EXPECT_EQ(net_report.expected_tally, sim_report.expected_tally);
+  EXPECT_EQ(sim_report.expected_tally, sim_report.tally);
 }
 
 TEST(RuntimeParity, FixedSeedIsBitIdenticalAcrossRuns) {
@@ -106,22 +79,21 @@ TEST(RuntimeParity, FixedSeedIsBitIdenticalAcrossRuns) {
     std::uint64_t delivered;
   };
   auto run = [] {
-    RunnerConfig cfg;
+    DriverConfig cfg;
     cfg.params = parity_params();
     cfg.params.t_end = 10'000'000;
     cfg.seed = 777;
-    cfg.votes = {1, 0, 1};
-    ElectionRunner runner(cfg);
-    runner.run_to_completion();
+    cfg.workload = VoteListWorkload::make({1, 0, 1});
+    ElectionDriver driver(cfg);
+    ElectionReport report = driver.run();
     Trace t;
-    t.tally = runner.bb_node(0).result()->tally;
-    for (std::size_t i = 0; i < cfg.params.n_vc; ++i) {
-      const vc::VcStats& s = runner.vc_node(i).stats();
+    t.tally = report.tally;
+    for (const vc::VcStats& s : report.vc_stats) {
       t.timings.push_back(s.voting_ended_at);
       t.timings.push_back(s.consensus_done_at);
       t.timings.push_back(s.push_done_at);
     }
-    t.delivered = runner.simulation().delivered_messages();
+    t.delivered = report.messages_delivered;
     return t;
   };
   Trace a = run();
@@ -129,6 +101,53 @@ TEST(RuntimeParity, FixedSeedIsBitIdenticalAcrossRuns) {
   EXPECT_EQ(a.tally, b.tally);
   EXPECT_EQ(a.timings, b.timings);  // phase timings bit-identical
   EXPECT_EQ(a.delivered, b.delivered);
+}
+
+// Phase observers fire in order on both backends.
+class PhaseRecorder final : public ElectionObserver {
+ public:
+  void on_phase_entered(ElectionPhase phase, sim::TimePoint) override {
+    phases.push_back(phase);
+  }
+  void on_complete(const ElectionReport& r) override {
+    completed = r.completed;
+  }
+  std::vector<ElectionPhase> phases;
+  bool completed = false;
+};
+
+TEST(RuntimeParity, ObserverSeesOrderedPhasesOnBothBackends) {
+  ElectionParams p = parity_params();
+  auto arts = std::make_shared<const ea::SetupArtifacts>(
+      ea::ea_setup({p, 2026, false, 64}));
+
+  auto run_on = [&](sim::RuntimeHost* host) {
+    DriverConfig cfg = parity_config(p);
+    cfg.artifacts = arts;
+    PhaseRecorder rec;
+    cfg.observers = {&rec};
+    if (host) {
+      ElectionDriver driver(*host, cfg);
+      driver.run();
+    } else {
+      ElectionDriver driver(cfg);
+      driver.run();
+    }
+    return rec;
+  };
+
+  PhaseRecorder sim_rec = run_on(nullptr);
+  net::ThreadNet net;
+  PhaseRecorder net_rec = run_on(&net);
+
+  for (const PhaseRecorder* rec : {&sim_rec, &net_rec}) {
+    ASSERT_TRUE(rec->completed);
+    ASSERT_EQ(rec->phases.size(), 4u);
+    EXPECT_EQ(rec->phases[0], ElectionPhase::kVoting);
+    EXPECT_EQ(rec->phases[1], ElectionPhase::kConsensus);
+    EXPECT_EQ(rec->phases[2], ElectionPhase::kTally);
+    EXPECT_EQ(rec->phases[3], ElectionPhase::kResult);
+  }
 }
 
 }  // namespace

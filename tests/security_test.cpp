@@ -9,7 +9,7 @@
 //     voter's choice before the trustees open the election.
 #include <gtest/gtest.h>
 
-#include "core/runner.hpp"
+#include "core/driver.hpp"
 #include "crypto/commit.hpp"
 
 namespace ddemos::core {
@@ -39,14 +39,14 @@ ElectionParams params(std::size_t voters, std::size_t options,
 TEST(Liveness, PatientVoterSucceedsWithMaxCrashes) {
   // fv = 2 of 7 VC nodes crashed; every patient voter still gets a receipt
   // within (fv+1) patience windows of retrying.
-  RunnerConfig cfg;
+  DriverConfig cfg;
   cfg.params = params(6, 2, 7, 2);
   cfg.seed = 21;
-  cfg.votes = {0, 1, 0, 1, 0, 1};
+  cfg.workload = VoteListWorkload::make({0, 1, 0, 1, 0, 1});
   cfg.crashed_vcs = {5, 6};
   cfg.voter_template.patience_us = 800'000;
-  ElectionRunner runner(cfg);
-  runner.run_to_completion();
+  ElectionDriver runner(cfg);
+  runner.run();
   for (std::size_t v = 0; v < runner.voter_count(); ++v) {
     EXPECT_TRUE(runner.voter(v).has_receipt());
     EXPECT_LE(runner.voter(v).attempts(), 3u);  // fv + 1
@@ -55,14 +55,14 @@ TEST(Liveness, PatientVoterSucceedsWithMaxCrashes) {
 
 TEST(Liveness, AdversarialDelayWithinBoundStillLive) {
   // The adversary delays every message by the full bound delta.
-  RunnerConfig cfg;
+  DriverConfig cfg;
   cfg.params = params(3, 2);
   cfg.seed = 22;
-  cfg.votes = {0, 1, 0};
+  cfg.workload = VoteListWorkload::make({0, 1, 0});
   cfg.link = sim::LinkModel{40'000, 0, 0, 0};  // 40ms on every hop
   cfg.voter_template.patience_us = 5'000'000;
-  ElectionRunner runner(cfg);
-  runner.run_to_completion();
+  ElectionDriver runner(cfg);
+  runner.run();
   for (std::size_t v = 0; v < runner.voter_count(); ++v) {
     EXPECT_TRUE(runner.voter(v).has_receipt());
   }
@@ -73,14 +73,14 @@ TEST(Liveness, AdversarialDelayWithinBoundStillLive) {
 class LivenessSweep : public ::testing::TestWithParam<std::uint64_t> {};
 
 TEST_P(LivenessSweep, AllPatientVotersGetReceipts) {
-  RunnerConfig cfg;
+  DriverConfig cfg;
   cfg.params = params(5, 3);
   cfg.seed = GetParam();
-  cfg.votes = {0, 1, 2, 1, 0};
+  cfg.workload = VoteListWorkload::make({0, 1, 2, 1, 0});
   cfg.crashed_vcs = {GetParam() % 4};
   cfg.voter_template.patience_us = 1'000'000;
-  ElectionRunner runner(cfg);
-  runner.run_to_completion();
+  ElectionDriver runner(cfg);
+  runner.run();
   for (std::size_t v = 0; v < runner.voter_count(); ++v) {
     EXPECT_TRUE(runner.voter(v).has_receipt()) << "seed " << GetParam();
   }
@@ -92,14 +92,15 @@ INSTANTIATE_TEST_SUITE_P(Seeds, LivenessSweep,
 // --- Theorem 2: safety ---------------------------------------------------
 
 TEST(Safety, ReceiptImpliesVotePublishedAndTallied) {
-  RunnerConfig cfg;
+  DriverConfig cfg;
   cfg.params = params(8, 2);
   cfg.seed = 31;
-  cfg.votes = {0, 0, 1, 0, 1, 1, 0, 1};
+  std::vector<std::size_t> votes = {0, 0, 1, 0, 1, 1, 0, 1};
+  cfg.workload = VoteListWorkload::make(votes);
   cfg.crashed_vcs = {1};  // a faulty VC must not exclude receipts
   cfg.voter_template.patience_us = 1'000'000;
-  ElectionRunner runner(cfg);
-  runner.run_to_completion();
+  ElectionDriver runner(cfg);
+  runner.run();
 
   // Collect the codes of voters holding valid receipts.
   std::vector<Bytes> receipt_codes;
@@ -123,18 +124,18 @@ TEST(Safety, ReceiptImpliesVotePublishedAndTallied) {
   // And the tally counts exactly the receipt holders.
   std::vector<std::uint64_t> expected(2, 0);
   for (std::size_t v = 0; v < runner.voter_count(); ++v) {
-    if (runner.voter(v).has_receipt()) ++expected[cfg.votes[v]];
+    if (runner.voter(v).has_receipt()) ++expected[votes[v]];
   }
   EXPECT_EQ(runner.bb_node(0).result()->tally, expected);
 }
 
 TEST(Safety, VcNodesAgreeOnIdenticalVoteSets) {
-  RunnerConfig cfg;
+  DriverConfig cfg;
   cfg.params = params(10, 3);
   cfg.seed = 32;
-  for (std::size_t v = 0; v < 10; ++v) cfg.votes.push_back(v % 3);
-  ElectionRunner runner(cfg);
-  runner.run_to_completion();
+  cfg.workload = RoundRobinWorkload::make();  // 10 voters over 3 options
+  ElectionDriver runner(cfg);
+  runner.run();
   const auto& set0 = runner.vc_node(0).final_vote_set();
   for (std::size_t i = 1; i < 4; ++i) {
     EXPECT_EQ(runner.vc_node(i).final_vote_set(), set0);
@@ -148,10 +149,10 @@ TEST(Verifiability, ModificationAttackDetectedWhenAuditedPartTampered) {
   // The EA swaps the option encodings behind two vote codes on part B of
   // ballot 0. The voter is forced to vote with part A, so part B is opened
   // for audit and the tampering must surface.
-  RunnerConfig cfg;
+  DriverConfig cfg;
   cfg.params = params(4, 2);
   cfg.seed = 41;
-  cfg.votes = {0, 1, 0, 1};
+  cfg.workload = VoteListWorkload::make({0, 1, 0, 1});
   cfg.voter_template.forced_part = 0;
   cfg.tamper_setup = [](ea::SetupArtifacts& arts) {
     for (auto& bb : arts.bb_inits) {
@@ -167,8 +168,8 @@ TEST(Verifiability, ModificationAttackDetectedWhenAuditedPartTampered) {
       std::swap(lines[0], lines[1]);
     }
   };
-  ElectionRunner runner(cfg);
-  runner.run_to_completion();
+  ElectionDriver runner(cfg);
+  runner.run();
   client::Auditor auditor(runner.reader());
   // Voter 0's delegated audit catches the fraud.
   EXPECT_FALSE(auditor.verify_delegated(runner.voter(0).audit_info()).passed);
@@ -180,10 +181,10 @@ TEST(Verifiability, ModificationAttackMissedWhenTamperedPartUsed) {
   // If the voter happens to vote with the tampered part, her own audit does
   // not catch it (probability 1/2 per the paper) — but the vote-flips are
   // limited to such lucky ballots and the ZK proofs still pass.
-  RunnerConfig cfg;
+  DriverConfig cfg;
   cfg.params = params(2, 2);
   cfg.seed = 42;
-  cfg.votes = {0, 1};
+  cfg.workload = VoteListWorkload::make({0, 1});
   cfg.voter_template.forced_part = 1;  // voter uses the tampered part B
   cfg.tamper_setup = [](ea::SetupArtifacts& arts) {
     for (auto& bb : arts.bb_inits) {
@@ -199,8 +200,8 @@ TEST(Verifiability, ModificationAttackMissedWhenTamperedPartUsed) {
       std::swap(lines[0], lines[1]);
     }
   };
-  ElectionRunner runner(cfg);
-  runner.run_to_completion();
+  ElectionDriver runner(cfg);
+  runner.run();
   client::Auditor auditor(runner.reader());
   // The audit passes (attack undetected this time)...
   EXPECT_TRUE(auditor.verify_delegated(runner.voter(0).audit_info()).passed);
@@ -214,10 +215,10 @@ TEST(Verifiability, ModificationAttackMissedWhenTamperedPartUsed) {
 TEST(Verifiability, InvalidEncodingCaughtByOpeningChecks) {
   // EA commits ballot 0 part B line 0 to a non-unit vector (two ones). The
   // opened part flunks the auditor's unit-vector check.
-  RunnerConfig cfg;
+  DriverConfig cfg;
   cfg.params = params(2, 2);
   cfg.seed = 43;
-  cfg.votes = {0, 1};
+  cfg.workload = VoteListWorkload::make({0, 1});
   cfg.voter_template.forced_part = 0;
   cfg.tamper_setup = [](ea::SetupArtifacts& arts) {
     crypto::Rng rng(999);
@@ -246,8 +247,8 @@ TEST(Verifiability, InvalidEncodingCaughtByOpeningChecks) {
       }
     }
   };
-  ElectionRunner runner(cfg);
-  runner.run_to_completion();
+  ElectionDriver runner(cfg);
+  runner.run();
   client::Auditor auditor(runner.reader());
   auto report = auditor.verify_election();
   EXPECT_FALSE(report.passed);
@@ -256,11 +257,11 @@ TEST(Verifiability, InvalidEncodingCaughtByOpeningChecks) {
 // --- Theorem 4: privacy (structural checks) -------------------------------
 
 TEST(Privacy, VcDataNeverContainsPlainVoteCodes) {
-  RunnerConfig cfg;
+  DriverConfig cfg;
   cfg.params = params(3, 2);
   cfg.seed = 51;
-  cfg.votes = {0, 1, 0};
-  ElectionRunner runner(cfg);
+  cfg.workload = VoteListWorkload::make({0, 1, 0});
+  ElectionDriver runner(cfg);
   const auto& arts = runner.artifacts();
   // Collect every vote code from the printed ballots and scan all VC init
   // data: only salted hashes may appear.
@@ -293,12 +294,13 @@ TEST(Privacy, ReceiptsIndependentOfChosenOption) {
   // which row was cast. Verify the receipt the voter gets matches the
   // printed one for her row (human verification) and that the VC node
   // never sees the option text at all.
-  RunnerConfig cfg;
+  DriverConfig cfg;
   cfg.params = params(2, 3);
   cfg.seed = 52;
-  cfg.votes = {2, 1};
-  ElectionRunner runner(cfg);
-  runner.run_to_completion();
+  std::vector<std::size_t> votes = {2, 1};
+  cfg.workload = VoteListWorkload::make(votes);
+  ElectionDriver runner(cfg);
+  runner.run();
   for (std::size_t v = 0; v < 2; ++v) {
     const auto& voter = runner.voter(v);
     EXPECT_TRUE(voter.has_receipt());
@@ -306,7 +308,7 @@ TEST(Privacy, ReceiptsIndependentOfChosenOption) {
         runner.artifacts()
             .voter_ballots[v]
             .parts[voter.used_part()]
-            .lines[cfg.votes[v]]
+            .lines[votes[v]]
             .receipt,
         voter.expected_receipt());
   }
@@ -317,10 +319,10 @@ TEST(Privacy, BbPayloadOrderIsShuffled) {
   // position leaks nothing: verify the permutation actually varies across
   // ballots (probability of all-identity over 8 ballots with m=3 is
   // (1/6)^8, far below test flakiness).
-  RunnerConfig cfg;
+  DriverConfig cfg;
   cfg.params = params(8, 3);
   cfg.seed = 53;
-  ElectionRunner runner(cfg);
+  ElectionDriver runner(cfg);
   const auto& arts = runner.artifacts();
   std::size_t shuffled = 0;
   for (std::size_t b = 0; b < 8; ++b) {
@@ -342,10 +344,10 @@ TEST(Privacy, BbPayloadOrderIsShuffled) {
 TEST(Privacy, SubThresholdTrusteeSharesOpenNothing) {
   // ht-1 trustee shares of an option-encoding opening reconstruct a value
   // unrelated to the real one (information-theoretic hiding of Shamir).
-  RunnerConfig cfg;
+  DriverConfig cfg;
   cfg.params = params(1, 2);
   cfg.seed = 54;
-  ElectionRunner runner(cfg);
+  ElectionDriver runner(cfg);
   const auto& arts = runner.artifacts();
   const auto& line = arts.trustee_inits[0].ballots[0].parts[0][0];
   // One share (ht = 2) cannot determine the secret: reconstructing with a

@@ -2,6 +2,7 @@
 
 #include "net/thread_net.hpp"
 #include "sim/sim.hpp"
+#include "util/error.hpp"
 
 namespace ddemos::sim {
 namespace {
@@ -20,7 +21,9 @@ class Echo : public Process {
   Bytes last;
 };
 
-// Sends one ping to node 1 at start; records the reply time.
+// Sends one ping to node 1 at start; records the reply time. reply_at is
+// atomic because the ThreadNet test's completion predicate reads it while
+// the worker writes it.
 class Pinger : public Process {
  public:
   void on_start() override {
@@ -28,7 +31,8 @@ class Pinger : public Process {
     ctx().send(1, to_bytes("p"));
   }
   void on_message(NodeId, const net::Buffer&) override { reply_at = ctx().now(); }
-  TimePoint sent_at = -1, reply_at = -1;
+  TimePoint sent_at = -1;
+  std::atomic<TimePoint> reply_at{-1};
 };
 
 TEST(Sim, DeliversAndTracksLatency) {
@@ -51,7 +55,7 @@ TEST(Sim, DeterministicAcrossRuns) {
     sim.add_node(std::make_unique<Echo>(), "echo");
     sim.start();
     sim.run_until_idle();
-    return dynamic_cast<Pinger&>(sim.process(0)).reply_at;
+    return dynamic_cast<Pinger&>(sim.process(0)).reply_at.load();
   };
   EXPECT_EQ(run(), run());
 }
@@ -160,6 +164,52 @@ TEST(Sim, ChargedCpuSerializesHandlers) {
   EXPECT_EQ(c.starts[2], 2100);
 }
 
+// Forwards every message forever: drives the event budget to exhaustion.
+class Bouncer : public Process {
+ public:
+  void on_start() override { ctx().send(1 - ctx().self(), to_bytes("x")); }
+  void on_message(NodeId from, const net::Buffer& payload) override {
+    ctx().send(from, payload);
+  }
+};
+
+TEST(Sim, EventBudgetErrorCarriesCountAndVirtualTime) {
+  Simulation sim(5);
+  sim.add_node(std::make_unique<Bouncer>(), "a");
+  sim.add_node(std::make_unique<Bouncer>(), "b");
+  sim.start();
+  try {
+    sim.run_until_idle(1000);
+    FAIL() << "expected ProtocolError";
+  } catch (const ProtocolError& e) {
+    std::string msg = e.what();
+    EXPECT_NE(msg.find("1000 events processed"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("virtual time"), std::string::npos) << msg;
+  }
+  // An exactly-consumed budget with an empty queue is not an error.
+  Simulation sim2(5);
+  sim2.add_node(std::make_unique<Echo>(), "only");
+  sim2.start();
+  EXPECT_NO_THROW(sim2.run_until_idle(0));
+}
+
+TEST(Sim, RunToQuiescenceStopsEarlyOnPredicate) {
+  Simulation sim(6);
+  sim.add_node(std::make_unique<Bouncer>(), "a");
+  sim.add_node(std::make_unique<Bouncer>(), "b");
+  RunOptions opts;
+  opts.max_events = 100'000;
+  opts.probe_interval = 16;
+  std::size_t probes = 0;
+  opts.probe = [&probes] { ++probes; };
+  // The bounce never ends; the predicate ends the run at a probe boundary.
+  EXPECT_TRUE(sim.run_to_quiescence(
+      [&sim] { return sim.events_processed() >= 64; }, opts));
+  EXPECT_GE(sim.events_processed(), 64u);
+  EXPECT_LT(sim.events_processed(), 1000u);
+  EXPECT_GT(probes, 0u);
+}
+
 TEST(Sim, RunUntilStopsAtDeadline) {
   Simulation sim(8);
   sim.add_node(std::make_unique<TimerProc>(), "t");
@@ -175,13 +225,13 @@ TEST(ThreadNet, PingPongOverThreads) {
   net::ThreadNet net;
   net.add_node(std::make_unique<Pinger>(), "pinger");
   net.add_node(std::make_unique<Echo>(), "echo");
-  net.start();
-  for (int i = 0; i < 100; ++i) {
-    if (dynamic_cast<Pinger&>(net.process(0)).reply_at >= 0) break;
-    net::ThreadNet::sleep_ms(10);
-  }
+  auto& pinger = dynamic_cast<Pinger&>(net.process(0));
+  RunOptions opts;
+  opts.wall_timeout_us = 5'000'000;
+  EXPECT_TRUE(
+      net.run_to_quiescence([&] { return pinger.reply_at >= 0; }, opts));
   net.stop();
-  EXPECT_GE(dynamic_cast<Pinger&>(net.process(0)).reply_at, 0);
+  EXPECT_GE(pinger.reply_at, 0);
 }
 
 class ThreadTimer : public Process {
@@ -195,13 +245,12 @@ class ThreadTimer : public Process {
 TEST(ThreadNet, TimersFire) {
   net::ThreadNet net;
   net.add_node(std::make_unique<ThreadTimer>(), "t");
-  net.start();
-  for (int i = 0; i < 100; ++i) {
-    if (dynamic_cast<ThreadTimer&>(net.process(0)).fired) break;
-    net::ThreadNet::sleep_ms(10);
-  }
+  auto& timer = dynamic_cast<ThreadTimer&>(net.process(0));
+  RunOptions opts;
+  opts.wall_timeout_us = 5'000'000;
+  EXPECT_TRUE(net.run_to_quiescence([&] { return timer.fired.load(); }, opts));
   net.stop();
-  EXPECT_TRUE(dynamic_cast<ThreadTimer&>(net.process(0)).fired);
+  EXPECT_TRUE(timer.fired);
 }
 
 }  // namespace

@@ -4,7 +4,7 @@
 #include <gtest/gtest.h>
 
 #include "core/messages.hpp"
-#include "core/runner.hpp"
+#include "core/driver.hpp"
 #include "crypto/schnorr.hpp"
 
 namespace ddemos::core {
@@ -50,16 +50,17 @@ class RawClient : public sim::Process {
 
 struct Fixture {
   explicit Fixture(std::size_t voters = 2) {
-    RunnerConfig cfg;
+    DriverConfig cfg;
     cfg.params = tiny_params(voters);
     cfg.seed = 7777;
-    cfg.votes.assign(voters, kAbstain);  // no automatic voters
-    runner = std::make_unique<ElectionRunner>(cfg);
+    cfg.workload = VoteListWorkload::make(
+        std::vector<std::size_t>(voters, kAbstain));  // no automatic voters
+    runner = std::make_unique<ElectionDriver>(cfg);
     client = dynamic_cast<RawClient*>(&runner->simulation().process(
         runner->simulation().add_node(std::make_unique<RawClient>(),
                                       "raw")));
   }
-  std::unique_ptr<ElectionRunner> runner;
+  std::unique_ptr<ElectionDriver> runner;
   RawClient* client;
 };
 
@@ -241,13 +242,13 @@ TEST(VcProtocol, UcertValidationRules) {
 TEST(VcProtocol, ConcurrentVotersOnDifferentNodes) {
   // Many voters hammering different responders concurrently all succeed and
   // the final sets agree (exercises cross-responder VOTE_P interleaving).
-  RunnerConfig cfg;
+  DriverConfig cfg;
   cfg.params = tiny_params(12, 3);
   cfg.seed = 4321;
-  for (std::size_t v = 0; v < 12; ++v) cfg.votes.push_back(v % 3);
-  cfg.vote_time = [](std::size_t) { return 1000; };  // all at once
-  ElectionRunner runner(cfg);
-  runner.run_to_completion();
+  cfg.workload = RoundRobinWorkload::make(
+      [](std::size_t) -> sim::TimePoint { return 1000; });  // all at once
+  ElectionDriver runner(cfg);
+  runner.run();
   for (std::size_t v = 0; v < runner.voter_count(); ++v) {
     EXPECT_TRUE(runner.voter(v).has_receipt());
   }
