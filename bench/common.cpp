@@ -4,6 +4,7 @@
 
 #include "core/messages.hpp"
 #include "crypto/schnorr.hpp"
+#include "net/thread_net.hpp"
 #include "util/error.hpp"
 
 namespace ddemos::bench {
@@ -107,34 +108,48 @@ VoteCollectionResult run_vote_collection(const VoteCollectionConfig& cfg) {
     }
   }
 
-  CalibratedCosts costs = calibrate_signature_costs();
   vc::VcNode::Options opts;
-  opts.model_signatures = true;
-  opts.sign_cost_us = costs.sign_us;
-  opts.verify_cost_us = costs.verify_us;
+  opts.n_shards = std::max<std::size_t>(cfg.n_shards, 1);
+  if (!cfg.threads) {
+    // Modeled signature charges calibrated against this CPU; on ThreadNet
+    // charge() is a no-op, so the threaded sweep runs real Schnorr instead.
+    CalibratedCosts costs = calibrate_signature_costs();
+    opts.model_signatures = true;
+    opts.sign_cost_us = costs.sign_us;
+    opts.verify_cost_us = costs.verify_us;
+  }
   if (cfg.disk_store) opts.page_fault_cost_us = cfg.page_fault_cost_us;
 
-  sim::Simulation sim(cfg.seed);
-  sim.set_default_link(cfg.link);
-  sim.set_measure_cpu(true);
+  std::unique_ptr<sim::Simulation> sim;
+  std::unique_ptr<net::ThreadNet> net;
+  sim::RuntimeHost* host;
+  if (cfg.threads) {
+    net = std::make_unique<net::ThreadNet>();
+    host = net.get();
+  } else {
+    sim = std::make_unique<sim::Simulation>(cfg.seed);
+    sim->set_default_link(cfg.link);
+    sim->set_measure_cpu(true);
+    host = sim.get();
+  }
   std::vector<NodeId> vc_ids(cfg.n_vc);
   for (std::size_t i = 0; i < cfg.n_vc; ++i) vc_ids[i] = static_cast<NodeId>(i);
   for (std::size_t i = 0; i < cfg.n_vc; ++i) {
-    sim.add_node(std::make_unique<vc::VcNode>(arts.vc_inits[i], sources[i],
-                                              vc_ids, std::vector<NodeId>{},
-                                              opts),
-                 "vc" + std::to_string(i));
+    host->add_node(std::make_unique<vc::VcNode>(arts.vc_inits[i], sources[i],
+                                                vc_ids, std::vector<NodeId>{},
+                                                opts),
+                   "vc" + std::to_string(i));
   }
   // The voter <-> VC link stays LAN-like even in the WAN experiment: the
   // paper emulates WAN latency between the VC nodes themselves.
-  NodeId gen_id = sim.add_node(
+  NodeId gen_id = host->add_node(
       std::make_unique<LoadGen>(std::move(targets), vc_ids, cfg.concurrency,
                                 cfg.seed ^ 0x1),
       "loadgen");
-  if (cfg.link.base_latency > 1000) {
+  if (sim && cfg.link.base_latency > 1000) {
     for (NodeId vc : vc_ids) {
-      sim.set_link(gen_id, vc, sim::LinkModel::lan());
-      sim.set_link(vc, gen_id, sim::LinkModel::lan());
+      sim->set_link(gen_id, vc, sim::LinkModel::lan());
+      sim->set_link(vc, gen_id, sim::LinkModel::lan());
     }
   }
 
@@ -142,18 +157,24 @@ VoteCollectionResult run_vote_collection(const VoteCollectionConfig& cfg) {
   // loop has drained every cast. The bench measures vote collection only,
   // so the tight probe interval keeps the sim from chasing far-future
   // election-end timers once the loop finishes.
-  auto& gen = dynamic_cast<LoadGen&>(sim.process(gen_id));
+  auto& gen = dynamic_cast<LoadGen&>(host->process(gen_id));
   sim::RunOptions run_opts;
   run_opts.probe_interval = 16;
   // Scale the stuck-run budget with the cast count so paper-size sweeps
   // (millions of casts) never trip it; it only exists to catch true hangs.
   run_opts.max_events =
       std::max<std::size_t>(50'000'000, cfg.casts * 10'000);
-  if (!sim.run_to_quiescence([&gen] { return gen.done(); }, run_opts)) {
-    // The queue drained with casts unresolved (e.g. a lossy link ate a
-    // vote): fail loudly rather than emit metrics over partial counts.
+  // ThreadNet: generous wall cap scaled with the cast count (real crypto
+  // per cast); it exists to catch hangs, not to bound the measurement.
+  run_opts.wall_timeout_us = std::max<sim::Duration>(
+      120'000'000, static_cast<sim::Duration>(cfg.casts) * 200'000);
+  if (!host->run_to_quiescence([&gen] { return gen.done(); }, run_opts)) {
+    // The queue drained (or the wall budget lapsed) with casts unresolved
+    // (e.g. a lossy link ate a vote): fail loudly rather than emit metrics
+    // over partial counts.
     throw ProtocolError("benchmark stalled before completing every cast");
   }
+  host->stop();  // join ThreadNet workers before reading settled state
   if (gen.rejected() > 0) throw ProtocolError("benchmark vote rejected");
 
   VoteCollectionResult out;

@@ -45,17 +45,26 @@ struct VoteCollectionConfig {
   // Modeled storage latency per page-cache miss (SSD-class random read
   // through a database stack).
   sim::Duration page_fault_cost_us = 150;
+  // Intra-node VC shards (the fig5a scaling sweep): one virtual processor
+  // per shard on the simulator, one worker thread per shard on ThreadNet.
+  std::size_t n_shards = 1;
+  // Host the cluster on net::ThreadNet instead of the simulator: real
+  // threads, real wall-clock throughput. Implies real Schnorr crypto in
+  // the hot path (modeled charges are meaningless where charge() is a
+  // no-op) so there is genuine CPU work for the shards to parallelize.
+  bool threads = false;
 };
 
 struct VoteCollectionResult {
-  double throughput_ops = 0;   // receipts per second of virtual time
+  double throughput_ops = 0;   // receipts per second of (virtual|wall) time
   double mean_latency_ms = 0;  // client-perceived
   std::size_t completed = 0;
 };
 
 // Runs the vote-collection phase only (as the paper's Figure 4/5a/5b
-// experiments do) over the hybrid simulator: real protocol code and
-// hashing, modeled network and signature costs.
+// experiments do) over the hybrid simulator — real protocol code and
+// hashing, modeled network and signature costs — or, with cfg.threads,
+// over the real multi-threaded transport with real crypto.
 VoteCollectionResult run_vote_collection(const VoteCollectionConfig& cfg);
 
 // Environment-variable scaling knob shared by all figure benches.

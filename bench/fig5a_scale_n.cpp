@@ -4,6 +4,16 @@
 // 250x-scaled range backed by the paged DiskBallotSource (sorted index +
 // LRU page cache), which exhibits the same log(n) index-depth growth.
 // Raise the range with DDEMOS_FIG5A_STEP (ballots per step).
+//
+// The follow-up journal version scales each VC node across cores; the
+// second and third sweeps here reproduce that axis with intra-node
+// sharding (vc shards ∈ {1,2,4,8}) on both backends:
+//   * simulator — one virtual processor per shard, calibrated signature
+//     costs, deterministic scaling curve;
+//   * ThreadNet — one worker thread per shard, real Schnorr crypto, real
+//     wall-clock throughput (bounded by the host's core count).
+// Every BENCH_JSON line carries a "shards" field for the perf-trajectory
+// artifact.
 #include <cstdio>
 #include <filesystem>
 
@@ -15,6 +25,7 @@ using namespace ddemos::bench;
 int main() {
   std::size_t step = env_size("DDEMOS_FIG5A_STEP", 40'000);
   std::size_t casts = env_size("DDEMOS_BENCH_CASTS", 400);
+  std::size_t max_shards = env_size("DDEMOS_FIG5A_MAX_SHARDS", 8);
   std::string dir = "/tmp/ddemos_fig5a";
   std::filesystem::create_directories(dir);
 
@@ -39,11 +50,55 @@ int main() {
     VoteCollectionResult r = run_vote_collection(cfg);
     std::printf("%-12zu %12.0f %12.1f\n", n, r.throughput_ops,
                 r.mean_latency_ms);
-    std::printf("BENCH_JSON {\"bench\":\"fig5a\",\"n\":%zu,"
+    std::printf("BENCH_JSON {\"bench\":\"fig5a\",\"mode\":\"sim-n\","
+                "\"n\":%zu,\"shards\":1,"
                 "\"throughput_ops\":%.0f,\"latency_ms\":%.2f}\n",
                 n, r.throughput_ops, r.mean_latency_ms);
     std::fflush(stdout);
   }
   std::filesystem::remove_all(dir);
+
+  // --- intra-node shard scaling (journal version: cores per VC node) -----
+  std::size_t shard_casts = env_size("DDEMOS_FIG5A_SHARD_CASTS", casts);
+  std::size_t shard_ballots =
+      env_size("DDEMOS_FIG5A_SHARD_BALLOTS", std::max<std::size_t>(step, 2000));
+
+  // One sweep body for both backends so the sim and ThreadNet curves in
+  // the perf-trajectory artifact stay comparable field-for-field.
+  auto shard_sweep = [&](const char* mode, bool threads,
+                         std::size_t concurrency, std::uint64_t seed) {
+    std::printf("%-8s %12s %12s\n", "shards", "ops/sec", "latency_ms");
+    for (std::size_t shards = 1; shards <= max_shards; shards *= 2) {
+      VoteCollectionConfig cfg;
+      cfg.n_vc = 4;
+      cfg.f_vc = 1;
+      cfg.concurrency = concurrency;
+      cfg.casts = shard_casts;
+      cfg.n_ballots = shard_ballots;
+      cfg.options = 2;
+      cfg.seed = seed;
+      cfg.n_shards = shards;
+      cfg.threads = threads;
+      VoteCollectionResult r = run_vote_collection(cfg);
+      std::printf("%-8zu %12.0f %12.1f\n", shards, r.throughput_ops,
+                  r.mean_latency_ms);
+      std::printf("BENCH_JSON {\"bench\":\"fig5a\",\"mode\":\"%s\","
+                  "\"n\":%zu,\"shards\":%zu,"
+                  "\"throughput_ops\":%.0f,\"latency_ms\":%.2f}\n",
+                  mode, shard_ballots, shards, r.throughput_ops,
+                  r.mean_latency_ms);
+      std::fflush(stdout);
+    }
+  };
+
+  std::printf("\n# fig5a-shards: throughput vs vc shards, simulator "
+              "(one virtual processor per shard, calibrated sig costs)\n");
+  shard_sweep("sim-shards", false, 400, 177);
+
+  std::printf("\n# fig5a-shards: throughput vs vc shards, ThreadNet "
+              "(one worker thread per shard, real crypto; scaling is "
+              "bounded by host cores)\n");
+  // Lower concurrency keeps every shard saturated with bounded queues.
+  shard_sweep("threadnet-shards", true, 64, 277);
   return 0;
 }

@@ -22,6 +22,14 @@ ElectionTopology build_election(sim::RuntimeHost& host,
   for (std::size_t i = 0; i < p.n_bb; ++i) {
     bb_ids[i] = static_cast<NodeId>(p.n_vc + i);
   }
+  // cfg.vc_shards is the driver-level sharding knob; a caller who instead
+  // set vc_options.n_shards directly (the knob VcNode itself documents)
+  // must not be silently reset to unsharded, so the explicit driver knob
+  // only wins when it was actually set.
+  vc::VcNode::Options vc_options = cfg.vc_options;
+  vc_options.n_shards =
+      cfg.vc_shards > 1 ? cfg.vc_shards
+                        : std::max<std::size_t>(vc_options.n_shards, 1);
   for (std::size_t i = 0; i < p.n_vc; ++i) {
     std::shared_ptr<store::BallotDataSource> source;
     if (cfg.store_factory) {
@@ -32,7 +40,7 @@ ElectionTopology build_election(sim::RuntimeHost& host,
     }
     NodeId id = host.add_node(
         std::make_unique<vc::VcNode>(artifacts.vc_inits[i], source, vc_ids,
-                                     bb_ids, cfg.vc_options),
+                                     bb_ids, vc_options),
         "vc" + std::to_string(i));
     topo.vc_ids.push_back(id);
   }
@@ -292,9 +300,19 @@ ElectionReport ElectionDriver::harvest() const {
   r.phases.t_end = cfg_.params.t_end;
 
   r.vc_stats.reserve(vcs_.size());
+  r.vc_shard_stats.reserve(vcs_.size());
   for (std::size_t i = 0; i < vcs_.size(); ++i) {
-    const vc::VcStats& s = vcs_[i]->stats();
+    vc::VcStats s = vcs_[i]->stats();
     r.vc_stats.push_back(s);
+    std::vector<vc::VcShardStats> shards = vcs_[i]->shard_stats();
+    // The mailbox high-water is runtime bookkeeping (per-shard queues only
+    // exist on ThreadNet); merge it into the per-shard rows here.
+    std::vector<std::size_t> depth =
+        host_->shard_queue_high_water(topo_.vc_ids[i]);
+    for (std::size_t sh = 0; sh < shards.size() && sh < depth.size(); ++sh) {
+      shards[sh].queue_high_water = depth[sh];
+    }
+    r.vc_shard_stats.push_back(std::move(shards));
     r.vc_totals.votes_received += s.votes_received;
     r.vc_totals.receipts_issued += s.receipts_issued;
     r.vc_totals.rejected_votes += s.rejected_votes;

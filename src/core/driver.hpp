@@ -33,6 +33,13 @@ struct DriverConfig {
   // votes, option = slot % m, casts spread over the window).
   std::shared_ptr<Workload> workload;
   vc::VcNode::Options vc_options;
+  // Intra-node worker shards per VC node. When set (> 1) it overrides
+  // vc_options.n_shards at build time; at its default of 1 a directly-set
+  // vc_options.n_shards still applies. 1 = the legacy serial node; > 1
+  // partitions each node's serial range across shards — one worker thread
+  // per shard on ThreadNet, one virtual processor per shard on the
+  // simulator — and requires contiguous serials (the EA default).
+  std::size_t vc_shards = 1;
   client::Voter::Config voter_template;  // patience etc. (ballot filled in)
   // Indices of nodes to crash before start (simulator backend only).
   std::vector<std::size_t> crashed_vcs;
@@ -121,6 +128,10 @@ struct ElectionReport {
   PhaseBreakdown phases;
   vc::VcStats vc_totals;               // counters summed, timings maxed
   std::vector<vc::VcStats> vc_stats;   // per VC node
+  // Per-shard breakdown [vc node][shard]: handled messages, endorsements,
+  // receipts, and (on ThreadNet) the shard mailbox high-water mark. One
+  // entry per shard even when vc_shards = 1.
+  std::vector<std::vector<vc::VcShardStats>> vc_shard_stats;
   // Runtime accounting for the run() span (zeros on ThreadNet where noted).
   std::uint64_t events_processed = 0;    // simulator only
   std::uint64_t messages_delivered = 0;  // simulator only

@@ -35,6 +35,13 @@ enum class MsgType : std::uint8_t {
   // Anyone <-> BB (public read channel).
   kBbRead = 50,
   kBbReadReply = 51,
+  // VC-internal shard coordination. Never crosses the network: sent to
+  // self through Context::send_self (reliable, link-model-free) and
+  // ignored from any other sender. kShardDrain flushes one shard's mailbox
+  // at election end; kShardBarrier is the fan-in completion that releases
+  // the control shard into vote-set consensus.
+  kShardDrain = 60,
+  kShardBarrier = 61,
 };
 
 MsgType peek_type(BytesView msg);

@@ -14,17 +14,31 @@ class ThreadNet::NodeContext final : public sim::Context {
     net_->deliver(to, id_, std::move(payload));
   }
 
+  // This transport is already reliable, so the loopback is a plain local
+  // delivery (shard routing applies as usual).
+  void send_self(Buffer payload) override {
+    net_->deliver(id_, id_, std::move(payload));
+  }
+
   std::uint64_t set_timer(Duration after) override {
     Node& n = *net_->nodes_.at(id_);
-    // Only this node's worker thread calls set_timer, but stop()/start()
-    // also touch the timer list, so take the lock.
-    std::scoped_lock lk(n.mu);
-    std::uint64_t token = n.next_token++;
-    n.timers.push_back(
-        Timer{std::chrono::steady_clock::now() +
-                  std::chrono::microseconds(after),
-              token});
-    n.cv.notify_all();
+    // Far-future timers (vote-collection benches set election end to
+    // "never") would overflow steady_clock's nanosecond epoch; clamp to
+    // 30 days, which is "never" for any wall-clock run.
+    after = std::min<Duration>(after, 30ll * 24 * 3600 * 1'000'000);
+    // Timers fire on shard 0 (the control shard; see sim::Context). Any
+    // shard worker — and stop()/start() — may touch the timer list, so
+    // take the shard lock.
+    Shard& s = *n.shards.front();
+    std::uint64_t token = n.next_token.fetch_add(1, std::memory_order_relaxed);
+    {
+      std::scoped_lock lk(s.mu);
+      s.timers.push_back(
+          Timer{std::chrono::steady_clock::now() +
+                    std::chrono::microseconds(after),
+                token});
+    }
+    s.cv.notify_all();
     return token;
   }
 
@@ -51,9 +65,17 @@ NodeId ThreadNet::add_node(std::unique_ptr<Process> proc, std::string name) {
   NodeId id = static_cast<NodeId>(nodes_.size());
   auto node = std::make_unique<Node>();
   node->proc = std::move(proc);
+  node->sharded = dynamic_cast<sim::ShardedProcess*>(node->proc.get());
   node->ctx = std::make_unique<NodeContext>(this, id);
   node->name = std::move(name);
   node->proc->bind(node->ctx.get());
+  std::size_t shards =
+      node->sharded ? std::max<std::size_t>(node->sharded->shard_count(), 1)
+                    : 1;
+  node->shards.reserve(shards);
+  for (std::size_t s = 0; s < shards; ++s) {
+    node->shards.push_back(std::make_unique<Shard>());
+  }
   nodes_.push_back(std::move(node));
   return id;
 }
@@ -67,11 +89,21 @@ const std::string& ThreadNet::node_name(NodeId id) const {
 void ThreadNet::deliver(NodeId to, NodeId from, Buffer payload) {
   if (to >= nodes_.size()) return;  // unknown destination: drop
   Node& n = *nodes_.at(to);
-  {
-    std::scoped_lock lk(n.mu);
-    n.inbox.push_back(Mail{from, std::move(payload)});
+  // Shard-affine dispatch: the sender thread resolves the owning shard
+  // from the message header, so same-shard handlers serialize through one
+  // mailbox and cross-shard traffic never contends.
+  std::size_t shard = 0;
+  if (n.sharded) {
+    shard = n.sharded->shard_of(from, payload);
+    if (shard >= n.shards.size()) shard = 0;
   }
-  n.cv.notify_all();
+  Shard& s = *n.shards[shard];
+  {
+    std::scoped_lock lk(s.mu);
+    s.inbox.push_back(Mail{from, std::move(payload)});
+    s.inbox_high_water = std::max(s.inbox_high_water, s.inbox.size());
+  }
+  s.cv.notify_all();
 }
 
 void ThreadNet::start() {
@@ -80,8 +112,15 @@ void ThreadNet::start() {
   stop_.store(false, std::memory_order_release);
   epoch_ = std::chrono::steady_clock::now();
   started_once_ = true;
+  // on_start runs on this thread, for every node, before any worker
+  // exists: a shard worker can therefore never dispatch a message into a
+  // process that has not started (on_start sends/timers just queue).
+  for (auto& node : nodes_) node->proc->on_start();
   for (auto& node : nodes_) {
-    node->worker = std::thread([this, n = node.get()] { worker_loop(*n); });
+    for (auto& shard : node->shards) {
+      shard->worker = std::thread(
+          [this, n = node.get(), s = shard.get()] { worker_loop(*n, *s); });
+    }
   }
 }
 
@@ -90,6 +129,17 @@ sim::TimePoint ThreadNet::now() const {
   return std::chrono::duration_cast<std::chrono::microseconds>(
              std::chrono::steady_clock::now() - epoch_)
       .count();
+}
+
+std::vector<std::size_t> ThreadNet::shard_queue_high_water(NodeId id) const {
+  const Node& n = *nodes_.at(id);
+  std::vector<std::size_t> out;
+  out.reserve(n.shards.size());
+  for (auto& shard : n.shards) {
+    std::scoped_lock lk(shard->mu);
+    out.push_back(shard->inbox_high_water);
+  }
+  return out;
 }
 
 void ThreadNet::notify_progress() {
@@ -149,30 +199,32 @@ void ThreadNet::stop() {
   if (!running_.load(std::memory_order_acquire)) return;
   stop_.store(true, std::memory_order_release);
   for (auto& node : nodes_) {
-    // Take the node lock before notifying: a worker that already checked
-    // stop_ but has not started waiting yet holds the lock, so this cannot
-    // slip into the gap and lose the wakeup.
-    std::scoped_lock lk(node->mu);
-    node->cv.notify_all();
+    for (auto& shard : node->shards) {
+      // Take the shard lock before notifying: a worker that already
+      // checked stop_ but has not started waiting yet holds the lock, so
+      // this cannot slip into the gap and lose the wakeup.
+      std::scoped_lock lk(shard->mu);
+      shard->cv.notify_all();
+    }
   }
   for (auto& node : nodes_) {
-    if (node->worker.joinable()) node->worker.join();
+    for (auto& shard : node->shards) {
+      if (shard->worker.joinable()) shard->worker.join();
+    }
   }
   running_.store(false, std::memory_order_release);
 }
 
-void ThreadNet::worker_loop(Node& node) {
-  node.proc->on_start();
-  notify_progress();
-  std::unique_lock lk(node.mu);
+void ThreadNet::worker_loop(Node& node, Shard& shard) {
+  std::unique_lock lk(shard.mu);
   while (!stop_.load(std::memory_order_acquire)) {
     auto now = std::chrono::steady_clock::now();
     // Fire due timers.
     std::vector<std::uint64_t> due;
-    for (auto it = node.timers.begin(); it != node.timers.end();) {
+    for (auto it = shard.timers.begin(); it != shard.timers.end();) {
       if (it->due <= now) {
         due.push_back(it->token);
-        it = node.timers.erase(it);
+        it = shard.timers.erase(it);
       } else {
         ++it;
       }
@@ -183,9 +235,9 @@ void ThreadNet::worker_loop(Node& node) {
       notify_progress();
       lk.lock();
     }
-    if (!node.inbox.empty()) {
-      Mail m = std::move(node.inbox.front());
-      node.inbox.pop_front();
+    if (!shard.inbox.empty()) {
+      Mail m = std::move(shard.inbox.front());
+      shard.inbox.pop_front();
       lk.unlock();
       node.proc->on_message(m.from, m.payload);
       notify_progress();
@@ -194,15 +246,15 @@ void ThreadNet::worker_loop(Node& node) {
     }
     if (stop_.load(std::memory_order_acquire)) break;
     // Sleep until next timer or new mail.
-    if (node.timers.empty()) {
-      node.cv.wait_for(lk, std::chrono::milliseconds(50));
+    if (shard.timers.empty()) {
+      shard.cv.wait_for(lk, std::chrono::milliseconds(50));
     } else {
-      auto next = std::min_element(node.timers.begin(), node.timers.end(),
+      auto next = std::min_element(shard.timers.begin(), shard.timers.end(),
                                    [](const Timer& a, const Timer& b) {
                                      return a.due < b.due;
                                    })
                       ->due;
-      node.cv.wait_until(lk, next);
+      shard.cv.wait_until(lk, next);
     }
   }
 }

@@ -1,10 +1,15 @@
 // Real multi-threaded in-process transport hosting the same Process state
-// machines as the simulator: one worker thread per node, lock-protected
-// mailboxes of shared Buffer handles, real wall-clock timers. Used by
-// integration tests and examples to demonstrate the protocol under genuine
-// concurrency; the simulator is used where determinism or scale is needed.
-// Implements sim::RuntimeHost so election builders can target either
-// backend through one interface.
+// machines as the simulator: one worker thread per shard per node (plain
+// Processes have a single shard), lock-protected per-shard mailboxes of
+// shared Buffer handles, real wall-clock timers. Delivery is shard-affine:
+// the sender thread asks a ShardedProcess which shard owns the message
+// (keyed off the serial in the message header for VC nodes), so handlers
+// for distinct shards run genuinely in parallel while same-shard handlers
+// stay serialized — no locks on the per-ballot hot path. Used by
+// integration tests, the fig5a shard sweep and examples to demonstrate the
+// protocol under genuine concurrency; the simulator is used where
+// determinism or scale is needed. Implements sim::RuntimeHost so election
+// builders can target either backend through one interface.
 #pragma once
 
 #include <atomic>
@@ -39,7 +44,9 @@ class ThreadNet final : public sim::RuntimeHost {
   const std::string& node_name(NodeId id) const override;
   std::size_t node_count() const override { return nodes_.size(); }
 
-  // Spawns one worker thread per node and delivers on_start.
+  // Delivers on_start to every node (on the caller's thread, so no shard
+  // worker observes a message before its node started), then spawns one
+  // worker thread per shard per node.
   void start() override;
   // Signals all workers and joins them. Idempotent: a second (or later)
   // call after completion is a no-op.
@@ -59,6 +66,11 @@ class ThreadNet final : public sim::RuntimeHost {
   bool run_to_quiescence(const std::function<bool()>& done,
                          const sim::RunOptions& options) override;
 
+  // Largest inbox depth each shard of `id` ever reached (index = shard).
+  // Meaningful after stop(); reading it mid-run is racy and only
+  // approximate.
+  std::vector<std::size_t> shard_queue_high_water(NodeId id) const override;
+
  private:
   class NodeContext;
   struct Mail {
@@ -69,19 +81,31 @@ class ThreadNet final : public sim::RuntimeHost {
     std::chrono::steady_clock::time_point due;
     std::uint64_t token;
   };
-  struct Node {
-    std::unique_ptr<Process> proc;
-    std::unique_ptr<NodeContext> ctx;
-    std::string name;
+  // One mailbox + worker per shard. The shard mutex only guards the
+  // inbox/timer containers (enqueue vs. drain); handler execution itself
+  // is exclusive per shard by construction — exactly one worker drains a
+  // shard — so process state partitioned by shard needs no locking.
+  struct Shard {
     std::thread worker;
     std::mutex mu;
     std::condition_variable cv;
     std::deque<Mail> inbox;
     std::vector<Timer> timers;
-    std::uint64_t next_token = 1;
+    std::size_t inbox_high_water = 0;  // guarded by mu
+  };
+  struct Node {
+    std::unique_ptr<Process> proc;
+    // Non-null when proc is a ShardedProcess (cached dynamic_cast).
+    sim::ShardedProcess* sharded = nullptr;
+    std::unique_ptr<NodeContext> ctx;
+    std::string name;
+    std::vector<std::unique_ptr<Shard>> shards;
+    // Timer tokens are node-wide (handlers compare them across shards);
+    // atomic because any shard worker may arm a timer.
+    std::atomic<std::uint64_t> next_token{1};
   };
 
-  void worker_loop(Node& node);
+  void worker_loop(Node& node, Shard& shard);
   void deliver(NodeId to, NodeId from, Buffer payload);
   // Wakes any run_to_quiescence waiter; called by workers after each
   // handler so completion predicates are re-checked promptly. Locking and

@@ -18,6 +18,7 @@
 #include <functional>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "net/buffer.hpp"
 #include "util/bytes.hpp"
@@ -39,13 +40,23 @@ class Context {
   // cheap to copy: multicast loops send the same Buffer to every
   // recipient and pay for the payload allocation exactly once.
   virtual void send(NodeId to, net::Buffer payload) = 0;
+  // Reliable loopback to this node itself. Unlike send(self(), ...) this
+  // never traverses a link model — no loss, duplication, jitter or modeled
+  // latency — because it represents intra-node coordination (e.g. the VC
+  // shard fan-in barrier), not network traffic. Shard routing still
+  // applies: a ShardedProcess receives it on whatever shard its shard_of
+  // maps the payload to.
+  virtual void send_self(net::Buffer payload) { send(self(), std::move(payload)); }
   // One-shot timer; returns a token passed back to Process::on_timer.
+  // For a ShardedProcess, timers always fire on shard 0 (the control
+  // shard) regardless of which shard armed them.
   virtual std::uint64_t set_timer(Duration after) = 0;
   virtual TimePoint now() const = 0;
   virtual NodeId self() const = 0;
   // Account `cpu` microseconds of modeled processing cost to this node.
-  // The simulator serializes a node's handlers behind this busy time; the
-  // threaded runtime ignores it (real CPU time is real there).
+  // The simulator serializes a node's handlers behind this busy time (per
+  // shard for a ShardedProcess); the threaded runtime ignores it (real
+  // CPU time is real there).
   virtual void charge(Duration cpu) = 0;
 };
 
@@ -64,6 +75,30 @@ class Process {
 
  private:
   Context* ctx_ = nullptr;
+};
+
+// A Process whose message handling is partitioned into independent shards.
+// Both runtimes give each shard its own serial execution context: the
+// simulator models one virtual processor per shard (per-shard busy time),
+// and ThreadNet runs one worker thread per shard with its own mailbox.
+// Shard-affine dispatch is the concurrency contract: two messages that map
+// to the same shard never run concurrently, messages on different shards
+// may — so a handler may freely mutate state owned by its shard and must
+// synchronize (or message) for anything else.
+//
+// Rules the runtimes rely on:
+//  * shard_of is called from *sender* threads on ThreadNet, before the
+//    receiving handler runs: it must be thread-safe, must not block, must
+//    not touch mutable process state, and must not throw (return 0 for
+//    anything unroutable — shard 0 is the control shard).
+//  * on_start and all timers run on shard 0.
+class ShardedProcess : public Process {
+ public:
+  // Number of shards; fixed for the life of the process, >= 1.
+  virtual std::size_t shard_count() const = 0;
+  // Maps an inbound message to the shard that must handle it.
+  virtual std::size_t shard_of(NodeId from,
+                               const net::Buffer& payload) const = 0;
 };
 
 // Options for RuntimeHost::run_to_quiescence. One struct serves both
@@ -113,6 +148,12 @@ class RuntimeHost {
   virtual bool run_to_quiescence(const std::function<bool()>& done,
                                  const RunOptions& options) = 0;
   bool run_to_quiescence() { return run_to_quiescence(nullptr, RunOptions{}); }
+  // Per-shard inbox high-water marks observed for a node, where the
+  // backend has per-shard queues (ThreadNet). Backends without that
+  // concept (the simulator's single global event queue) return empty.
+  virtual std::vector<std::size_t> shard_queue_high_water(NodeId) const {
+    return {};
+  }
 };
 
 }  // namespace ddemos::sim

@@ -17,6 +17,9 @@ class Simulation::NodeContext final : public Context {
   void send(NodeId to, net::Buffer payload) override {
     sim_->submit_send(id_, to, std::move(payload), handler_end_);
   }
+  void send_self(net::Buffer payload) override {
+    sim_->submit_self(id_, std::move(payload), handler_end_);
+  }
   std::uint64_t set_timer(Duration after) override {
     return sim_->submit_timer(id_, after, handler_end_);
   }
@@ -45,15 +48,18 @@ NodeId Simulation::add_node(std::unique_ptr<Process> proc, std::string name) {
   NodeId id = static_cast<NodeId>(nodes_.size());
   Node n;
   n.proc = std::move(proc);
+  n.sharded = dynamic_cast<ShardedProcess*>(n.proc.get());
   n.ctx = std::make_unique<NodeContext>(this, id);
   n.name = std::move(name);
   n.proc->bind(n.ctx.get());
+  n.shard_busy.assign(
+      n.sharded ? std::max<std::size_t>(n.sharded->shard_count(), 1) : 1, 0);
   nodes_.push_back(std::move(n));
   if (started_) {
     // Late-added node (e.g. a voter joining mid-election): start immediately.
     nodes_.back().ctx->begin_handler(now_);
     nodes_.back().proc->on_start();
-    nodes_.back().busy_until = nodes_.back().ctx->handler_end();
+    nodes_.back().shard_busy[0] = nodes_.back().ctx->handler_end();
   }
   return id;
 }
@@ -83,7 +89,7 @@ void Simulation::start() {
     if (n.crashed) continue;
     n.ctx->begin_handler(now_);
     n.proc->on_start();
-    n.busy_until = std::max(n.busy_until, n.ctx->handler_end());
+    n.shard_busy[0] = std::max(n.shard_busy[0], n.ctx->handler_end());
   }
 }
 
@@ -124,6 +130,14 @@ void Simulation::submit_send(NodeId from, NodeId to, net::Buffer payload,
   }
 }
 
+void Simulation::submit_self(NodeId node, net::Buffer payload, TimePoint at) {
+  if (node >= nodes_.size()) throw ProtocolError("send_self on unknown node");
+  // Intra-node hop: no link model, no loss/dup, and — critically for
+  // determinism — no rng draw, so a sharded run consumes the exact same
+  // random stream as an unsharded one under lossy links.
+  queue_.push(Event{at, seq_++, node, node, 0, std::move(payload)});
+}
+
 std::uint64_t Simulation::submit_timer(NodeId node, Duration after,
                                        TimePoint from_time) {
   std::uint64_t token = ++timer_tokens_;
@@ -135,8 +149,15 @@ std::uint64_t Simulation::submit_timer(NodeId node, Duration after,
 void Simulation::dispatch(const Event& ev) {
   Node& n = nodes_.at(ev.target);
   if (n.crashed) return;
-  // A node is a single virtual processor: handlers queue behind busy time.
-  TimePoint begin = std::max(ev.at, n.busy_until);
+  // Each shard is its own virtual processor: handlers queue behind their
+  // shard's busy time only. Timers always run on shard 0 (the control
+  // shard); plain Processes have exactly one shard.
+  std::size_t shard = 0;
+  if (n.sharded && ev.from != kNoNode) {
+    shard = n.sharded->shard_of(ev.from, ev.payload);
+    if (shard >= n.shard_busy.size()) shard = 0;
+  }
+  TimePoint begin = std::max(ev.at, n.shard_busy[shard]);
   n.ctx->begin_handler(begin);
   std::chrono::steady_clock::time_point wall_start;
   if (measure_cpu_) wall_start = std::chrono::steady_clock::now();
@@ -152,7 +173,8 @@ void Simulation::dispatch(const Event& ev) {
                    std::chrono::steady_clock::now() - wall_start)
                    .count();
   }
-  n.busy_until = std::max(n.busy_until, n.ctx->handler_end() + measured);
+  n.shard_busy[shard] =
+      std::max(n.shard_busy[shard], n.ctx->handler_end() + measured);
 }
 
 bool Simulation::step() {

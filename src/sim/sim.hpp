@@ -1,8 +1,10 @@
 // Deterministic discrete-event simulator. Replaces the paper's 12-machine
 // cluster: virtual clocks per node, configurable link latency/drop/dup/
-// reorder, per-node CPU service-time accounting (each node is a single
-// virtual processor; handler costs serialize), and adversary hooks for
-// bounded message delay and node crashes. Fully deterministic given a seed.
+// reorder, per-node CPU service-time accounting (a node is one virtual
+// processor per shard — plain Processes have one, a ShardedProcess gets
+// shard_count() of them, so sharded VC nodes overlap handler costs across
+// shards), and adversary hooks for bounded message delay and node crashes.
+// Fully deterministic given a seed.
 //
 // Events carry net::Buffer payload handles, so enqueueing, duplication and
 // multicast fan-out never deep-copy message bytes; the event set itself is
@@ -95,6 +97,10 @@ class Simulation final : public RuntimeHost {
   // Used by NodeContext (internal).
   void submit_send(NodeId from, NodeId to, net::Buffer payload,
                    TimePoint depart);
+  // Reliable intra-node loopback (Context::send_self): enqueued at the
+  // sender's handler end, bypassing link models, loss and the rng stream
+  // so sharded runs stay deterministic under lossy links.
+  void submit_self(NodeId node, net::Buffer payload, TimePoint at);
   std::uint64_t submit_timer(NodeId node, Duration after, TimePoint from_time);
 
  private:
@@ -109,10 +115,16 @@ class Simulation final : public RuntimeHost {
   class NodeContext;
   struct Node {
     std::unique_ptr<Process> proc;
+    // Non-null when proc is a ShardedProcess (cached dynamic_cast).
+    ShardedProcess* sharded = nullptr;
     std::unique_ptr<NodeContext> ctx;
     std::string name;
     bool crashed = false;
-    TimePoint busy_until = 0;
+    // One virtual processor per shard: handlers mapped to a shard queue
+    // behind that shard's busy time only, so sharded nodes process
+    // messages for distinct shards in (virtual) parallel. Non-sharded
+    // nodes have exactly one entry — the former busy_until.
+    std::vector<TimePoint> shard_busy;
   };
 
   const LinkModel& link_for(NodeId a, NodeId b) const;

@@ -175,7 +175,7 @@ DiskBallotSource::IndexEntry DiskBallotSource::index_entry(std::size_t idx) {
   return e;
 }
 
-std::optional<std::size_t> DiskBallotSource::index_of(Serial serial) {
+std::optional<std::size_t> DiskBallotSource::index_of_locked(Serial serial) {
   std::size_t lo = 0, hi = count_;
   while (lo < hi) {
     std::size_t mid = lo + (hi - lo) / 2;
@@ -190,13 +190,20 @@ std::optional<std::size_t> DiskBallotSource::index_of(Serial serial) {
   return std::nullopt;
 }
 
+std::optional<std::size_t> DiskBallotSource::index_of(Serial serial) {
+  std::scoped_lock lk(mu_);
+  return index_of_locked(serial);
+}
+
 Serial DiskBallotSource::serial_at(std::size_t idx) {
   if (idx >= count_) throw ProtocolError("serial_at: out of range");
+  std::scoped_lock lk(mu_);
   return index_entry(idx).serial;
 }
 
 std::optional<VcBallotInit> DiskBallotSource::find(Serial serial) {
-  auto idx = index_of(serial);
+  std::scoped_lock lk(mu_);
+  auto idx = index_of_locked(serial);
   if (!idx) return std::nullopt;
   IndexEntry e = index_entry(*idx);
   std::vector<std::uint8_t> blob(e.length);

@@ -6,9 +6,11 @@
 // the effect Figure 5a measures.
 #pragma once
 
+#include <atomic>
 #include <cstdio>
 #include <list>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <string>
 #include <unordered_map>
@@ -53,6 +55,11 @@ class MemoryBallotSource final : public BallotDataSource {
 //   [u64 magic][u64 count]
 //   index: count * (u64 serial, u64 offset, u32 length), sorted by serial
 //   records: encoded VcBallotInit blobs
+//
+// Lookups are serialized by an internal mutex: the shards of a sharded VC
+// node share one source, so the LRU page cache and the FILE* must not be
+// mutated concurrently (the paper's PostgreSQL plays this role; a
+// connection pool would lift the serialization, see ROADMAP).
 class DiskBallotSource final : public BallotDataSource {
  public:
   static void build(const std::string& path,
@@ -82,9 +89,13 @@ class DiskBallotSource final : public BallotDataSource {
   core::Serial serial_at(std::size_t idx) override;
   std::optional<std::size_t> index_of(core::Serial serial) override;
 
-  std::uint64_t page_reads() const { return page_reads_; }
-  std::uint64_t cache_hits() const { return cache_hits_; }
-  std::uint64_t page_faults() const override { return page_reads_; }
+  std::uint64_t page_reads() const {
+    return page_reads_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t cache_hits() const {
+    return cache_hits_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t page_faults() const override { return page_reads(); }
 
  private:
   static constexpr std::size_t kPageSize = 4096;
@@ -95,22 +106,27 @@ class DiskBallotSource final : public BallotDataSource {
     std::uint32_t length;
   };
 
+  // _locked helpers require mu_ held (public entry points take it once;
+  // find() composes index_of + record read under a single hold).
+  std::optional<std::size_t> index_of_locked(core::Serial serial);
   const std::uint8_t* page(std::uint64_t page_no);
   IndexEntry index_entry(std::size_t idx);
 
+  std::mutex mu_;
   std::FILE* file_ = nullptr;
   std::uint64_t count_ = 0;
   std::uint64_t index_base_ = 16;
   std::uint64_t records_base_ = 0;
-  // LRU page cache.
+  // LRU page cache (guarded by mu_).
   std::list<std::uint64_t> lru_;
   std::unordered_map<std::uint64_t,
                      std::pair<std::vector<std::uint8_t>,
                                std::list<std::uint64_t>::iterator>>
       cache_;
   std::size_t cache_pages_;
-  std::uint64_t page_reads_ = 0;
-  std::uint64_t cache_hits_ = 0;
+  // Atomic: read lock-free by the per-fault cost accounting in VcNode.
+  std::atomic<std::uint64_t> page_reads_{0};
+  std::atomic<std::uint64_t> cache_hits_{0};
 };
 
 }  // namespace ddemos::store

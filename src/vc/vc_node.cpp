@@ -12,6 +12,20 @@ namespace ddemos::vc {
 using namespace core;
 using sim::NodeId;
 
+namespace {
+net::Buffer encode_shard_drain(std::size_t shard) {
+  Writer w;
+  w.u8(static_cast<std::uint8_t>(MsgType::kShardDrain));
+  w.u64(shard);
+  return w.take();
+}
+net::Buffer encode_shard_barrier() {
+  Writer w;
+  w.u8(static_cast<std::uint8_t>(MsgType::kShardBarrier));
+  return w.take();
+}
+}  // namespace
+
 VcNode::VcNode(VcInit init, std::shared_ptr<store::BallotDataSource> source,
                std::vector<NodeId> vc_ids, std::vector<NodeId> bb_ids,
                Options options)
@@ -23,6 +37,9 @@ VcNode::VcNode(VcInit init, std::shared_ptr<store::BallotDataSource> source,
   if (vc_ids_.size() != init_.params.n_vc) {
     throw ProtocolError("VcNode: vc id list size mismatch");
   }
+  if (opt_.n_shards == 0) {
+    throw ProtocolError("VcNode: n_shards must be >= 1");
+  }
   announce_done_ = Bitmap(init_.params.n_vc);
   n_ballots_ = source_->size();
   if (n_ballots_ > 0) {
@@ -30,13 +47,64 @@ VcNode::VcNode(VcInit init, std::shared_ptr<store::BallotDataSource> source,
     contiguous_serials_ =
         source_->serial_at(n_ballots_ - 1) == first_serial_ + n_ballots_ - 1;
   }
+  if (opt_.n_shards > 1 && n_ballots_ > 0 && !contiguous_serials_) {
+    // Shard routing runs on sender threads and must map serial -> shard in
+    // O(1) without touching the (stateful) ballot source; a gapped serial
+    // set would force the index-lookup fallback there and silently corrupt
+    // shard ownership. Refuse loudly instead.
+    throw ProtocolError(
+        "VcNode: sharded vote collection (n_shards > 1) requires contiguous "
+        "serials; this ballot source has gaps — run with n_shards = 1");
+  }
   states_.resize(n_ballots_);
   endorse_states_.resize(n_ballots_);
+  shard_slots_.resize(opt_.n_shards);
 }
 
 void VcNode::on_start() {
   sim::Duration until_end = init_.params.t_end - ctx().now();
   end_timer_ = ctx().set_timer(std::max<sim::Duration>(until_end, 0));
+}
+
+std::size_t VcNode::shard_of_serial(Serial serial) const {
+  if (opt_.n_shards == 1) return 0;
+  // Contiguity is enforced at construction, so this never consults the
+  // ballot source (instance_of's fallback is not sender-thread safe).
+  if (serial < first_serial_ || serial >= first_serial_ + n_ballots_) {
+    return 0;  // unknown serial: rejected on the control shard
+  }
+  return static_cast<std::size_t>(serial - first_serial_) % opt_.n_shards;
+}
+
+std::size_t VcNode::shard_after_type(MsgType type, Reader r) const {
+  try {
+    switch (type) {
+      case MsgType::kVote:
+      case MsgType::kEndorse:
+      case MsgType::kEndorsement:
+      case MsgType::kVoteP:
+        // The serial is the first field of every per-ballot message.
+        return shard_of_serial(r.u64());
+      case MsgType::kShardDrain:
+        return std::min<std::size_t>(r.u64(), opt_.n_shards - 1);
+      default:
+        return 0;  // announce/consensus/recovery/control: control shard
+    }
+  } catch (const CodecError&) {
+    return 0;  // malformed: let the control shard drop it
+  }
+}
+
+std::size_t VcNode::shard_of(NodeId /*from*/,
+                             const net::Buffer& payload) const {
+  if (opt_.n_shards == 1) return 0;
+  try {
+    Reader r(payload.view());
+    auto type = static_cast<MsgType>(r.u8());
+    return shard_after_type(type, r);
+  } catch (const CodecError&) {
+    return 0;  // empty payload: let the control shard drop it
+  }
 }
 
 void VcNode::multicast_vc(const net::Buffer& msg) {
@@ -68,6 +136,23 @@ std::optional<std::size_t> VcNode::instance_of(Serial serial) const {
 Serial VcNode::serial_of(std::size_t instance) {
   return contiguous_serials_ ? first_serial_ + instance
                              : source_->serial_at(instance);
+}
+
+VcStats VcNode::stats() const {
+  VcStats s = stats_;
+  for (const ShardSlot& slot : shard_slots_) {
+    s.votes_received += slot.stats.votes_received;
+    s.receipts_issued += slot.stats.receipts_issued;
+    s.rejected_votes += slot.stats.rejected_votes;
+  }
+  return s;
+}
+
+std::vector<VcShardStats> VcNode::shard_stats() const {
+  std::vector<VcShardStats> out;
+  out.reserve(shard_slots_.size());
+  for (const ShardSlot& slot : shard_slots_) out.push_back(slot.stats);
+  return out;
 }
 
 std::optional<std::pair<std::uint8_t, std::uint32_t>> VcNode::verify_vote_code(
@@ -139,6 +224,12 @@ void VcNode::on_message(NodeId from, const net::Buffer& payload) {
   try {
     Reader r(payload.view());
     auto type = static_cast<MsgType>(r.u8());
+    // on_message is already running on the shard this payload routes to;
+    // recompute the slot for the bookkeeping (one u64 peek, the type byte
+    // is already parsed; Reader is passed by value so r stays positioned).
+    std::size_t shard =
+        opt_.n_shards == 1 ? 0 : shard_after_type(type, r);
+    ++shard_slots_[shard].stats.handled_messages;
     switch (type) {
       case MsgType::kVote:
         handle_vote(from, r);
@@ -160,6 +251,12 @@ void VcNode::on_message(NodeId from, const net::Buffer& payload) {
         break;
       case MsgType::kRecoverResponse:
         handle_recover_response(from, r);
+        break;
+      case MsgType::kShardDrain:
+        handle_shard_drain(from, r);
+        break;
+      case MsgType::kShardBarrier:
+        handle_shard_barrier(from, r);
         break;
       case MsgType::kConsensus: {
         auto idx = vc_index_of(from);
@@ -188,9 +285,10 @@ void VcNode::on_message(NodeId from, const net::Buffer& payload) {
 
 void VcNode::handle_vote(NodeId from, Reader& r) {
   VoteMsg m = VoteMsg::decode(r);
-  ++stats_.votes_received;
+  VcShardStats& ss = stats_for(m.serial);
+  ++ss.votes_received;
   auto reply = [&](VoteReplyStatus status, std::uint64_t receipt = 0) {
-    if (status != VoteReplyStatus::kOk) ++stats_.rejected_votes;
+    if (status != VoteReplyStatus::kOk) ++ss.rejected_votes;
     ctx().send(from,
                VoteReplyMsg{m.serial, status, receipt}.encode());
   };
@@ -211,7 +309,7 @@ void VcNode::handle_vote(NodeId from, Reader& r) {
   BallotState& st = state_at(*inst);
   if (st.status == BallotStatus::kVoted) {
     if (st.code == m.vote_code) {
-      ++stats_.receipts_issued;
+      ++ss.receipts_issued;
       reply(VoteReplyStatus::kOk, st.receipt);
     } else {
       reply(VoteReplyStatus::kAlreadyVoted);
@@ -267,6 +365,7 @@ void VcNode::handle_endorse(NodeId from, Reader& r) {
     return;  // already endorsed a different code
   }
   Bytes sig = sign_endorsement(m.serial, m.vote_code);
+  ++stats_for(m.serial).endorsements_signed;
   ctx().send(from, EndorsementMsg{m.serial, m.vote_code,
                                   static_cast<std::uint32_t>(init_.node_index),
                                   std::move(sig)}
@@ -383,8 +482,9 @@ void VcNode::complete_vote(Serial serial, BallotState& st) {
   if (!st.waiters.empty()) {
     net::Buffer reply =
         VoteReplyMsg{serial, VoteReplyStatus::kOk, receipt}.encode();
+    VcShardStats& ss = stats_for(serial);
     for (NodeId voter : st.waiters) {
-      ++stats_.receipts_issued;
+      ++ss.receipts_issued;
       ctx().send(voter, reply);
     }
     st.waiters.clear();
@@ -395,15 +495,64 @@ void VcNode::complete_vote(Serial serial, BallotState& st) {
 
 void VcNode::on_timer(std::uint64_t token) {
   if (token == end_timer_ && phase_ == Phase::kVoting) {
-    begin_vote_set_consensus();
+    if (opt_.n_shards == 1) {
+      // Legacy single-processor path: no barrier round trip, bit-for-bit
+      // the pre-sharding behavior.
+      begin_vote_set_consensus();
+    } else {
+      start_shard_drain();
+    }
   } else if (token == recover_timer_ && phase_ == Phase::kRecovery) {
     send_recover_request();  // retry lost requests
   }
 }
 
+// --- Shard fan-in barrier ---------------------------------------------------
+// Election end, sharded: flip the phase so per-ballot handlers reject from
+// here on, then post one drain loopback per shard. Shard mailboxes are
+// FIFO, so by the time shard k handles its drain, every voting-phase
+// handler enqueued to k before election end has retired; the shard that
+// completes the fan-in posts the barrier message back to the control
+// shard, which then owns every slice exclusively (handlers on other shards
+// observe the phase flip and no longer mutate).
+
+void VcNode::start_shard_drain() {
+  phase_ = Phase::kDraining;
+  stats_.voting_ended_at = ctx().now();
+  for (std::size_t s = 0; s < opt_.n_shards; ++s) {
+    ctx().send_self(encode_shard_drain(s));
+  }
+}
+
+void VcNode::handle_shard_drain(NodeId from, Reader& r) {
+  r.u64();  // target shard: consumed by shard_of routing
+  // Internal coordination: accept only our own loopback (a peer forging
+  // kShardDrain must not be able to trip the barrier early).
+  if (from != ctx().self()) return;
+  if (phase_ != Phase::kDraining) return;
+  // acq_rel: publishes this shard's ballot-state writes to whichever
+  // shard observes the final count (and, through it, the control shard).
+  if (drained_.fetch_add(1, std::memory_order_acq_rel) + 1 ==
+      opt_.n_shards) {
+    ctx().send_self(encode_shard_barrier());
+  }
+}
+
+void VcNode::handle_shard_barrier(NodeId from, Reader&) {
+  if (from != ctx().self()) return;
+  if (phase_ != Phase::kDraining) return;
+  // All shards quiesced: the control shard may now read and mutate every
+  // slice. Adopt the certified entries buffered during voting/draining
+  // first so they make it into our announce and consensus input — the
+  // unsharded path adopts them on arrival.
+  for (const AnnounceEntry& e : pending_adopts_) adopt_entry(e);
+  pending_adopts_.clear();
+  begin_vote_set_consensus();
+}
+
 void VcNode::begin_vote_set_consensus() {
   phase_ = Phase::kAnnounce;
-  stats_.voting_ended_at = ctx().now();
+  if (stats_.voting_ended_at == 0) stats_.voting_ended_at = ctx().now();
   consensus_input_ = Bitmap(n_ballots_);
   recover_needed_ = Bitmap(n_ballots_);
 
@@ -455,8 +604,16 @@ void VcNode::handle_announce(NodeId from, Reader& r) {
   if (!sender) return;
   // Announces from faster peers may arrive while we are still in the
   // voting phase (bounded clock drift); certified entries are safe to
-  // adopt at any time.
-  for (const AnnounceEntry& e : m.entries) adopt_entry(e);
+  // adopt at any time on the unsharded path. Sharded, adoption would
+  // mutate slices other shards are still voting on, so entries are
+  // buffered until the fan-in barrier hands the control shard exclusive
+  // ownership.
+  if (opt_.n_shards > 1 &&
+      (phase_ == Phase::kVoting || phase_ == Phase::kDraining)) {
+    for (AnnounceEntry& e : m.entries) pending_adopts_.push_back(std::move(e));
+  } else {
+    for (const AnnounceEntry& e : m.entries) adopt_entry(e);
+  }
   if (m.last_chunk && !announce_done_.get(*sender)) {
     announce_done_.set(*sender);
     maybe_start_consensus();
@@ -529,6 +686,13 @@ void VcNode::handle_recover_request(NodeId from, Reader& r) {
   RecoverRequestMsg m = RecoverRequestMsg::decode(r);
   if (!vc_index_of(from)) return;
   if (m.instances.size() != n_ballots_) return;
+  // Sharded and still voting: answering would scan slices other shards
+  // are mutating. Drop — the requesting peer retries on its recover timer
+  // and will be answered once this node passes its own barrier.
+  if (opt_.n_shards > 1 &&
+      (phase_ == Phase::kVoting || phase_ == Phase::kDraining)) {
+    return;
+  }
   RecoverResponseMsg resp;
   for (std::size_t i = 0; i < m.instances.size(); ++i) {
     if (!m.instances.get(i)) continue;

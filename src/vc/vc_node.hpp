@@ -6,6 +6,24 @@
 //    binary consensus instance per registered ballot, RECOVER for ballots
 //    decided "voted" whose certified code this node lacks;
 //  * the final push of the agreed vote set and the msk key share to the BBs.
+//
+// Intra-node sharding (Options::n_shards > 1): the contiguous serial range
+// is partitioned across shards by interleaving — shard(serial) =
+// instance % n_shards, where instance = serial - first_serial — so a
+// serial-ordered casting burst spreads evenly instead of landing on one
+// shard (contiguous blocks would). Each shard exclusively owns its slice
+// of ballot/endorse state plus its stats slot, and the runtimes guarantee
+// shard-affine dispatch (sim::ShardedProcess): the per-ballot hot path
+// (VOTE/ENDORSE/ENDORSEMENT/VOTE_P) runs lock-free on the owning shard.
+// Everything else — ANNOUNCE bookkeeping, consensus, recovery, the BB push
+// — runs on shard 0, the control shard, and only after a shard fan-in
+// barrier: at election end the control shard posts a kShardDrain loopback
+// to every shard; because shard mailboxes are FIFO, a shard's drain
+// confirms every voting-phase handler enqueued before election end has
+// retired, and the last drain releases the control shard (kShardBarrier)
+// into the announce scan over all slices. Certified ANNOUNCE entries that
+// arrive from faster peers before the barrier are buffered and adopted at
+// the barrier instead of mutating foreign shard slices mid-vote.
 #pragma once
 
 #include <atomic>
@@ -26,6 +44,7 @@ enum class BallotStatus : std::uint8_t { kNotVoted, kPending, kVoted };
 
 enum class Phase : std::uint8_t {
   kVoting,
+  kDraining,  // sharded only: election ended, shard fan-in in flight
   kAnnounce,
   kConsensus,
   kRecovery,
@@ -42,6 +61,19 @@ struct VcStats {
   sim::TimePoint push_done_at = 0;
 };
 
+// Per-shard counters; each slot is written only by its owning shard, so
+// no synchronization on the hot path. queue_high_water is filled in by the
+// hosting runtime at harvest time (per-shard mailbox depth on ThreadNet;
+// zero on the simulator, which has one global event queue).
+struct VcShardStats {
+  std::uint64_t handled_messages = 0;
+  std::uint64_t votes_received = 0;
+  std::uint64_t receipts_issued = 0;
+  std::uint64_t rejected_votes = 0;
+  std::uint64_t endorsements_signed = 0;
+  std::uint64_t queue_high_water = 0;
+};
+
 struct VcOptions {
   // When true, Schnorr signing/verification in the hot path is replaced
   // by modeled CPU charges (used by the calibrated benchmarks; all
@@ -56,9 +88,15 @@ struct VcOptions {
   sim::Duration recover_retry_us = 500'000;
   // Modeled storage latency charged per ballot-store page fault (0 = off).
   sim::Duration page_fault_cost_us = 0;
+  // Intra-node worker shards over the serial range (see file comment).
+  // 1 (the default) takes the legacy single-processor code path
+  // bit-for-bit; > 1 requires contiguous serials (the EA default) and is
+  // rejected with ProtocolError otherwise — the fallback index lookup is
+  // neither O(1) nor thread-safe enough for sender-side shard routing.
+  std::size_t n_shards = 1;
 };
 
-class VcNode final : public sim::Process {
+class VcNode final : public sim::ShardedProcess {
  public:
   using Options = VcOptions;
 
@@ -70,6 +108,18 @@ class VcNode final : public sim::Process {
   void on_message(sim::NodeId from, const net::Buffer& payload) override;
   void on_timer(std::uint64_t token) override;
 
+  // --- sharding surface (sim::ShardedProcess) ------------------------------
+  std::size_t shard_count() const override { return opt_.n_shards; }
+  // Shard-affine routing keyed off the serial in the message header; pure
+  // and thread-safe (called from sender threads on ThreadNet). Anything
+  // without a per-ballot serial — announce/consensus/recovery/control —
+  // maps to shard 0.
+  std::size_t shard_of(sim::NodeId from,
+                       const net::Buffer& payload) const override;
+  // The serial → shard mapping itself (total: unknown serials map to the
+  // control shard); exposed for the shard test suite.
+  std::size_t shard_of_serial(core::Serial serial) const;
+
   // phase_ is atomic: the ThreadNet completion predicate and the driver's
   // phase probe read it from the waiter thread mid-run.
   Phase phase() const { return phase_; }
@@ -77,7 +127,10 @@ class VcNode final : public sim::Process {
   const std::vector<core::VoteSetEntry>& final_vote_set() const {
     return final_set_;
   }
-  const VcStats& stats() const { return stats_; }
+  // Aggregate over all shards plus the control-shard phase timings.
+  VcStats stats() const;
+  // One entry per shard; stable to read once the run has settled.
+  std::vector<VcShardStats> shard_stats() const;
 
  private:
   struct BallotState {
@@ -99,6 +152,10 @@ class VcNode final : public sim::Process {
     std::map<std::uint32_t, Bytes> sigs;
     bool ucert_formed = false;
   };
+  // Cache-line padded so shards writing adjacent slots never false-share.
+  struct alignas(64) ShardSlot {
+    VcShardStats stats;
+  };
 
   // --- voting protocol ---------------------------------------------------
   void handle_vote(sim::NodeId from, Reader& r);
@@ -119,6 +176,18 @@ class VcNode final : public sim::Process {
   void send_recover_request();
   void maybe_finish_recovery();
   void push_to_bb();
+
+  // --- shard coordination ----------------------------------------------------
+  void start_shard_drain();
+  void handle_shard_drain(sim::NodeId from, Reader& r);
+  void handle_shard_barrier(sim::NodeId from, Reader& r);
+  VcShardStats& stats_for(core::Serial serial) {
+    return shard_slots_[shard_of_serial(serial)].stats;
+  }
+  // Routing for a message whose type byte is already consumed; takes the
+  // Reader by value so the caller's position is untouched (shared by
+  // shard_of and on_message's per-shard bookkeeping).
+  std::size_t shard_after_type(core::MsgType type, Reader r) const;
 
   // --- helpers -------------------------------------------------------------
   // One payload allocation total: every recipient shares the Buffer handle.
@@ -153,7 +222,9 @@ class VcNode final : public sim::Process {
   // Per-ballot state, dense by instance index (serials are contiguous from
   // EA setup, so instance = serial - first serial). Replaces the former
   // std::map<Serial, ...>: O(1) lookups, no rebalancing, cache-linear
-  // scans during the announce/push phases.
+  // scans during the announce/push phases. Slot i is owned by shard
+  // i % n_shards; the vectors themselves are never resized after
+  // construction, so cross-shard slot access never invalidates.
   std::vector<BallotState> states_;
   std::vector<EndorseState> endorse_states_;
   std::size_t n_ballots_ = 0;
@@ -162,7 +233,14 @@ class VcNode final : public sim::Process {
   std::uint64_t end_timer_ = 0;
   std::uint64_t recover_timer_ = 0;
 
-  // Vote-set consensus state.
+  // Shard fan-in barrier state (n_shards > 1 only).
+  std::atomic<std::size_t> drained_{0};
+  // Certified announce entries from faster peers, buffered while shards
+  // may still be voting; adopted by the control shard at the barrier.
+  std::vector<core::AnnounceEntry> pending_adopts_;
+  std::vector<ShardSlot> shard_slots_;
+
+  // Vote-set consensus state (control shard only).
   std::unique_ptr<consensus::BatchBinaryConsensus> consensus_;
   Bitmap announce_done_;        // which VC peers completed their announce
   Bitmap consensus_input_;      // defers until announce quorum
@@ -174,7 +252,7 @@ class VcNode final : public sim::Process {
   Bitmap recover_needed_;
   std::vector<core::VoteSetEntry> final_set_;
 
-  VcStats stats_;
+  VcStats stats_;  // control-shard timings; counters live in shard slots
 };
 
 }  // namespace ddemos::vc

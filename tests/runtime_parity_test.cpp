@@ -9,9 +9,12 @@
 
 #include "core/driver.hpp"
 #include "net/thread_net.hpp"
+#include "test_clock.hpp"
 
 namespace ddemos::core {
 namespace {
+
+using ddemos::test::scaled;
 
 ElectionParams parity_params() {
   ElectionParams p;
@@ -25,7 +28,7 @@ ElectionParams parity_params() {
   p.n_trustees = 3;
   p.h_trustees = 2;
   p.t_start = 0;
-  p.t_end = 1'500'000;  // short enough for a wall-clock run
+  p.t_end = scaled(1'500'000);  // short enough for a wall-clock run
   return p;
 }
 
@@ -34,9 +37,11 @@ DriverConfig parity_config(const ElectionParams& p) {
   cfg.params = p;
   cfg.seed = 2026;
   cfg.workload = VoteListWorkload::make(
-      {0, 1, 0}, [](std::size_t) -> sim::TimePoint { return 50'000; });
-  cfg.voter_template.patience_us = 400'000;
-  cfg.trustee_options.poll_interval_us = 100'000;
+      {0, 1, 0},
+      [](std::size_t) -> sim::TimePoint { return scaled(50'000); });
+  cfg.voter_template.patience_us = scaled(400'000);
+  cfg.trustee_options.poll_interval_us = scaled(100'000);
+  cfg.wall_timeout_us = scaled(60'000'000);
   return cfg;
 }
 
@@ -70,6 +75,92 @@ TEST(RuntimeParity, SameElectionOnSimAndThreads) {
   EXPECT_EQ(net_report.receipts, sim_report.receipts);
   EXPECT_EQ(net_report.expected_tally, sim_report.expected_tally);
   EXPECT_EQ(sim_report.expected_tally, sim_report.tally);
+}
+
+// The same election with intra-node VC sharding (vc_shards = 4): the
+// deterministic simulator (one virtual processor per shard) and ThreadNet
+// (one worker thread per shard, shard-affine dispatch) agree on tallies,
+// receipts, the agreed vote set, and the per-shard stats. Structural
+// per-shard assertions (row counts, sums matching node totals, votes
+// landing only on the shards that own a cast serial) are timing-proof and
+// always checked on both backends. Exact cell-by-cell equality of the
+// voting-phase counters additionally needs both runs retry-free — a voter
+// whose patience expires under host load resubmits to a different seeded
+// VC, legitimately shifting counters between nodes — so it is gated on
+// "one delivered VOTE per voter" holding on both backends.
+TEST(RuntimeParity, ShardedElectionAgreesAcrossBackends) {
+  ElectionParams p = parity_params();
+  DriverConfig cfg = parity_config(p);
+  cfg.vc_shards = 4;
+  // Keep patience just under the voting window: a slow (loaded) host then
+  // delays receipts instead of triggering mid-window resubmissions.
+  cfg.voter_template.patience_us = scaled(1'300'000);
+  cfg.artifacts = std::make_shared<const ea::SetupArtifacts>(
+      ea::ea_setup({p, cfg.seed, false, 64}));
+
+  ElectionDriver sim_driver(cfg);
+  ElectionReport sim_report = sim_driver.run();
+
+  net::ThreadNet net;
+  ElectionDriver net_driver(net, cfg);
+  ElectionReport net_report = net_driver.run();
+
+  ASSERT_TRUE(sim_report.completed);
+  ASSERT_TRUE(net_report.completed);
+  ASSERT_EQ(sim_report.tally, (std::vector<std::uint64_t>{2, 1}));
+  EXPECT_EQ(net_report.tally, sim_report.tally);
+  EXPECT_EQ(net_report.vote_set, sim_report.vote_set);
+  EXPECT_EQ(net_report.receipts, sim_report.receipts);
+  EXPECT_EQ(net_report.receipts_issued, sim_report.receipts_issued);
+  EXPECT_EQ(net_report.expected_tally, sim_report.expected_tally);
+
+  // The 3 cast serials are the first 3 instances, so shard 3 of every node
+  // must never see a per-ballot message on either backend — shard-affine
+  // dispatch is keyed by serial, independent of timing.
+  ASSERT_EQ(sim_report.vc_shard_stats.size(), p.n_vc);
+  ASSERT_EQ(net_report.vc_shard_stats.size(), p.n_vc);
+  for (const ElectionReport* rep : {&sim_report, &net_report}) {
+    for (std::size_t n = 0; n < p.n_vc; ++n) {
+      const auto& shards = rep->vc_shard_stats[n];
+      ASSERT_EQ(shards.size(), 4u);
+      std::uint64_t votes = 0, receipts = 0, rejected = 0, handled = 0;
+      for (const vc::VcShardStats& s : shards) {
+        votes += s.votes_received;
+        receipts += s.receipts_issued;
+        rejected += s.rejected_votes;
+        handled += s.handled_messages;
+      }
+      EXPECT_EQ(votes, rep->vc_stats[n].votes_received) << "vc" << n;
+      EXPECT_EQ(receipts, rep->vc_stats[n].receipts_issued) << "vc" << n;
+      EXPECT_EQ(rejected, rep->vc_stats[n].rejected_votes) << "vc" << n;
+      EXPECT_GT(handled, 0u) << "vc" << n;
+      EXPECT_EQ(shards[3].votes_received, 0u) << "vc" << n;
+      EXPECT_EQ(shards[3].receipts_issued, 0u) << "vc" << n;
+      EXPECT_EQ(shards[3].endorsements_signed, 0u) << "vc" << n;
+    }
+  }
+
+  auto retry_free = [&](const ElectionReport& rep) {
+    std::uint64_t votes = 0;
+    for (const auto& s : rep.vc_stats) votes += s.votes_received;
+    return votes == 3;
+  };
+  if (retry_free(sim_report) && retry_free(net_report)) {
+    for (std::size_t n = 0; n < p.n_vc; ++n) {
+      for (std::size_t s = 0; s < 4; ++s) {
+        const auto& sim_s = sim_report.vc_shard_stats[n][s];
+        const auto& net_s = net_report.vc_shard_stats[n][s];
+        EXPECT_EQ(net_s.votes_received, sim_s.votes_received)
+            << "vc" << n << " shard " << s;
+        EXPECT_EQ(net_s.receipts_issued, sim_s.receipts_issued)
+            << "vc" << n << " shard " << s;
+        EXPECT_EQ(net_s.rejected_votes, sim_s.rejected_votes)
+            << "vc" << n << " shard " << s;
+        EXPECT_EQ(net_s.endorsements_signed, sim_s.endorsements_signed)
+            << "vc" << n << " shard " << s;
+      }
+    }
+  }
 }
 
 TEST(RuntimeParity, FixedSeedIsBitIdenticalAcrossRuns) {

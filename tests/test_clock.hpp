@@ -1,0 +1,24 @@
+// Shared wall-clock budget scaling for tests that drive ThreadNet.
+// Budgets (election hours, voter patience, completion caps) assume an
+// unencumbered machine; instrumented builds — the ThreadSanitizer CI job
+// runs 10-20x slower — stretch every budget by DDEMOS_TEST_TIME_SCALE so
+// timing-dependent assertions test the protocol, not the host's speed.
+// Virtual-time (simulator) assertions are unaffected by the scale.
+#pragma once
+
+#include <cstdlib>
+
+#include "sim/runtime.hpp"
+
+namespace ddemos::test {
+
+inline sim::Duration scaled(sim::Duration us) {
+  static const sim::Duration factor = [] {
+    const char* v = std::getenv("DDEMOS_TEST_TIME_SCALE");
+    long f = v ? std::atol(v) : 1;
+    return static_cast<sim::Duration>(f < 1 ? 1 : f);
+  }();
+  return us * factor;
+}
+
+}  // namespace ddemos::test

@@ -7,10 +7,13 @@
 
 #include "core/driver.hpp"
 #include "net/thread_net.hpp"
+#include "test_clock.hpp"
 #include "util/error.hpp"
 
 namespace ddemos::core {
 namespace {
+
+using ddemos::test::scaled;
 
 ElectionParams e2e_params() {
   ElectionParams p;
@@ -24,7 +27,7 @@ ElectionParams e2e_params() {
   p.n_trustees = 3;
   p.h_trustees = 2;
   p.t_start = 0;
-  p.t_end = 1'500'000;  // 1.5 real seconds of voting
+  p.t_end = scaled(1'500'000);  // 1.5 real seconds of voting
   return p;
 }
 
@@ -33,10 +36,11 @@ TEST(ThreadNetE2E, FullElectionOverRealThreads) {
   cfg.params = e2e_params();
   cfg.seed = 77;
   cfg.workload = VoteListWorkload::make(
-      {0, 1, 0}, [](std::size_t) -> sim::TimePoint { return 50'000; });
-  cfg.voter_template.patience_us = 400'000;
-  cfg.trustee_options.poll_interval_us = 100'000;
-  cfg.wall_timeout_us = 30'000'000;
+      {0, 1, 0},
+      [](std::size_t) -> sim::TimePoint { return scaled(50'000); });
+  cfg.voter_template.patience_us = scaled(400'000);
+  cfg.trustee_options.poll_interval_us = scaled(100'000);
+  cfg.wall_timeout_us = scaled(30'000'000);
 
   net::ThreadNet net;
   ElectionDriver driver(net, cfg);
