@@ -99,9 +99,11 @@ VoteCollectionResult run_vote_collection(const VoteCollectionConfig& cfg) {
   for (std::size_t i = 0; i < cfg.n_vc; ++i) {
     if (cfg.disk_store) {
       builders[i]->finish();
+      // One read handle per VC shard, so sharded disk-backed runs do not
+      // serialize lookups behind a single FILE* lock.
       sources[i] = std::make_shared<store::DiskBallotSource>(
           cfg.disk_dir + "/vc" + std::to_string(i) + ".ballots",
-          cfg.cache_pages);
+          cfg.cache_pages, std::max<std::size_t>(cfg.n_shards, 1));
     } else {
       sources[i] =
           std::make_shared<store::MemoryBallotSource>(std::move(mem_ballots[i]));

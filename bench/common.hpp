@@ -23,7 +23,7 @@ using VoteTarget = core::VoteTarget;
 using LoadGen = core::ClosedLoopClient;
 
 // Measured Schnorr costs on this machine, used as the modeled signature
-// charges in the simulator (see DESIGN.md Section 2).
+// charges in the simulator (see EXPERIMENTS.md, "Microbenchmarks").
 struct CalibratedCosts {
   sim::Duration sign_us = 0;
   sim::Duration verify_us = 0;

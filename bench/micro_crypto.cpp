@@ -1,10 +1,15 @@
 // Microbenchmarks of every cryptographic primitive (google-benchmark).
 // These calibrate the modeled signature costs used by the figure benches
-// and serve as the ablation data for the receipt-path cost breakdown
-// discussed in DESIGN.md.
+// and serve as the ablation data for the receipt-path cost breakdown in
+// EXPERIMENTS.md ("Microbenchmarks"). Each result is also emitted as a
+// machine-readable BENCH_JSON line for the CI bench-smoke artifact, so the
+// crypto speedups are tracked across PRs alongside the figure benches.
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
+
 #include "crypto/aes.hpp"
+#include "crypto/batch.hpp"
 #include "crypto/commit.hpp"
 #include "crypto/ec.hpp"
 #include "crypto/elgamal.hpp"
@@ -64,6 +69,71 @@ void BM_EcScalarMul(benchmark::State& state) {
 }
 BENCHMARK(BM_EcScalarMul);
 
+void BM_EcScalarMulNaive(benchmark::State& state) {
+  // The pre-refactor 256-iteration double-and-add ladder; the ratio vs
+  // BM_EcScalarMul is the gate checked by crypto_speed_test.
+  Rng rng(4);
+  Fn k = random_scalar(rng);
+  Point p = ec_mul_g(random_scalar(rng));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ec_mul_naive(k, p));
+  }
+}
+BENCHMARK(BM_EcScalarMulNaive);
+
+void BM_EcMul2(benchmark::State& state) {
+  Rng rng(40);
+  Fn a = random_scalar(rng);
+  Fn b = random_scalar(rng);
+  Point p = ec_mul_g(random_scalar(rng));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ec_mul2(a, p, b));
+  }
+}
+BENCHMARK(BM_EcMul2);
+
+void BM_EcMsm(benchmark::State& state) {
+  Rng rng(41);
+  std::size_t n = static_cast<std::size_t>(state.range(0));
+  std::vector<Fn> ks;
+  std::vector<Point> ps;
+  for (std::size_t i = 0; i < n; ++i) {
+    ks.push_back(random_scalar(rng));
+    ps.push_back(ec_mul_g(random_scalar(rng)));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ec_msm(ks, ps));
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(n));
+}
+BENCHMARK(BM_EcMsm)->Arg(2)->Arg(8)->Arg(32);
+
+void BM_BatchToAffine(benchmark::State& state) {
+  Rng rng(42);
+  std::size_t n = static_cast<std::size_t>(state.range(0));
+  std::vector<Point> ps;
+  Fn k = random_scalar(rng);
+  for (std::size_t i = 0; i < n; ++i) {
+    // ec_mul output has a general Z, so the normalization is not trivial.
+    ps.push_back(ec_mul(k + Fn::from_u64(i), ec_generator_h()));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(batch_to_affine(ps));
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(n));
+}
+BENCHMARK(BM_BatchToAffine)->Arg(8)->Arg(64);
+
+void BM_FpInverse(benchmark::State& state) {
+  Rng rng(43);
+  Fp x = Fp::from_bytes_mod(rng.bytes(32));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(x.inv());
+    x = x + Fp::one();
+  }
+}
+BENCHMARK(BM_FpInverse);
+
 void BM_SchnorrSign(benchmark::State& state) {
   Rng rng(5);
   KeyPair kp = schnorr_keygen(rng);
@@ -84,6 +154,33 @@ void BM_SchnorrVerify(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_SchnorrVerify);
+
+void BM_SchnorrVerifyNaive(benchmark::State& state) {
+  Rng rng(6);
+  KeyPair kp = schnorr_keygen(rng);
+  Bytes msg = to_bytes("endorsement digest");
+  Bytes sig = schnorr_sign(kp.sk, msg);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(schnorr_verify_naive(kp.pk, msg, sig));
+  }
+}
+BENCHMARK(BM_SchnorrVerifyNaive);
+
+void BM_SchnorrVerifyBatch(benchmark::State& state) {
+  Rng rng(60);
+  std::size_t n = static_cast<std::size_t>(state.range(0));
+  std::vector<SchnorrInstance> xs;
+  for (std::size_t i = 0; i < n; ++i) {
+    KeyPair kp = schnorr_keygen(rng);
+    Bytes msg = rng.bytes(32);
+    xs.push_back(SchnorrInstance{kp.pk, msg, schnorr_sign(kp.sk, msg)});
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(schnorr_verify_batch(xs));
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(n));
+}
+BENCHMARK(BM_SchnorrVerifyBatch)->Arg(16)->Arg(64);
 
 void BM_ElGamalCommit(benchmark::State& state) {
   Rng rng(7);
@@ -135,6 +232,16 @@ void BM_PedersenVssVerify(benchmark::State& state) {
 }
 BENCHMARK(BM_PedersenVssVerify);
 
+void BM_PedersenVssVerifyNaive(benchmark::State& state) {
+  Rng rng(11);
+  PedersenDeal deal = pedersen_vss_deal(Fn::one(), 3, 5, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        pedersen_vss_verify_naive(deal.shares[0], deal.coefficient_comms));
+  }
+}
+BENCHMARK(BM_PedersenVssVerifyNaive);
+
 void BM_BitProofProve(benchmark::State& state) {
   Rng rng(12);
   Point key = ec_mul_g(random_scalar(rng));
@@ -160,6 +267,40 @@ void BM_BitProofVerify(benchmark::State& state) {
 }
 BENCHMARK(BM_BitProofVerify);
 
+void BM_BitProofVerifyNaive(benchmark::State& state) {
+  Rng rng(13);
+  Point key = ec_mul_g(random_scalar(rng));
+  Fn r = random_scalar(rng);
+  ElGamalCipher c = eg_commit(key, Fn::one(), r);
+  BitProof p = prove_bit(key, c, true, r, rng);
+  Fn ch = random_scalar(rng);
+  BitProofResponse resp = p.secrets.at(ch);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        verify_bit_naive(key, c, p.first_move, ch, resp));
+  }
+}
+BENCHMARK(BM_BitProofVerifyNaive);
+
+void BM_BitProofVerifyBatch(benchmark::State& state) {
+  Rng rng(130);
+  std::size_t n = static_cast<std::size_t>(state.range(0));
+  Point key = ec_mul_g(random_scalar(rng));
+  Fn ch = random_scalar(rng);
+  std::vector<BitProofInstance> xs;
+  for (std::size_t i = 0; i < n; ++i) {
+    Fn r = random_scalar(rng);
+    ElGamalCipher c = eg_commit(key, i % 2 ? Fn::one() : Fn::zero(), r);
+    BitProof p = prove_bit(key, c, i % 2 != 0, r, rng);
+    xs.push_back(BitProofInstance{c, p.first_move, ch, p.secrets.at(ch)});
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(verify_bit_batch(key, xs));
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(n));
+}
+BENCHMARK(BM_BitProofVerifyBatch)->Arg(16)->Arg(64);
+
 void BM_MerkleBuild(benchmark::State& state) {
   Rng rng(14);
   std::size_t n = static_cast<std::size_t>(state.range(0));
@@ -174,7 +315,33 @@ void BM_MerkleBuild(benchmark::State& state) {
 }
 BENCHMARK(BM_MerkleBuild)->Arg(4)->Arg(16)->Arg(64);
 
+// Console output plus one BENCH_JSON line per measured point, in the same
+// shape the figure benches emit, so the CI bench-smoke artifact tracks the
+// crypto kernels across PRs.
+class BenchJsonReporter : public benchmark::ConsoleReporter {
+ public:
+  void ReportRuns(const std::vector<Run>& reports) override {
+    ConsoleReporter::ReportRuns(reports);
+    for (const Run& run : reports) {
+      if (run.iterations == 0) continue;
+      double ns_per_op = run.real_accumulated_time /
+                         static_cast<double>(run.iterations) * 1e9;
+      std::printf(
+          "BENCH_JSON {\"bench\":\"micro_crypto\",\"name\":\"%s\","
+          "\"ns_per_op\":%.1f}\n",
+          run.benchmark_name().c_str(), ns_per_op);
+    }
+  }
+};
+
 }  // namespace
 }  // namespace ddemos::crypto
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  ddemos::crypto::BenchJsonReporter reporter;
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  benchmark::Shutdown();
+  return 0;
+}

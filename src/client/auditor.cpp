@@ -4,6 +4,7 @@
 #include <set>
 
 #include "core/messages.hpp"
+#include "crypto/batch.hpp"
 
 namespace ddemos::client {
 
@@ -154,6 +155,15 @@ AuditReport Auditor::verify_election() const {
       m, crypto::ElGamalCipher{crypto::Point::infinity(),
                                crypto::Point::infinity()});
 
+  // Crypto checks are collected across all ballots and verified in one
+  // random-linear-combination batch per proof family; only if a combined
+  // check fails do we re-verify per instance to attribute blame (keeping
+  // accept/reject decisions and failure counts identical to per-instance
+  // verification). Structural checks stay inline.
+  std::vector<crypto::BitProofInstance> bit_insts;
+  std::vector<crypto::SumProofInstance> sum_insts;
+  std::vector<crypto::EgOpenInstance> open_insts;
+
   // Per-ballot checks over the cast set and the opened ballots. A real
   // auditor iterates all serials in the BB; we iterate the serials present
   // in the vote set plus delegated ones (full sweeps are exercised through
@@ -195,21 +205,17 @@ AuditReport Auditor::verify_election() const {
         continue;
       }
       for (std::size_t j = 0; j < m; ++j) {
-        if (!crypto::verify_bit(meta->commit_key, li.encoding[j],
-                                li.bit_proofs[j], cast->challenge,
-                                pl.bit_responses[j])) {
-          report.fail("bit proof invalid");
-        }
+        bit_insts.push_back(crypto::BitProofInstance{
+            li.encoding[j], li.bit_proofs[j], cast->challenge,
+            pl.bit_responses[j]});
       }
       crypto::ElGamalCipher sum = li.encoding[0];
       for (std::size_t j = 1; j < m; ++j) {
         sum = crypto::eg_add(sum, li.encoding[j]);
       }
-      if (!crypto::verify_sum(meta->commit_key, sum, crypto::Fn::one(),
-                              li.sum_proof, cast->challenge,
-                              pl.sum_response)) {
-        report.fail("sum proof invalid");
-      }
+      sum_insts.push_back(crypto::SumProofInstance{
+          sum, crypto::Fn::one(), li.sum_proof, cast->challenge,
+          pl.sum_response});
     }
     // (d) openings of the unused part are valid unit vectors.
     std::uint8_t unused = ballot->used_part == 0 ? 1 : 0;
@@ -225,12 +231,9 @@ AuditReport Auditor::verify_election() const {
       for (std::size_t j = 0; j < m; ++j) {
         if (pl.messages[j] > 1) report.fail("opened message not a bit");
         total += pl.messages[j];
-        if (!crypto::eg_open_check(meta->commit_key,
-                                   unused_init[l].encoding[j],
-                                   crypto::Fn::from_u64(pl.messages[j]),
-                                   pl.randomness[j])) {
-          report.fail("commitment opening invalid");
-        }
+        open_insts.push_back(crypto::EgOpenInstance{
+            unused_init[l].encoding[j],
+            crypto::Fn::from_u64(pl.messages[j]), pl.randomness[j]});
       }
       if (total != 1) report.fail("opened encoding is not a unit vector");
     }
@@ -239,6 +242,32 @@ AuditReport Auditor::verify_election() const {
     for (std::size_t j = 0; j < m; ++j) {
       sums[j] = crypto::eg_add(sums[j],
                                cast_line[ballot->used_line].encoding[j]);
+    }
+  }
+
+  // Resolve the batched crypto checks (fig4/fig5 audit-phase fast path).
+  if (!crypto::verify_bit_batch(meta->commit_key, bit_insts)) {
+    for (const auto& inst : bit_insts) {
+      if (!crypto::verify_bit(meta->commit_key, inst.cipher, inst.fm,
+                              inst.challenge, inst.resp)) {
+        report.fail("bit proof invalid");
+      }
+    }
+  }
+  if (!crypto::verify_sum_batch(meta->commit_key, sum_insts)) {
+    for (const auto& inst : sum_insts) {
+      if (!crypto::verify_sum(meta->commit_key, inst.sum, inst.total,
+                              inst.fm, inst.challenge, inst.z)) {
+        report.fail("sum proof invalid");
+      }
+    }
+  }
+  if (!crypto::eg_open_check_batch(meta->commit_key, open_insts)) {
+    for (const auto& inst : open_insts) {
+      if (!crypto::eg_open_check(meta->commit_key, inst.cipher, inst.m,
+                                 inst.r)) {
+        report.fail("commitment opening invalid");
+      }
     }
   }
 

@@ -1,0 +1,231 @@
+#include "crypto/batch.hpp"
+
+#include <algorithm>
+
+#include "crypto/schnorr.hpp"
+#include "crypto/sha256.hpp"
+#include "util/error.hpp"
+
+namespace ddemos::crypto {
+
+namespace {
+
+// Deterministic 128-bit weights drawn from a Fiat-Shamir seed over the
+// instance set. Short weights keep their wNAFs (and therefore the extra
+// MSM work per instance) at half length.
+class WeightStream {
+ public:
+  explicit WeightStream(const Hash32& seed) : seed_(seed) {}
+
+  Fn next() {
+    for (;;) {
+      Sha256 h;
+      h.update(to_bytes("ddemos/batch/weight"));
+      h.update(hash_view(seed_));
+      std::uint8_t ctr[8];
+      for (int i = 0; i < 8; ++i) {
+        ctr[i] = static_cast<std::uint8_t>(counter_ >> (8 * i));
+      }
+      ++counter_;
+      h.update(BytesView(ctr, 8));
+      Hash32 out = h.finish();
+      Bytes b(32, 0);
+      std::copy(out.begin(), out.begin() + 16, b.begin() + 16);
+      Fn w = Fn::from_bytes_mod(b);
+      if (!w.is_zero()) return w;  // zero weight would unweight an instance
+    }
+  }
+
+ private:
+  Hash32 seed_;
+  std::uint64_t counter_ = 0;
+};
+
+void absorb_scalar(Sha256& h, const Fn& s) { h.update(s.to_bytes_be()); }
+
+void absorb_point(Sha256& h, const Point& p) { h.update(ec_encode(p)); }
+
+}  // namespace
+
+bool schnorr_verify_batch(std::span<const SchnorrInstance> xs) {
+  if (xs.empty()) return true;
+  Sha256 seed;
+  seed.update(to_bytes("ddemos/batch/schnorr"));
+  for (const SchnorrInstance& x : xs) {
+    seed.update(x.pk);
+    seed.update(x.msg);
+    seed.update(x.sig);
+  }
+  WeightStream ws(seed.finish());
+
+  std::vector<Fn> ks;
+  std::vector<Point> ps;
+  ks.reserve(2 * xs.size() + 1);
+  ps.reserve(2 * xs.size() + 1);
+  Fn g_coeff = Fn::zero();
+  try {
+    for (const SchnorrInstance& x : xs) {
+      if (x.sig.size() != 65 || x.pk.size() != 33) return false;
+      BytesView sig(x.sig);
+      Point r = ec_decode(sig.subspan(0, 33));
+      Fn s = Fn::from_bytes_mod(sig.subspan(33));
+      Point pub = ec_decode(x.pk);
+      Fn e = schnorr_challenge(sig.subspan(0, 33), x.pk, x.msg);
+      // w*(s*G - R - e*P) summed over the batch.
+      Fn w = ws.next();
+      g_coeff = g_coeff + w * s;
+      ks.push_back(w);
+      ps.push_back(ec_neg(r));
+      ks.push_back(w * e);
+      ps.push_back(ec_neg(pub));
+    }
+  } catch (const CryptoError&) {
+    return false;
+  }
+  ks.push_back(g_coeff);
+  ps.push_back(ec_generator());
+  return ec_msm(ks, ps).is_infinity();
+}
+
+bool verify_bit_batch(const Point& key,
+                      std::span<const BitProofInstance> xs) {
+  if (xs.empty()) return true;
+  // The challenge-splitting constraint is exact per instance.
+  for (const BitProofInstance& x : xs) {
+    if (!(x.resp.c0 + x.resp.c1 == x.challenge)) return false;
+  }
+  Sha256 seed;
+  seed.update(to_bytes("ddemos/batch/bit"));
+  absorb_point(seed, key);
+  for (const BitProofInstance& x : xs) {
+    absorb_point(seed, x.cipher.a);
+    absorb_point(seed, x.cipher.b);
+    absorb_point(seed, x.fm.t1_0);
+    absorb_point(seed, x.fm.t2_0);
+    absorb_point(seed, x.fm.t1_1);
+    absorb_point(seed, x.fm.t2_1);
+    absorb_scalar(seed, x.challenge);
+    absorb_scalar(seed, x.resp.c0);
+    absorb_scalar(seed, x.resp.c1);
+    absorb_scalar(seed, x.resp.z0);
+    absorb_scalar(seed, x.resp.z1);
+  }
+  WeightStream ws(seed.finish());
+
+  // Sum over instances of
+  //   w1*(z0*G - c0*A - t1_0) + w2*(z0*K - c0*B - t2_0)
+  // + w3*(z1*G - c1*A - t1_1) + w4*(z1*K - c1*B + c1*G - t2_1) == 0.
+  std::vector<Fn> ks;
+  std::vector<Point> ps;
+  ks.reserve(6 * xs.size() + 2);
+  ps.reserve(6 * xs.size() + 2);
+  Fn g_coeff = Fn::zero();
+  Fn k_coeff = Fn::zero();
+  for (const BitProofInstance& x : xs) {
+    Fn w1 = ws.next(), w2 = ws.next(), w3 = ws.next(), w4 = ws.next();
+    g_coeff = g_coeff + w1 * x.resp.z0 + w3 * x.resp.z1 + w4 * x.resp.c1;
+    k_coeff = k_coeff + w2 * x.resp.z0 + w4 * x.resp.z1;
+    ks.push_back(w1 * x.resp.c0 + w3 * x.resp.c1);
+    ps.push_back(ec_neg(x.cipher.a));
+    ks.push_back(w2 * x.resp.c0 + w4 * x.resp.c1);
+    ps.push_back(ec_neg(x.cipher.b));
+    ks.push_back(w1);
+    ps.push_back(ec_neg(x.fm.t1_0));
+    ks.push_back(w2);
+    ps.push_back(ec_neg(x.fm.t2_0));
+    ks.push_back(w3);
+    ps.push_back(ec_neg(x.fm.t1_1));
+    ks.push_back(w4);
+    ps.push_back(ec_neg(x.fm.t2_1));
+  }
+  ks.push_back(k_coeff);
+  ps.push_back(key);
+  ks.push_back(g_coeff);
+  ps.push_back(ec_generator());
+  return ec_msm(ks, ps).is_infinity();
+}
+
+bool verify_sum_batch(const Point& key,
+                      std::span<const SumProofInstance> xs) {
+  if (xs.empty()) return true;
+  Sha256 seed;
+  seed.update(to_bytes("ddemos/batch/sum"));
+  absorb_point(seed, key);
+  for (const SumProofInstance& x : xs) {
+    absorb_point(seed, x.sum.a);
+    absorb_point(seed, x.sum.b);
+    absorb_point(seed, x.fm.t1);
+    absorb_point(seed, x.fm.t2);
+    absorb_scalar(seed, x.total);
+    absorb_scalar(seed, x.challenge);
+    absorb_scalar(seed, x.z);
+  }
+  WeightStream ws(seed.finish());
+
+  // Sum over instances of
+  //   w1*(z*G - c*A - t1) + w2*(z*K - c*B + c*total*G - t2) == 0.
+  std::vector<Fn> ks;
+  std::vector<Point> ps;
+  ks.reserve(4 * xs.size() + 2);
+  ps.reserve(4 * xs.size() + 2);
+  Fn g_coeff = Fn::zero();
+  Fn k_coeff = Fn::zero();
+  for (const SumProofInstance& x : xs) {
+    Fn w1 = ws.next(), w2 = ws.next();
+    g_coeff = g_coeff + w1 * x.z + w2 * x.challenge * x.total;
+    k_coeff = k_coeff + w2 * x.z;
+    ks.push_back(w1 * x.challenge);
+    ps.push_back(ec_neg(x.sum.a));
+    ks.push_back(w2 * x.challenge);
+    ps.push_back(ec_neg(x.sum.b));
+    ks.push_back(w1);
+    ps.push_back(ec_neg(x.fm.t1));
+    ks.push_back(w2);
+    ps.push_back(ec_neg(x.fm.t2));
+  }
+  ks.push_back(k_coeff);
+  ps.push_back(key);
+  ks.push_back(g_coeff);
+  ps.push_back(ec_generator());
+  return ec_msm(ks, ps).is_infinity();
+}
+
+bool eg_open_check_batch(const Point& key,
+                         std::span<const EgOpenInstance> xs) {
+  if (xs.empty()) return true;
+  Sha256 seed;
+  seed.update(to_bytes("ddemos/batch/open"));
+  absorb_point(seed, key);
+  for (const EgOpenInstance& x : xs) {
+    absorb_point(seed, x.cipher.a);
+    absorb_point(seed, x.cipher.b);
+    absorb_scalar(seed, x.m);
+    absorb_scalar(seed, x.r);
+  }
+  WeightStream ws(seed.finish());
+
+  // Sum over instances of w1*(r*G - A) + w2*(m*G + r*K - B) == 0; only the
+  // short weights multiply the batch points.
+  std::vector<Fn> ks;
+  std::vector<Point> ps;
+  ks.reserve(2 * xs.size() + 2);
+  ps.reserve(2 * xs.size() + 2);
+  Fn g_coeff = Fn::zero();
+  Fn k_coeff = Fn::zero();
+  for (const EgOpenInstance& x : xs) {
+    Fn w1 = ws.next(), w2 = ws.next();
+    g_coeff = g_coeff + w1 * x.r + w2 * x.m;
+    k_coeff = k_coeff + w2 * x.r;
+    ks.push_back(w1);
+    ps.push_back(ec_neg(x.cipher.a));
+    ks.push_back(w2);
+    ps.push_back(ec_neg(x.cipher.b));
+  }
+  ks.push_back(k_coeff);
+  ps.push_back(key);
+  ks.push_back(g_coeff);
+  ps.push_back(ec_generator());
+  return ec_msm(ks, ps).is_infinity();
+}
+
+}  // namespace ddemos::crypto

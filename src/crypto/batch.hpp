@@ -1,0 +1,53 @@
+// Random-linear-combination batch verification. N instances collapse into
+// one large multi-scalar product: a cheat in any single instance survives
+// only if it cancels against the random 128-bit weights, which happens
+// with probability ~2^-128. Weights are derived Fiat-Shamir style from the
+// full instance set (the canonical encodings of every point and scalar),
+// so a prover committed to its instances cannot steer them.
+//
+// Callers use these on the audit fast path: if the combined check passes,
+// every instance is valid; on failure they fall back to the per-instance
+// verifiers to attribute blame. Empty batches verify trivially.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "crypto/zkp.hpp"
+
+namespace ddemos::crypto {
+
+struct SchnorrInstance {
+  Bytes pk, msg, sig;
+};
+bool schnorr_verify_batch(std::span<const SchnorrInstance> xs);
+
+struct BitProofInstance {
+  ElGamalCipher cipher;
+  BitProofFirstMove fm;
+  Fn challenge;
+  BitProofResponse resp;
+};
+// All instances must share the commitment key; 4 Sigma-OR equations per
+// instance fold into a single MSM of 6N+2 terms.
+bool verify_bit_batch(const Point& key, std::span<const BitProofInstance> xs);
+
+struct SumProofInstance {
+  ElGamalCipher sum;
+  Fn total;
+  SumProofFirstMove fm;
+  Fn challenge;
+  Fn z;
+};
+bool verify_sum_batch(const Point& key, std::span<const SumProofInstance> xs);
+
+struct EgOpenInstance {
+  ElGamalCipher cipher;
+  Fn m, r;
+};
+// Batched eg_open_check: both opening equations per ciphertext fold into
+// an MSM of 2N+2 terms (the weights themselves are the only full-size
+// scalars multiplied per instance).
+bool eg_open_check_batch(const Point& key, std::span<const EgOpenInstance> xs);
+
+}  // namespace ddemos::crypto

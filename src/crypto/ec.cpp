@@ -1,5 +1,9 @@
 #include "crypto/ec.hpp"
 
+#include <algorithm>
+#include <array>
+#include <cstdlib>
+
 #include "crypto/rng.hpp"
 #include "crypto/sha256.hpp"
 #include "util/error.hpp"
@@ -46,9 +50,41 @@ Point from_affine(const AffinePoint& a) {
 
 AffinePoint to_affine(const Point& p) {
   if (p.is_infinity()) return AffinePoint{{}, {}, true};
+  // Batch-normalized points arrive with Z == 1; skip the inversion.
+  if (p.Z == Fp::one()) return AffinePoint{p.X, p.Y, false};
   Fp zi = p.Z.inv();
   Fp zi2 = zi.sqr();
   return AffinePoint{p.X * zi2, p.Y * zi2 * zi, false};
+}
+
+std::vector<AffinePoint> batch_to_affine(std::span<const Point> pts) {
+  // Montgomery's simultaneous-inversion trick: one field inversion plus
+  // 3(N-1) multiplies to clear every Z.
+  std::vector<AffinePoint> out(pts.size());
+  std::vector<Fp> prefix(pts.size());
+  Fp run = Fp::one();
+  for (std::size_t i = 0; i < pts.size(); ++i) {
+    if (pts[i].is_infinity()) {
+      out[i].infinity = true;
+      continue;
+    }
+    prefix[i] = run;
+    run = run * pts[i].Z;
+  }
+  Fp inv = run.inv();
+  for (std::size_t i = pts.size(); i-- > 0;) {
+    if (pts[i].is_infinity()) continue;
+    Fp zi = prefix[i] * inv;
+    inv = inv * pts[i].Z;
+    Fp zi2 = zi.sqr();
+    out[i] = AffinePoint{pts[i].X * zi2, pts[i].Y * zi2 * zi, false};
+  }
+  return out;
+}
+
+void ec_normalize_batch(std::span<Point> pts) {
+  std::vector<AffinePoint> aff = batch_to_affine(pts);
+  for (std::size_t i = 0; i < pts.size(); ++i) pts[i] = from_affine(aff[i]);
 }
 
 Point ec_double(const Point& p) {
@@ -100,6 +136,62 @@ Point ec_add(const Point& p, const Point& q) {
   return out;
 }
 
+Point ec_add_mixed(const Point& p, const AffinePoint& q) {
+  if (q.infinity) return p;
+  if (p.is_infinity()) return from_affine(q);
+  // madd-2007-bl: Z2 = 1, so U1 = X1 and S1 = Y1.
+  Fp z1z1 = p.Z.sqr();
+  Fp u2 = q.x * z1z1;
+  Fp s2 = q.y * p.Z * z1z1;
+  if (u2 == p.X) {
+    if (s2 == p.Y) return ec_double(p);
+    return Point::infinity();
+  }
+  Fp h = u2 - p.X;
+  Fp hh = h.sqr();
+  Fp i = hh + hh;
+  i = i + i;
+  Fp j = h * i;
+  Fp r = s2 - p.Y;
+  r = r + r;
+  Fp v = p.X * i;
+  Point out;
+  out.X = r.sqr() - j - v - v;
+  Fp yj = p.Y * j;
+  out.Y = r * (v - out.X) - (yj + yj);
+  out.Z = (p.Z + h).sqr() - z1z1 - hh;
+  return out;
+}
+
+namespace {
+
+// add-2007-bl with the h factor exported: Z3 = 2*Z1*Z2*h, so table-chain
+// builders can track Z ratios without divisions (effective-affine tables).
+// Callers guarantee p != +-q and neither operand is infinity.
+Point ec_add_h(const Point& p, const Point& q, Fp* h_out) {
+  Fp z1z1 = p.Z.sqr();
+  Fp z2z2 = q.Z.sqr();
+  Fp u1 = p.X * z2z2;
+  Fp u2 = q.X * z1z1;
+  Fp s1 = p.Y * q.Z * z2z2;
+  Fp s2 = q.Y * p.Z * z1z1;
+  Fp h = u2 - u1;
+  Fp i = (h + h).sqr();
+  Fp j = h * i;
+  Fp r2 = s2 - s1;
+  Fp r = r2 + r2;
+  Fp v = u1 * i;
+  Point out;
+  out.X = r.sqr() - j - v - v;
+  Fp s1j = s1 * j;
+  out.Y = r * (v - out.X) - (s1j + s1j);
+  out.Z = ((p.Z + q.Z).sqr() - z1z1 - z2z2) * h;
+  *h_out = h;
+  return out;
+}
+
+}  // namespace
+
 Point ec_neg(const Point& p) {
   if (p.is_infinity()) return p;
   return Point{p.X, p.Y.neg(), p.Z};
@@ -107,7 +199,7 @@ Point ec_neg(const Point& p) {
 
 Point ec_sub(const Point& p, const Point& q) { return ec_add(p, ec_neg(q)); }
 
-Point ec_mul(const Fn& k, const Point& p) {
+Point ec_mul_naive(const Fn& k, const Point& p) {
   U256 e = k.to_u256();
   Point acc = Point::infinity();
   for (int i = 255; i >= 0; --i) {
@@ -196,21 +288,367 @@ Point ec_decode(BytesView b) {
   return from_affine(AffinePoint{x, y, false});
 }
 
+// --- GLV + wNAF Strauss engine ---------------------------------------------
+
 namespace {
 
-// Fixed-base 4-bit window precomputation: table[w][d] = d * 16^w * G.
-// Turns generator multiplication into at most 64 point additions.
-const std::array<std::array<Point, 16>, 64>& g_window_table() {
+// secp256k1 endomorphism phi(x, y) = (beta*x, y) satisfies phi(P) =
+// lambda*P; splitting k = k1 + k2*lambda with |k1|, |k2| ~ 2^128 halves the
+// doubling ladder of every variable-base product. Constants and the
+// rounded-division split follow the standard secp256k1 lattice basis.
+constexpr U256 kBeta{{0xC1396C28719501EEull, 0x9CF0497512F58995ull,
+                      0x6E64479EAC3434E9ull, 0x7AE96A2B657C0710ull}};
+constexpr U256 kLambda{{0xDF02967C1B23BD72ull, 0x122E22EA20816678ull,
+                        0xA5261C028812645Aull, 0x5363AD4CC05C30E0ull}};
+// g1 = round(2^384 * b2 / n), g2 = round(2^384 * (-b1) / n).
+constexpr U256 kG1{{0xE893209A45DBB031ull, 0x3DAA8A1471E8CA7Full,
+                    0xE86C90E49284EB15ull, 0x3086D221A7D46BCDull}};
+constexpr U256 kG2{{0x1571B4AE8AC47F71ull, 0x221208AC9DF506C6ull,
+                    0x6F547FA90ABFE4C4ull, 0xE4437ED6010E8828ull}};
+constexpr U256 kMinusB1{{0x6F547FA90ABFE4C3ull, 0xE4437ED6010E8828ull, 0, 0}};
+// -b2 = n - b2 (b2 = a1 is positive), so this one is full-size.
+constexpr U256 kMinusB2{{0xD765CDA83DB1562Cull, 0x8A280AC50774346Dull,
+                         0xFFFFFFFFFFFFFFFEull, 0xFFFFFFFFFFFFFFFFull}};
+
+const Fp& glv_beta() {
+  static const Fp b = Fp::from_u256_mod(kBeta);
+  return b;
+}
+
+const Fn& glv_lambda() {
+  static const Fn l = Fn::from_u256_mod(kLambda);
+  return l;
+}
+
+// round(a * b / 2^384) for the lattice split.
+U256 mul_shift_384(const U256& a, const U256& b) {
+  U512 t = mul_wide(a, b);
+  U256 r{{t[6], t[7], 0, 0}};
+  U256 out;
+  add_cc(r, U256::from_u64((t[5] >> 63) & 1), out);
+  return out;
+}
+
+struct GlvSplit {
+  U256 k1, k2;  // magnitudes, < ~2^128
+  bool neg1 = false, neg2 = false;
+};
+
+GlvSplit glv_split(const Fn& k) {
+  static const Fn minus_b1 = Fn::from_u256_mod(kMinusB1);
+  static const Fn minus_b2 = Fn::from_u256_mod(kMinusB2);
+  static const U256 n_half = shr1(params<ScalarTag>().mod);
+  U256 kv = k.to_u256();
+  Fn c1 = Fn::from_u256_mod(mul_shift_384(kv, kG1));
+  Fn c2 = Fn::from_u256_mod(mul_shift_384(kv, kG2));
+  Fn r2 = c1 * minus_b1 + c2 * minus_b2;
+  Fn r1 = k - r2 * glv_lambda();  // k = r1 + r2*lambda by construction
+  GlvSplit out;
+  const U256& n = params<ScalarTag>().mod;
+  U256 v1 = r1.to_u256();
+  if (cmp(v1, n_half) > 0) {
+    sub_bb(n, v1, out.k1);
+    out.neg1 = true;
+  } else {
+    out.k1 = v1;
+  }
+  U256 v2 = r2.to_u256();
+  if (cmp(v2, n_half) > 0) {
+    sub_bb(n, v2, out.k2);
+    out.neg2 = true;
+  } else {
+    out.k2 = v2;
+  }
+  return out;
+}
+
+constexpr int kVarWindow = 5;   // variable-base tables: 8 odd multiples
+constexpr int kFixedWindow = 8;  // static G tables: 64 odd multiples
+constexpr int kFixedTableSize = 1 << (kFixedWindow - 2);
+// wNAF of a 256-bit value is at most 257 digits; the GLV halves use ~129.
+constexpr int kNafMax = 260;
+
+// Width-w non-adjacent form: odd digits, |d| <= 2^(w-1) - 1. Returns the
+// digit count and the largest |d| seen (for table sizing).
+int wnaf_recode(U256 x, int w, std::int8_t* out, int* max_digit) {
+  const std::uint64_t sign_bound = 1ull << (w - 1);
+  const std::uint64_t mask = (1ull << w) - 1;
+  int len = 0;
+  int maxd = 0;
+  while (!x.is_zero()) {
+    std::int8_t digit = 0;
+    if (x.w[0] & 1) {
+      std::uint64_t v = x.w[0] & mask;
+      U256 t;
+      if (v >= sign_bound) {
+        digit = static_cast<std::int8_t>(static_cast<std::int64_t>(v) -
+                                         (1ll << w));
+        add_cc(x, U256::from_u64((1ull << w) - v), t);
+      } else {
+        digit = static_cast<std::int8_t>(v);
+        sub_bb(x, U256::from_u64(v), t);
+      }
+      x = t;
+      maxd = std::max(maxd, std::abs(static_cast<int>(digit)));
+    }
+    out[len++] = digit;
+    x = shr1(x);
+  }
+  *max_digit = maxd;
+  return len;
+}
+
+struct NafHalf {
+  std::array<std::int8_t, kNafMax> d;
+  int len = 0;
+  bool neg = false;
+  int max_digit = 0;
+  const AffinePoint* tbl = nullptr;  // odd multiples: tbl[i] = (2i+1)*base
+};
+
+// Static affine odd-multiples tables for G and phi(G), built once.
+struct FixedTables {
+  std::array<AffinePoint, kFixedTableSize> g;
+  std::array<AffinePoint, kFixedTableSize> g_lam;
+};
+
+const FixedTables& fixed_tables() {
+  static const FixedTables tables = [] {
+    std::vector<Point> jac;
+    jac.reserve(kFixedTableSize);
+    jac.push_back(ec_generator());
+    Point d2 = ec_double(ec_generator());
+    for (int i = 1; i < kFixedTableSize; ++i) {
+      jac.push_back(ec_add(jac.back(), d2));
+    }
+    std::vector<AffinePoint> aff = batch_to_affine(jac);
+    FixedTables t;
+    for (int i = 0; i < kFixedTableSize; ++i) {
+      t.g[i] = aff[i];
+      t.g_lam[i] = AffinePoint{aff[i].x * glv_beta(), aff[i].y, false};
+    }
+    return t;
+  }();
+  return tables;
+}
+
+// One term of a multi-scalar product; p == nullptr means the fixed base G.
+struct MsmEntry {
+  const Point* p = nullptr;
+  Fn k;
+};
+
+Point msm_impl(std::span<const MsmEntry> entries) {
+  std::vector<NafHalf> halves;
+  halves.reserve(entries.size() * 2);
+  struct VarJob {
+    const Point* p;
+    std::size_t h1, h2;      // indices into halves (h2 = lambda half)
+    int count = 0;           // base odd multiples to build
+    int lam_count = 0;       // entries of the phi table actually used
+    std::size_t base_off = 0, lam_off = 0;
+  };
+  std::vector<VarJob> jobs;
+  int maxlen = 0;
+
+  bool any_fixed = false;
+  for (const MsmEntry& e : entries) {
+    if (e.k.is_zero()) continue;
+    if (e.p != nullptr && e.p->is_infinity()) continue;
+    if (e.p == nullptr) any_fixed = true;
+    GlvSplit s = glv_split(e.k);
+    int w = e.p ? kVarWindow : kFixedWindow;
+    NafHalf h1, h2;
+    h1.len = wnaf_recode(s.k1, w, h1.d.data(), &h1.max_digit);
+    h1.neg = s.neg1;
+    h2.len = wnaf_recode(s.k2, w, h2.d.data(), &h2.max_digit);
+    h2.neg = s.neg2;
+    if (e.p != nullptr) {
+      VarJob j;
+      j.p = e.p;
+      j.h1 = halves.size();
+      j.h2 = halves.size() + 1;
+      j.lam_count = (h2.max_digit + 1) / 2;
+      // The phi table is derived entrywise from the base table, so the
+      // base table must cover whichever half needs more entries.
+      j.count = std::max((h1.max_digit + 1) / 2, j.lam_count);
+      jobs.push_back(j);
+    } else {
+      h1.tbl = fixed_tables().g.data();
+      h2.tbl = fixed_tables().g_lam.data();
+    }
+    maxlen = std::max({maxlen, h1.len, h2.len});
+    halves.push_back(h1);
+    halves.push_back(h2);
+  }
+
+  // Build every variable-base odd-multiples table. With no fixed-base
+  // (true-affine) tables in the mix, the tables live in a shared
+  // "effective affine" iso frame — chain Z-ratios substitute for the
+  // field inversion, and the frame factor multiplies the result's Z once
+  // at the end. When the static G tables participate, everything must be
+  // genuinely affine, so the tables are batch-normalized with ONE shared
+  // inversion instead. Phi tables derive from either by an x *= beta.
+  std::size_t total = 0, total_lam = 0;
+  for (VarJob& j : jobs) {
+    j.base_off = total;
+    total += static_cast<std::size_t>(j.count);
+    total_lam += static_cast<std::size_t>(j.lam_count);
+  }
+  const bool use_iso = !any_fixed && !jobs.empty();
+  std::vector<AffinePoint> store;
+  Fp frame = Fp::one();
+  if (use_iso) {
+    struct Chain {
+      std::vector<Point> pts;
+      std::vector<Fp> zr;  // zr[t]: Z_t = Z_{t-1} * zr[t] (t >= 1)
+    };
+    std::vector<Chain> chains(jobs.size());
+    for (std::size_t k = 0; k < jobs.size(); ++k) {
+      Chain& ch = chains[k];
+      const VarJob& j = jobs[k];
+      ch.pts.reserve(static_cast<std::size_t>(j.count));
+      ch.zr.resize(static_cast<std::size_t>(j.count));
+      ch.pts.push_back(*j.p);
+      if (j.count > 1) {
+        // (2t+1)P = (2t-1)P + 2P never degenerates for P of prime order.
+        Point d2 = ec_double(*j.p);
+        Fp dz2 = d2.Z + d2.Z;
+        for (int t = 1; t < j.count; ++t) {
+          Fp h;
+          ch.pts.push_back(ec_add_h(ch.pts.back(), d2, &h));
+          ch.zr[static_cast<std::size_t>(t)] = dz2 * h;
+        }
+      }
+    }
+    // Frame C = prod of every chain's final Z; entry t of chain k needs
+    // the scale C/Z_{k,t}, assembled from prefix/suffix products across
+    // chains and the backward ratio walk within a chain.
+    std::vector<Fp> others(jobs.size(), Fp::one());
+    Fp pre = Fp::one();
+    for (std::size_t k = 0; k < jobs.size(); ++k) {
+      others[k] = pre;
+      pre = pre * chains[k].pts.back().Z;
+    }
+    frame = pre;
+    Fp suf = Fp::one();
+    for (std::size_t k = jobs.size(); k-- > 0;) {
+      others[k] = others[k] * suf;
+      suf = suf * chains[k].pts.back().Z;
+    }
+    store.resize(total);
+    for (std::size_t k = 0; k < jobs.size(); ++k) {
+      const VarJob& j = jobs[k];
+      Fp s = others[k];
+      for (int t = j.count; t-- > 0;) {
+        const Point& e = chains[k].pts[static_cast<std::size_t>(t)];
+        Fp sq = s.sqr();
+        store[j.base_off + static_cast<std::size_t>(t)] =
+            AffinePoint{e.X * sq, e.Y * sq * s, false};
+        if (t > 0) s = s * chains[k].zr[static_cast<std::size_t>(t)];
+      }
+    }
+  } else {
+    std::vector<Point> jac;
+    jac.reserve(total);
+    for (const VarJob& j : jobs) {
+      jac.push_back(*j.p);
+      if (j.count > 1) {
+        Point d2 = ec_double(*j.p);
+        for (int t = 1; t < j.count; ++t) {
+          jac.push_back(ec_add(jac.back(), d2));
+        }
+      }
+    }
+    store = batch_to_affine(jac);
+  }
+  store.reserve(total + total_lam);
+  for (VarJob& j : jobs) {
+    j.lam_off = store.size();
+    for (int t = 0; t < j.lam_count; ++t) {
+      const AffinePoint& base = store[j.base_off + static_cast<std::size_t>(t)];
+      store.push_back(AffinePoint{base.x * glv_beta(), base.y, false});
+    }
+  }
+  for (const VarJob& j : jobs) {
+    halves[j.h1].tbl = store.data() + j.base_off;
+    halves[j.h2].tbl = store.data() + j.lam_off;
+  }
+
+  Point acc = Point::infinity();
+  for (int i = maxlen - 1; i >= 0; --i) {
+    acc = ec_double(acc);
+    for (const NafHalf& h : halves) {
+      if (i >= h.len) continue;
+      int d = h.d[static_cast<std::size_t>(i)];
+      if (d == 0) continue;
+      AffinePoint t = h.tbl[(std::abs(d) - 1) / 2];
+      if ((d < 0) != h.neg) t.y = t.y.neg();
+      acc = ec_add_mixed(acc, t);
+    }
+  }
+  // Leave the iso frame: Z scales by C (a no-op for infinity, Z == 0).
+  if (use_iso) acc.Z = acc.Z * frame;
+  return acc;
+}
+
+}  // namespace
+
+Point ec_mul(const Fn& k, const Point& p) {
+  MsmEntry e{&p, k};
+  return msm_impl(std::span<const MsmEntry>(&e, 1));
+}
+
+Point ec_mul2(const Fn& a, const Point& p, const Fn& b) {
+  std::array<MsmEntry, 2> es{MsmEntry{&p, a}, MsmEntry{nullptr, b}};
+  return msm_impl(es);
+}
+
+Point ec_msm(std::span<const Fn> ks, std::span<const Point> ps) {
+  if (ks.size() != ps.size()) {
+    throw CryptoError("ec_msm: scalar/point count mismatch");
+  }
+  std::vector<MsmEntry> es;
+  es.reserve(ks.size());
+  const Point& g = ec_generator();
+  for (std::size_t i = 0; i < ks.size(); ++i) {
+    // Terms on the generator (every verifier equation has one) ride the
+    // static width-8 tables instead of building a per-call table.
+    bool is_g = ps[i].Z == g.Z && ps[i].X == g.X && ps[i].Y == g.Y;
+    es.push_back(MsmEntry{is_g ? nullptr : &ps[i], ks[i]});
+  }
+  return msm_impl(es);
+}
+
+namespace {
+
+// Fixed-base 4-bit comb: table[w][d] = d * 16^w * G, every entry
+// batch-normalized to affine at startup (one inversion for all 960
+// points), so generator multiplication is at most 64 mixed additions.
+const std::array<std::array<AffinePoint, 16>, 64>& g_comb_table() {
   static const auto table = [] {
-    std::array<std::array<Point, 16>, 64> t{};
+    std::vector<Point> jac;
+    jac.reserve(64 * 15);
     Point base = ec_generator();
     for (std::size_t w = 0; w < 64; ++w) {
-      t[w][0] = Point::infinity();
+      Point acc = base;
       for (std::size_t d = 1; d < 16; ++d) {
-        t[w][d] = ec_add(t[w][d - 1], base);
+        jac.push_back(acc);
+        Point next = ec_add(acc, base);
+        if (d == 15) {
+          base = next;  // 16 * (16^w * G)
+        } else {
+          acc = next;
+        }
       }
-      Point next = t[w][15];
-      base = ec_add(next, base);  // 16 * (16^w * G)
+    }
+    std::vector<AffinePoint> aff = batch_to_affine(jac);
+    std::array<std::array<AffinePoint, 16>, 64> t{};
+    for (std::size_t w = 0; w < 64; ++w) {
+      t[w][0].infinity = true;
+      for (std::size_t d = 1; d < 16; ++d) {
+        t[w][d] = aff[w * 15 + d - 1];
+      }
     }
     return t;
   }();
@@ -220,12 +658,12 @@ const std::array<std::array<Point, 16>, 64>& g_window_table() {
 }  // namespace
 
 Point ec_mul_g(const Fn& k) {
-  const auto& table = g_window_table();
+  const auto& table = g_comb_table();
   U256 e = k.to_u256();
   Point acc = Point::infinity();
   for (std::size_t w = 0; w < 64; ++w) {
     std::size_t digit = (e.w[w / 16] >> (4 * (w % 16))) & 0xf;
-    if (digit) acc = ec_add(acc, table[w][digit]);
+    if (digit) acc = ec_add_mixed(acc, table[w][digit]);
   }
   return acc;
 }

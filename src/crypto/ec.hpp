@@ -2,7 +2,17 @@
 // substrate for the lifted-ElGamal option-encoding commitments, Pedersen
 // commitments/VSS, Chaum-Pedersen proofs and Schnorr signatures. Stands in
 // for the paper's use of the MIRACL library.
+//
+// Scalar multiplication is built around a shared Strauss/wNAF engine:
+// every variable-base scalar is split with the GLV endomorphism
+// (phi(x, y) = (beta*x, y) = lambda*P) into two ~128-bit halves, recoded
+// into width-5 wNAF, and evaluated against batch-normalized affine
+// odd-multiples tables with mixed Jacobian+affine additions, so k-term
+// products share one doubling ladder and one field inversion.
 #pragma once
+
+#include <span>
+#include <vector>
 
 #include "crypto/fe.hpp"
 #include "util/bytes.hpp"
@@ -25,16 +35,39 @@ struct AffinePoint {
 };
 
 Point ec_add(const Point& p, const Point& q);
+// Mixed addition P + Q with Q affine (madd-2007-bl): 7M+4S instead of the
+// 11M+5S general add — the workhorse of the wNAF table lookups.
+Point ec_add_mixed(const Point& p, const AffinePoint& q);
 Point ec_double(const Point& p);
 Point ec_neg(const Point& p);
 Point ec_sub(const Point& p, const Point& q);
-// Scalar multiplication by a scalar-field element.
+
+// Scalar multiplication by a scalar-field element (GLV + wNAF engine).
 Point ec_mul(const Fn& k, const Point& p);
+// The textbook 256-iteration double-and-add ladder, kept as the reference
+// implementation for cross-checking and the speed-regression gate.
+Point ec_mul_naive(const Fn& k, const Point& p);
+// Interleaved Strauss double-mul a*P + b*G; the b half runs against static
+// precomputed affine odd-multiple tables for G and phi(G).
+Point ec_mul2(const Fn& a, const Point& p, const Fn& b);
+// General multi-scalar product sum_i ks[i]*ps[i]. All odd-multiples tables
+// share one doubling ladder and one batched field inversion; zero scalars
+// and infinity points are skipped.
+Point ec_msm(std::span<const Fn> ks, std::span<const Point> ps);
+
 bool ec_eq(const Point& p, const Point& q);
 
 AffinePoint to_affine(const Point& p);
 Point from_affine(const AffinePoint& a);
 bool on_curve(const AffinePoint& a);
+
+// Montgomery simultaneous inversion: converts N points to affine with one
+// field inversion + 3(N-1) multiplies instead of N inversions. Infinity
+// inputs map to affine infinity.
+std::vector<AffinePoint> batch_to_affine(std::span<const Point> pts);
+// In-place variant: rescales each point to Z == 1 (Z == 0 for infinity),
+// so later ec_encode/to_affine calls skip their per-point inversion.
+void ec_normalize_batch(std::span<Point> pts);
 
 // The standard base point G.
 const Point& ec_generator();
@@ -46,7 +79,8 @@ const Point& ec_generator_h();
 Bytes ec_encode(const Point& p);
 Point ec_decode(BytesView b);  // throws CryptoError on invalid encodings
 
-// Convenience: k*G and random point helpers.
+// Convenience: k*G (fixed-base comb over batch-normalized affine windows)
+// and random point helpers.
 Point ec_mul_g(const Fn& k);
 Fn random_scalar(Rng& rng);
 

@@ -1,14 +1,29 @@
 #include "crypto/elgamal.hpp"
 
+#include <array>
+
 #include "util/error.hpp"
 
 namespace ddemos::crypto {
 
-ElGamalCipher eg_commit(const Point& key, const Fn& m, const Fn& r) {
+namespace {
+
+ElGamalCipher eg_commit_raw(const Point& key, const Fn& m, const Fn& r) {
   ElGamalCipher c;
   c.a = ec_mul_g(r);
-  c.b = ec_add(ec_mul_g(m), ec_mul(r, key));
+  c.b = ec_mul2(r, key, m);  // m*G + r*K as one Strauss double-mul
   return c;
+}
+
+}  // namespace
+
+ElGamalCipher eg_commit(const Point& key, const Fn& m, const Fn& r) {
+  ElGamalCipher c = eg_commit_raw(key, m, r);
+  // Both components share one inversion, so the later ec_encode calls on
+  // the published ciphertext skip their per-point inversion entirely.
+  std::array<Point, 2> pts{c.a, c.b};
+  ec_normalize_batch(pts);
+  return ElGamalCipher{pts[0], pts[1]};
 }
 
 ElGamalCipher eg_add(const ElGamalCipher& x, const ElGamalCipher& y) {
@@ -21,7 +36,9 @@ bool eg_eq(const ElGamalCipher& x, const ElGamalCipher& y) {
 
 bool eg_open_check(const Point& key, const ElGamalCipher& c, const Fn& m,
                    const Fn& r) {
-  return eg_eq(c, eg_commit(key, m, r));
+  // Recompute without the output normalization: ec_eq cross-multiplies, so
+  // the comparison needs no inversion at all.
+  return eg_eq(c, eg_commit_raw(key, m, r));
 }
 
 Bytes eg_encode(const ElGamalCipher& c) {
@@ -42,11 +59,21 @@ std::vector<ElGamalCipher> eg_commit_unit_vector(const Point& key,
   if (index >= m || rs.size() != m) {
     throw CryptoError("eg_commit_unit_vector: bad arguments");
   }
+  // Commit raw, then normalize all 2m component points with ONE shared
+  // field inversion before they are encoded onto ballots.
+  std::vector<Point> pts;
+  pts.reserve(2 * m);
+  for (std::size_t i = 0; i < m; ++i) {
+    ElGamalCipher c =
+        eg_commit_raw(key, i == index ? Fn::one() : Fn::zero(), rs[i]);
+    pts.push_back(c.a);
+    pts.push_back(c.b);
+  }
+  ec_normalize_batch(pts);
   std::vector<ElGamalCipher> out;
   out.reserve(m);
   for (std::size_t i = 0; i < m; ++i) {
-    out.push_back(
-        eg_commit(key, i == index ? Fn::one() : Fn::zero(), rs[i]));
+    out.push_back(ElGamalCipher{pts[2 * i], pts[2 * i + 1]});
   }
   return out;
 }

@@ -2,27 +2,57 @@
 
 namespace ddemos::crypto {
 
-namespace {
-
-// secp256k1 base field prime p = 2^256 - 2^32 - 977.
-constexpr U256 kFieldP{{0xFFFFFFFEFFFFFC2Full, 0xFFFFFFFFFFFFFFFFull,
-                        0xFFFFFFFFFFFFFFFFull, 0xFFFFFFFFFFFFFFFFull}};
-// secp256k1 group order n.
-constexpr U256 kOrderN{{0xBFD25E8CD0364141ull, 0xBAAEDCE6AF48A03Bull,
-                        0xFFFFFFFFFFFFFFFEull, 0xFFFFFFFFFFFFFFFFull}};
-
-}  // namespace
-
 template <>
 const MontParams& params<FieldTag>() {
-  static const MontParams p = make_mont_params(kFieldP);
+  static const MontParams p = make_mont_params(detail::kFieldP);
   return p;
 }
 
 template <>
 const MontParams& params<ScalarTag>() {
-  static const MontParams p = make_mont_params(kOrderN);
+  static const MontParams p = make_mont_params(detail::kOrderN);
   return p;
+}
+
+U256 FieldOps<FieldTag>::pow(const U256& a, const U256& e) {
+  U256 acc = U256::from_u64(1);
+  for (int i = 255; i >= 0; --i) {
+    acc = sqr(acc);
+    if (e.bit(i)) acc = mul(acc, a);
+  }
+  return acc;
+}
+
+namespace {
+
+Fp sqr_n(Fp x, int n) {
+  for (int i = 0; i < n; ++i) x = x.sqr();
+  return x;
+}
+
+}  // namespace
+
+// Addition chain for a^(p-2) over p = 2^256 - 2^32 - 977. The exponent is
+// 223 ones, a zero, 22 ones, then the tail 0b0000101101; x<k> below denotes
+// a^(2^k - 1). Inverse of zero is zero (every step maps 0 to 0).
+template <>
+Fp Fp::inv() const {
+  const Fp& a = *this;
+  Fp x2 = a.sqr() * a;
+  Fp x3 = x2.sqr() * a;
+  Fp x6 = sqr_n(x3, 3) * x3;
+  Fp x9 = sqr_n(x6, 3) * x3;
+  Fp x11 = sqr_n(x9, 2) * x2;
+  Fp x22 = sqr_n(x11, 11) * x11;
+  Fp x44 = sqr_n(x22, 22) * x22;
+  Fp x88 = sqr_n(x44, 44) * x44;
+  Fp x176 = sqr_n(x88, 88) * x88;
+  Fp x220 = sqr_n(x176, 44) * x44;
+  Fp x223 = sqr_n(x220, 3) * x3;
+  Fp t = sqr_n(x223, 23) * x22;  // 223 ones, gap, 22 ones
+  t = sqr_n(t, 5) * a;           // tail 00001
+  t = sqr_n(t, 3) * x2;          // tail 011
+  return sqr_n(t, 2) * a;        // tail 01
 }
 
 }  // namespace ddemos::crypto

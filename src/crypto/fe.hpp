@@ -1,7 +1,9 @@
 // Typed field elements over the two secp256k1 moduli. Fp (base field) and
 // Fn (scalar field / group order) are distinct C++ types so field and scalar
-// arithmetic cannot be mixed accidentally. Values are stored in Montgomery
-// form; conversions happen at the byte boundary only.
+// arithmetic cannot be mixed accidentally. Fn is stored in Montgomery form;
+// Fp exploits the pseudo-Mersenne prime and stays in plain canonical form
+// with fold reduction (see FieldOps). Conversions happen at the byte
+// boundary only.
 #pragma once
 
 #include "crypto/mont.hpp"
@@ -20,6 +22,118 @@ const MontParams& params<FieldTag>();
 template <>
 const MontParams& params<ScalarTag>();
 
+namespace detail {
+
+// secp256k1 base field prime p = 2^256 - 2^32 - 977.
+inline constexpr U256 kFieldP{{0xFFFFFFFEFFFFFC2Full, 0xFFFFFFFFFFFFFFFFull,
+                               0xFFFFFFFFFFFFFFFFull, 0xFFFFFFFFFFFFFFFFull}};
+// secp256k1 group order n.
+inline constexpr U256 kOrderN{{0xBFD25E8CD0364141ull, 0xBAAEDCE6AF48A03Bull,
+                               0xFFFFFFFFFFFFFFFEull, 0xFFFFFFFFFFFFFFFFull}};
+// 2^256 - p = 2^32 + 977: a 512-bit product t = H*2^256 + L reduces as
+// L + H*kFoldC — one 4-word multiply-accumulate pass plus a tiny cascade,
+// far cheaper than a Montgomery REDC.
+inline constexpr std::uint64_t kFoldC = 0x1000003D1ull;
+
+inline U256 fp_reduce_wide(const U512& t) {
+  using u128_t = unsigned __int128;
+  U256 r;
+  std::uint64_t carry = 0;
+  for (std::size_t i = 0; i < 4; ++i) {
+    u128_t cur = static_cast<u128_t>(t[i]) +
+                 static_cast<u128_t>(t[i + 4]) * kFoldC + carry;
+    r.w[i] = static_cast<std::uint64_t>(cur);
+    carry = static_cast<std::uint64_t>(cur >> 64);
+  }
+  // Fold the (<= 34-bit) overflow back in; the cascade terminates because
+  // each round's carry is a fraction of the previous one.
+  while (carry != 0) {
+    u128_t cur =
+        static_cast<u128_t>(r.w[0]) + static_cast<u128_t>(carry) * kFoldC;
+    r.w[0] = static_cast<std::uint64_t>(cur);
+    std::uint64_t c = static_cast<std::uint64_t>(cur >> 64);
+    for (std::size_t i = 1; i < 4 && c != 0; ++i) {
+      u128_t s = static_cast<u128_t>(r.w[i]) + c;
+      r.w[i] = static_cast<std::uint64_t>(s);
+      c = static_cast<std::uint64_t>(s >> 64);
+    }
+    carry = c;  // wrapped past 2^256 again (at most once more)
+  }
+  if (cmp(r, kFieldP) >= 0) {
+    U256 s;
+    sub_bb(r, kFieldP, s);
+    return s;
+  }
+  return r;
+}
+
+}  // namespace detail
+
+// Per-field arithmetic kernels. The generic implementation stores values
+// in Montgomery form; the base field specializes to plain canonical
+// residues with the pseudo-Mersenne fold reduction, which is where the
+// point formulas spend their time.
+template <typename Tag>
+struct FieldOps {
+  static U256 one() { return params<Tag>().one_m; }
+  static U256 add(const U256& a, const U256& b) {
+    return mod_add(a, b, params<Tag>());
+  }
+  static U256 sub(const U256& a, const U256& b) {
+    return mod_sub(a, b, params<Tag>());
+  }
+  static U256 mul(const U256& a, const U256& b) {
+    return mont_mul(a, b, params<Tag>());
+  }
+  static U256 sqr(const U256& a) { return mont_sqr(a, params<Tag>()); }
+  static U256 pow(const U256& a, const U256& e) {
+    return mont_pow(a, e, params<Tag>());
+  }
+  // Conversions between the canonical residue and the internal form.
+  static U256 from_canonical(const U256& a) {
+    return mont_mul(a, params<Tag>().r2, params<Tag>());
+  }
+  static U256 to_canonical(const U256& a) {
+    return mont_mul(a, U256::from_u64(1), params<Tag>());
+  }
+};
+
+// secp256k1 base field: plain representation + fold reduction, fully
+// inline against the constexpr modulus (no guarded-static MontParams
+// access on the hot path).
+template <>
+struct FieldOps<FieldTag> {
+  static U256 one() { return U256::from_u64(1); }
+  static U256 add(const U256& a, const U256& b) {
+    U256 r;
+    std::uint64_t carry = add_cc(a, b, r);
+    if (carry || cmp(r, detail::kFieldP) >= 0) {
+      U256 t;
+      sub_bb(r, detail::kFieldP, t);
+      return t;
+    }
+    return r;
+  }
+  static U256 sub(const U256& a, const U256& b) {
+    U256 r;
+    if (sub_bb(a, b, r)) {
+      U256 t;
+      add_cc(r, detail::kFieldP, t);
+      return t;
+    }
+    return r;
+  }
+  static U256 mul(const U256& a, const U256& b) {
+    return detail::fp_reduce_wide(mul_wide(a, b));
+  }
+  static U256 sqr(const U256& a) {
+    return detail::fp_reduce_wide(sqr_wide(a));
+  }
+  static U256 pow(const U256& a, const U256& e);  // fe.cpp
+  static U256 from_canonical(const U256& a) { return a; }
+  static U256 to_canonical(const U256& a) { return a; }
+};
+
 template <typename Tag>
 class Fe {
  public:
@@ -28,32 +142,29 @@ class Fe {
   static Fe zero() { return Fe{}; }
   static Fe one() {
     Fe r;
-    r.v_ = params<Tag>().one_m;
+    r.v_ = FieldOps<Tag>::one();
     return r;
   }
   static Fe from_u64(std::uint64_t x) {
     Fe r;
-    r.v_ = mont_mul(U256::from_u64(x), params<Tag>().r2, params<Tag>());
+    r.v_ = FieldOps<Tag>::from_canonical(U256::from_u64(x));
     return r;
   }
   // Interprets 32 big-endian bytes, reduced mod the modulus.
   static Fe from_bytes_mod(BytesView b32) {
     Fe r;
-    r.v_ = mont_mul(mod_reduce(U256::from_bytes_be(b32), params<Tag>()),
-                    params<Tag>().r2, params<Tag>());
+    r.v_ = FieldOps<Tag>::from_canonical(
+        mod_reduce(U256::from_bytes_be(b32), params<Tag>()));
     return r;
   }
   static Fe from_u256_mod(const U256& x) {
     Fe r;
-    r.v_ = mont_mul(mod_reduce(x, params<Tag>()), params<Tag>().r2,
-                    params<Tag>());
+    r.v_ = FieldOps<Tag>::from_canonical(mod_reduce(x, params<Tag>()));
     return r;
   }
 
-  // Canonical (non-Montgomery) value.
-  U256 to_u256() const {
-    return mont_mul(v_, U256::from_u64(1), params<Tag>());
-  }
+  // Canonical value (independent of the internal representation).
+  U256 to_u256() const { return FieldOps<Tag>::to_canonical(v_); }
   Bytes to_bytes_be() const { return to_u256().to_bytes_be(); }
 
   bool is_zero() const { return v_.is_zero(); }
@@ -61,32 +172,42 @@ class Fe {
 
   friend Fe operator+(const Fe& a, const Fe& b) {
     Fe r;
-    r.v_ = mod_add(a.v_, b.v_, params<Tag>());
+    r.v_ = FieldOps<Tag>::add(a.v_, b.v_);
     return r;
   }
   friend Fe operator-(const Fe& a, const Fe& b) {
     Fe r;
-    r.v_ = mod_sub(a.v_, b.v_, params<Tag>());
+    r.v_ = FieldOps<Tag>::sub(a.v_, b.v_);
     return r;
   }
   friend Fe operator*(const Fe& a, const Fe& b) {
     Fe r;
-    r.v_ = mont_mul(a.v_, b.v_, params<Tag>());
+    r.v_ = FieldOps<Tag>::mul(a.v_, b.v_);
     return r;
   }
   Fe neg() const { return zero() - *this; }
-  Fe sqr() const { return *this * *this; }
+  Fe sqr() const {
+    Fe r;
+    r.v_ = FieldOps<Tag>::sqr(v_);
+    return r;
+  }
   Fe pow(const U256& e) const {
     Fe r;
-    r.v_ = mont_pow(v_, e, params<Tag>());
+    r.v_ = FieldOps<Tag>::pow(v_, e);
     return r;
   }
   // Multiplicative inverse via Fermat; inverse of zero is zero.
   Fe inv() const { return pow(params<Tag>().mod_minus_2); }
 
  private:
-  U256 v_{};  // Montgomery form
+  U256 v_{};  // FieldOps<Tag> internal form (Montgomery for Fn, plain Fp)
 };
+
+// The base-field inverse uses a fixed addition chain for p - 2
+// (255 squarings + 15 multiplies, vs ~256 squarings + ~240 multiplies for
+// the generic square-and-multiply Fermat ladder); defined in fe.cpp.
+template <>
+Fe<FieldTag> Fe<FieldTag>::inv() const;
 
 using Fp = Fe<FieldTag>;
 using Fn = Fe<ScalarTag>;

@@ -48,9 +48,11 @@ U256 mod_sub(const U256& a, const U256& b, const MontParams& p) {
   return r;
 }
 
-U256 mont_mul(const U256& a, const U256& b, const MontParams& p) {
-  // SOS method: full 512-bit product, then word-by-word REDC.
-  U512 t = mul_wide(a, b);
+namespace {
+
+// Word-by-word REDC of a full 512-bit product (SOS method), shared by
+// mont_mul and mont_sqr.
+U256 redc(U512 t, const MontParams& p) {
   std::uint64_t extra = 0;
   for (std::size_t i = 0; i < 4; ++i) {
     std::uint64_t m = t[i] * p.n0;
@@ -79,10 +81,20 @@ U256 mont_mul(const U256& a, const U256& b, const MontParams& p) {
   return r;
 }
 
+}  // namespace
+
+U256 mont_mul(const U256& a, const U256& b, const MontParams& p) {
+  return redc(mul_wide(a, b), p);
+}
+
+U256 mont_sqr(const U256& a, const MontParams& p) {
+  return redc(sqr_wide(a), p);
+}
+
 U256 mont_pow(const U256& a, const U256& e, const MontParams& p) {
   U256 acc = p.one_m;
   for (int i = 255; i >= 0; --i) {
-    acc = mont_mul(acc, acc, p);
+    acc = mont_sqr(acc, p);
     if (e.bit(i)) acc = mont_mul(acc, a, p);
   }
   return acc;

@@ -20,6 +20,10 @@ MontParams make_mont_params(const U256& mod);
 
 // Montgomery product: a*b*R^{-1} mod mod, inputs/outputs in Montgomery form.
 U256 mont_mul(const U256& a, const U256& b, const MontParams& p);
+// Montgomery square: a*a*R^{-1} mod mod via a dedicated SOS squaring
+// (the point doubling formulas and Fermat/addition-chain inversions are
+// squaring-heavy, so this path is worth its own kernel).
+U256 mont_sqr(const U256& a, const MontParams& p);
 // Plain modular add/sub (works in either representation).
 U256 mod_add(const U256& a, const U256& b, const MontParams& p);
 U256 mod_sub(const U256& a, const U256& b, const MontParams& p);

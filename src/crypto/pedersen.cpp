@@ -7,7 +7,8 @@
 namespace ddemos::crypto {
 
 Point pedersen_commit(const Fn& m, const Fn& r) {
-  return ec_add(ec_mul_g(m), ec_mul(r, ec_generator_h()));
+  // m*G + r*H as one interleaved Strauss double-mul.
+  return ec_mul2(r, ec_generator_h(), m);
 }
 
 PedersenDeal pedersen_vss_deal(const Fn& secret, std::size_t k, std::size_t n,
@@ -44,13 +45,39 @@ PedersenDeal pedersen_vss_deal(const Fn& secret, std::size_t k, std::size_t n,
 bool pedersen_vss_verify(const PedersenShare& share,
                          std::span<const Point> coefficient_comms) {
   if (coefficient_comms.empty()) return false;
+  // The Horner evaluation flattens into powers of x, so the whole check
+  // f*G + g*H - sum_j x^j C_j == 0 is one MSM sharing a single doubling
+  // ladder and one batched inversion. x is the small trustee index, so the
+  // x^j coefficients have short wNAFs for low-degree polynomials.
+  Fn x = Fn::from_u64(share.x);
+  std::vector<Fn> ks;
+  std::vector<Point> ps;
+  ks.reserve(coefficient_comms.size() + 2);
+  ps.reserve(coefficient_comms.size() + 2);
+  ks.push_back(share.f);
+  ps.push_back(ec_generator());
+  ks.push_back(share.g);
+  ps.push_back(ec_generator_h());
+  Fn xp = Fn::one();
+  for (const Point& c : coefficient_comms) {
+    ks.push_back(xp);
+    ps.push_back(ec_neg(c));
+    xp = xp * x;
+  }
+  return ec_msm(ks, ps).is_infinity();
+}
+
+bool pedersen_vss_verify_naive(const PedersenShare& share,
+                               std::span<const Point> coefficient_comms) {
+  if (coefficient_comms.empty()) return false;
   // Horner over the commitment polynomial.
   Fn x = Fn::from_u64(share.x);
   Point acc = coefficient_comms.back();
   for (std::size_t j = coefficient_comms.size() - 1; j-- > 0;) {
-    acc = ec_add(ec_mul(x, acc), coefficient_comms[j]);
+    acc = ec_add(ec_mul_naive(x, acc), coefficient_comms[j]);
   }
-  return ec_eq(acc, pedersen_commit(share.f, share.g));
+  return ec_eq(acc, ec_add(ec_mul_g(share.f),
+                           ec_mul_naive(share.g, ec_generator_h())));
 }
 
 std::pair<Fn, Fn> pedersen_vss_reconstruct(

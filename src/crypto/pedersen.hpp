@@ -35,6 +35,10 @@ PedersenDeal pedersen_vss_deal(const Fn& secret, std::size_t k, std::size_t n,
 // Checks f(i)*G + g(i)*H == sum_j i^j * C_j.
 bool pedersen_vss_verify(const PedersenShare& share,
                          std::span<const Point> coefficient_comms);
+// Pre-refactor verifier (Horner loop of full multiplications + ec_eq),
+// kept for cross-check tests and benchmarks.
+bool pedersen_vss_verify_naive(const PedersenShare& share,
+                               std::span<const Point> coefficient_comms);
 
 // Returns (secret, blind); throws CryptoError with fewer than k shares.
 std::pair<Fn, Fn> pedersen_vss_reconstruct(

@@ -6,9 +6,7 @@
 
 namespace ddemos::crypto {
 
-namespace {
-
-Fn challenge(BytesView r_enc, BytesView pk, BytesView msg) {
+Fn schnorr_challenge(BytesView r_enc, BytesView pk, BytesView msg) {
   Sha256 h;
   h.update(to_bytes("ddemos/schnorr"));
   h.update(r_enc);
@@ -16,8 +14,6 @@ Fn challenge(BytesView r_enc, BytesView pk, BytesView msg) {
   h.update(msg);
   return Fn::from_bytes_mod(hash_view(h.finish()));
 }
-
-}  // namespace
 
 KeyPair schnorr_keygen(Rng& rng) {
   Fn sk = random_scalar(rng);
@@ -35,7 +31,7 @@ Bytes schnorr_sign(const Fn& sk, BytesView msg) {
   Fn k = Fn::from_bytes_mod(hash_view(nh.finish()));
   if (k.is_zero()) k = Fn::one();
   Bytes r_enc = ec_encode(ec_mul_g(k));
-  Fn e = challenge(r_enc, pk, msg);
+  Fn e = schnorr_challenge(r_enc, pk, msg);
   Fn s = k + e * sk;
   Bytes sig = r_enc;
   append(sig, s.to_bytes_be());
@@ -48,9 +44,28 @@ bool schnorr_verify(BytesView pk, BytesView msg, BytesView sig) {
     Point r = ec_decode(sig.subspan(0, 33));
     Fn s = Fn::from_bytes_mod(sig.subspan(33));
     Point pub = ec_decode(pk);
-    Fn e = challenge(sig.subspan(0, 33), pk, msg);
+    Fn e = schnorr_challenge(sig.subspan(0, 33), pk, msg);
+    // s*G - e*P - R == 0: one interleaved Strauss double-mul plus one
+    // mixed addition (R arrives normalized from ec_decode), no ec_eq
+    // cross-multiplication.
+    Point acc = ec_mul2(e, ec_neg(pub), s);
+    AffinePoint ra = to_affine(r);
+    if (!ra.infinity) ra.y = ra.y.neg();
+    return ec_add_mixed(acc, ra).is_infinity();
+  } catch (const CryptoError&) {
+    return false;
+  }
+}
+
+bool schnorr_verify_naive(BytesView pk, BytesView msg, BytesView sig) {
+  if (sig.size() != 65 || pk.size() != 33) return false;
+  try {
+    Point r = ec_decode(sig.subspan(0, 33));
+    Fn s = Fn::from_bytes_mod(sig.subspan(33));
+    Point pub = ec_decode(pk);
+    Fn e = schnorr_challenge(sig.subspan(0, 33), pk, msg);
     // s*G == R + e*P
-    return ec_eq(ec_mul_g(s), ec_add(r, ec_mul(e, pub)));
+    return ec_eq(ec_mul_g(s), ec_add(r, ec_mul_naive(e, pub)));
   } catch (const CryptoError&) {
     return false;
   }

@@ -16,5 +16,11 @@ KeyPair schnorr_keygen(Rng& rng);
 // Signature = R (33 bytes) || s (32 bytes).
 Bytes schnorr_sign(const Fn& sk, BytesView msg);
 bool schnorr_verify(BytesView pk, BytesView msg, BytesView sig);
+// Pre-refactor verifier (two independent full multiplications + ec_eq),
+// kept for cross-check tests and the speed-regression gate.
+bool schnorr_verify_naive(BytesView pk, BytesView msg, BytesView sig);
+// Fiat-Shamir challenge e = H(R || pk || msg); exposed for the batch
+// verifier in batch.hpp.
+Fn schnorr_challenge(BytesView r_enc, BytesView pk, BytesView msg);
 
 }  // namespace ddemos::crypto

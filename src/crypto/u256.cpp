@@ -4,8 +4,6 @@
 
 namespace ddemos::crypto {
 
-using u128 = unsigned __int128;
-
 U256 U256::from_bytes_be(BytesView b) {
   if (b.size() != 32) throw CodecError("U256: need 32 bytes");
   U256 r;
@@ -32,56 +30,5 @@ Bytes U256::to_bytes_be() const {
   return out;
 }
 
-int cmp(const U256& a, const U256& b) {
-  for (int i = 3; i >= 0; --i) {
-    auto idx = static_cast<std::size_t>(i);
-    if (a.w[idx] < b.w[idx]) return -1;
-    if (a.w[idx] > b.w[idx]) return 1;
-  }
-  return 0;
-}
-
-std::uint64_t add_cc(const U256& a, const U256& b, U256& out) {
-  std::uint64_t carry = 0;
-  for (std::size_t i = 0; i < 4; ++i) {
-    u128 cur = static_cast<u128>(a.w[i]) + b.w[i] + carry;
-    out.w[i] = static_cast<std::uint64_t>(cur);
-    carry = static_cast<std::uint64_t>(cur >> 64);
-  }
-  return carry;
-}
-
-std::uint64_t sub_bb(const U256& a, const U256& b, U256& out) {
-  std::uint64_t borrow = 0;
-  for (std::size_t i = 0; i < 4; ++i) {
-    u128 cur = static_cast<u128>(a.w[i]) - b.w[i] - borrow;
-    out.w[i] = static_cast<std::uint64_t>(cur);
-    borrow = static_cast<std::uint64_t>(cur >> 64) & 1;
-  }
-  return borrow;
-}
-
-U512 mul_wide(const U256& a, const U256& b) {
-  U512 t{};
-  for (std::size_t i = 0; i < 4; ++i) {
-    std::uint64_t carry = 0;
-    for (std::size_t j = 0; j < 4; ++j) {
-      u128 cur = static_cast<u128>(a.w[i]) * b.w[j] + t[i + j] + carry;
-      t[i + j] = static_cast<std::uint64_t>(cur);
-      carry = static_cast<std::uint64_t>(cur >> 64);
-    }
-    t[i + 4] = carry;
-  }
-  return t;
-}
-
-U256 shr1(const U256& a) {
-  U256 r;
-  for (std::size_t i = 0; i < 4; ++i) {
-    r.w[i] = a.w[i] >> 1;
-    if (i + 1 < 4) r.w[i] |= a.w[i + 1] << 63;
-  }
-  return r;
-}
 
 }  // namespace ddemos::crypto

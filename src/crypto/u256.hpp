@@ -31,13 +31,107 @@ struct U256 {
 
 using U512 = std::array<std::uint64_t, 8>;
 
+// The limb kernels are inline: they sit under every field operation and
+// the guard-free inlining is worth real throughput in the EC hot paths.
+
 // -1, 0, 1 as a < b, a == b, a > b.
-int cmp(const U256& a, const U256& b);
+inline int cmp(const U256& a, const U256& b) {
+  for (int i = 3; i >= 0; --i) {
+    auto idx = static_cast<std::size_t>(i);
+    if (a.w[idx] < b.w[idx]) return -1;
+    if (a.w[idx] > b.w[idx]) return 1;
+  }
+  return 0;
+}
+
 // out = a + b; returns the carry out of the top limb.
-std::uint64_t add_cc(const U256& a, const U256& b, U256& out);
+inline std::uint64_t add_cc(const U256& a, const U256& b, U256& out) {
+  using u128_t = unsigned __int128;
+  std::uint64_t carry = 0;
+  for (std::size_t i = 0; i < 4; ++i) {
+    u128_t cur = static_cast<u128_t>(a.w[i]) + b.w[i] + carry;
+    out.w[i] = static_cast<std::uint64_t>(cur);
+    carry = static_cast<std::uint64_t>(cur >> 64);
+  }
+  return carry;
+}
+
 // out = a - b; returns the borrow out of the top limb.
-std::uint64_t sub_bb(const U256& a, const U256& b, U256& out);
-U512 mul_wide(const U256& a, const U256& b);
-U256 shr1(const U256& a);
+inline std::uint64_t sub_bb(const U256& a, const U256& b, U256& out) {
+  using u128_t = unsigned __int128;
+  std::uint64_t borrow = 0;
+  for (std::size_t i = 0; i < 4; ++i) {
+    u128_t cur = static_cast<u128_t>(a.w[i]) - b.w[i] - borrow;
+    out.w[i] = static_cast<std::uint64_t>(cur);
+    borrow = static_cast<std::uint64_t>(cur >> 64) & 1;
+  }
+  return borrow;
+}
+
+inline U256 shr1(const U256& a) {
+  U256 r;
+  for (std::size_t i = 0; i < 4; ++i) {
+    r.w[i] = a.w[i] >> 1;
+    if (i + 1 < 4) r.w[i] |= a.w[i + 1] << 63;
+  }
+  return r;
+}
+
+// The wide multiply kernels are defined inline: they sit under every field
+// multiplication, and keeping them visible to the reduction kernels lets
+// the compiler fuse the product and reduction passes.
+inline U512 mul_wide(const U256& a, const U256& b) {
+  using u128_t = unsigned __int128;
+  U512 t{};
+  for (std::size_t i = 0; i < 4; ++i) {
+    std::uint64_t carry = 0;
+    for (std::size_t j = 0; j < 4; ++j) {
+      u128_t cur = static_cast<u128_t>(a.w[i]) * b.w[j] + t[i + j] + carry;
+      t[i + j] = static_cast<std::uint64_t>(cur);
+      carry = static_cast<std::uint64_t>(cur >> 64);
+    }
+    t[i + 4] = carry;
+  }
+  return t;
+}
+
+// a * a; cross products computed once and doubled (~40% fewer 64x64
+// multiplies than mul_wide(a, a)) — the point formulas are squaring-heavy.
+inline U512 sqr_wide(const U256& a) {
+  using u128_t = unsigned __int128;
+  U512 t{};
+  // Off-diagonal products a_i * a_j for i < j, each needed twice.
+  for (std::size_t i = 0; i < 4; ++i) {
+    std::uint64_t carry = 0;
+    for (std::size_t j = i + 1; j < 4; ++j) {
+      u128_t cur = static_cast<u128_t>(a.w[i]) * a.w[j] + t[i + j] + carry;
+      t[i + j] = static_cast<std::uint64_t>(cur);
+      carry = static_cast<std::uint64_t>(cur >> 64);
+    }
+    if (i + 4 < 8) t[i + 4] = carry;
+  }
+  // Double the cross terms (top bit cannot carry out: the sum of all
+  // off-diagonal products is < 2^511).
+  std::uint64_t shift_carry = 0;
+  for (std::size_t i = 0; i < 8; ++i) {
+    std::uint64_t next = t[i] >> 63;
+    t[i] = (t[i] << 1) | shift_carry;
+    shift_carry = next;
+  }
+  // Add the diagonal squares a_i^2 at position 2i.
+  std::uint64_t carry = 0;
+  for (std::size_t i = 0; i < 4; ++i) {
+    u128_t d = static_cast<u128_t>(a.w[i]) * a.w[i];
+    u128_t lo = static_cast<u128_t>(t[2 * i]) +
+                static_cast<std::uint64_t>(d) + carry;
+    t[2 * i] = static_cast<std::uint64_t>(lo);
+    u128_t hi = static_cast<u128_t>(t[2 * i + 1]) +
+                static_cast<std::uint64_t>(d >> 64) +
+                static_cast<std::uint64_t>(lo >> 64);
+    t[2 * i + 1] = static_cast<std::uint64_t>(hi);
+    carry = static_cast<std::uint64_t>(hi >> 64);
+  }
+  return t;
+}
 
 }  // namespace ddemos::crypto

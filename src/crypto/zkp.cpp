@@ -1,5 +1,7 @@
 #include "crypto/zkp.hpp"
 
+#include <array>
+
 #include "crypto/rng.hpp"
 #include "crypto/sha256.hpp"
 #include "util/error.hpp"
@@ -18,9 +20,12 @@ BitProof prove_bit(const Point& key, const ElGamalCipher& cipher, bool bit,
   const Point& g = ec_generator();
   Point b_sim = bit ? cipher.b : ec_sub(cipher.b, g);
 
-  // Simulated first move: t1 = z*G - c*A, t2 = z*K - c*(B - d_sim*G).
-  Point t1_sim = ec_sub(ec_mul_g(z_sim), ec_mul(c_sim, cipher.a));
-  Point t2_sim = ec_sub(ec_mul(z_sim, key), ec_mul(c_sim, b_sim));
+  // Simulated first move: t1 = z*G - c*A, t2 = z*K - c*(B - d_sim*G), each
+  // as one interleaved Strauss/MSM product.
+  Point t1_sim = ec_mul2(c_sim, ec_neg(cipher.a), z_sim);
+  std::array<Fn, 2> t2k{z_sim, c_sim};
+  std::array<Point, 2> t2p{key, ec_neg(b_sim)};
+  Point t2_sim = ec_msm(t2k, t2p);
   // Real first move: t1 = w*G, t2 = w*K.
   Point t1_real = ec_mul_g(w);
   Point t2_real = ec_mul(w, key);
@@ -43,25 +48,64 @@ BitProof prove_bit(const Point& key, const ElGamalCipher& cipher, bool bit,
   return out;
 }
 
+namespace {
+
+// z*BASE - c*STMT - T == 0 as one 3-term MSM (the generator term inside
+// ec_msm rides the static tables, so each equation costs one shared
+// doubling ladder).
+bool dh_equation_holds(const Fn& z, const Point& base, const Fn& c,
+                       const Point& stmt, const Point& t) {
+  std::array<Fn, 3> ks{z, c, Fn::one()};
+  std::array<Point, 3> ps{base, ec_neg(stmt), ec_neg(t)};
+  return ec_msm(ks, ps).is_infinity();
+}
+
+}  // namespace
+
 bool verify_bit(const Point& key, const ElGamalCipher& cipher,
                 const BitProofFirstMove& fm, const Fn& challenge,
                 const BitProofResponse& resp) {
   if (!(resp.c0 + resp.c1 == challenge)) return false;
   const Point& g = ec_generator();
   // Branch 0: statement (A, B).
-  if (!ec_eq(ec_mul_g(resp.z0), ec_add(fm.t1_0, ec_mul(resp.c0, cipher.a)))) {
+  if (!dh_equation_holds(resp.z0, g, resp.c0, cipher.a, fm.t1_0)) {
     return false;
   }
-  if (!ec_eq(ec_mul(resp.z0, key),
-             ec_add(fm.t2_0, ec_mul(resp.c0, cipher.b)))) {
+  if (!dh_equation_holds(resp.z0, key, resp.c0, cipher.b, fm.t2_0)) {
+    return false;
+  }
+  // Branch 1: statement (A, B - G); the B - G adjustment folds into the
+  // MSM as a +c1 coefficient on G.
+  if (!dh_equation_holds(resp.z1, g, resp.c1, cipher.a, fm.t1_1)) {
+    return false;
+  }
+  std::array<Fn, 4> ks{resp.z1, resp.c1, resp.c1, Fn::one()};
+  std::array<Point, 4> ps{key, ec_neg(cipher.b), g, ec_neg(fm.t2_1)};
+  return ec_msm(ks, ps).is_infinity();
+}
+
+bool verify_bit_naive(const Point& key, const ElGamalCipher& cipher,
+                      const BitProofFirstMove& fm, const Fn& challenge,
+                      const BitProofResponse& resp) {
+  if (!(resp.c0 + resp.c1 == challenge)) return false;
+  const Point& g = ec_generator();
+  // Branch 0: statement (A, B).
+  if (!ec_eq(ec_mul_g(resp.z0),
+             ec_add(fm.t1_0, ec_mul_naive(resp.c0, cipher.a)))) {
+    return false;
+  }
+  if (!ec_eq(ec_mul_naive(resp.z0, key),
+             ec_add(fm.t2_0, ec_mul_naive(resp.c0, cipher.b)))) {
     return false;
   }
   // Branch 1: statement (A, B - G).
   Point b1 = ec_sub(cipher.b, g);
-  if (!ec_eq(ec_mul_g(resp.z1), ec_add(fm.t1_1, ec_mul(resp.c1, cipher.a)))) {
+  if (!ec_eq(ec_mul_g(resp.z1),
+             ec_add(fm.t1_1, ec_mul_naive(resp.c1, cipher.a)))) {
     return false;
   }
-  return ec_eq(ec_mul(resp.z1, key), ec_add(fm.t2_1, ec_mul(resp.c1, b1)));
+  return ec_eq(ec_mul_naive(resp.z1, key),
+               ec_add(fm.t2_1, ec_mul_naive(resp.c1, b1)));
 }
 
 SumProof prove_sum(const Point& key, const Fn& total_randomness, Rng& rng) {
@@ -76,12 +120,25 @@ SumProof prove_sum(const Point& key, const Fn& total_randomness, Rng& rng) {
 bool verify_sum(const Point& key, const ElGamalCipher& sum, const Fn& total,
                 const SumProofFirstMove& fm, const Fn& challenge,
                 const Fn& z) {
-  // Statement: (A*, B* - total*G) is a DH pair w.r.t. (G, K).
+  // Statement: (A*, B* - total*G) is a DH pair w.r.t. (G, K). Each side
+  // collapses into one MSM; the total*G adjustment becomes a
+  // +challenge*total coefficient on G.
+  const Point& g = ec_generator();
+  if (!dh_equation_holds(z, g, challenge, sum.a, fm.t1)) return false;
+  std::array<Fn, 4> ks{z, challenge * total, challenge, Fn::one()};
+  std::array<Point, 4> ps{key, g, ec_neg(sum.b), ec_neg(fm.t2)};
+  return ec_msm(ks, ps).is_infinity();
+}
+
+bool verify_sum_naive(const Point& key, const ElGamalCipher& sum,
+                      const Fn& total, const SumProofFirstMove& fm,
+                      const Fn& challenge, const Fn& z) {
   Point b_adj = ec_sub(sum.b, ec_mul_g(total));
-  if (!ec_eq(ec_mul_g(z), ec_add(fm.t1, ec_mul(challenge, sum.a)))) {
+  if (!ec_eq(ec_mul_g(z), ec_add(fm.t1, ec_mul_naive(challenge, sum.a)))) {
     return false;
   }
-  return ec_eq(ec_mul(z, key), ec_add(fm.t2, ec_mul(challenge, b_adj)));
+  return ec_eq(ec_mul_naive(z, key),
+               ec_add(fm.t2, ec_mul_naive(challenge, b_adj)));
 }
 
 Fn challenge_from_coins(BytesView election_id, BytesView coin_bits) {

@@ -61,6 +61,11 @@ BitProof prove_bit(const Point& key, const ElGamalCipher& cipher, bool bit,
 bool verify_bit(const Point& key, const ElGamalCipher& cipher,
                 const BitProofFirstMove& fm, const Fn& challenge,
                 const BitProofResponse& resp);
+// Pre-refactor verifier (independent full multiplications + ec_eq per
+// equation), kept for cross-check tests and benchmarks.
+bool verify_bit_naive(const Point& key, const ElGamalCipher& cipher,
+                      const BitProofFirstMove& fm, const Fn& challenge,
+                      const BitProofResponse& resp);
 
 // --- Chaum-Pedersen proof that the ciphertext sum encrypts `total` ----
 
@@ -79,6 +84,9 @@ SumProof prove_sum(const Point& key, const Fn& total_randomness, Rng& rng);
 bool verify_sum(const Point& key, const ElGamalCipher& sum, const Fn& total,
                 const SumProofFirstMove& fm, const Fn& challenge,
                 const Fn& z);
+bool verify_sum_naive(const Point& key, const ElGamalCipher& sum,
+                      const Fn& total, const SumProofFirstMove& fm,
+                      const Fn& challenge, const Fn& z);
 
 // --- Challenge extraction ----------------------------------------------
 

@@ -357,6 +357,33 @@ SetupArtifacts ea_setup(const EaConfig& cfg) {
           trustee_ballots[t]->parts[part][pos].sum_u = dsu.shares[t];
           trustee_ballots[t]->parts[part][pos].sum_v = dsv.shares[t];
         }
+
+        // Normalize every point of this line with ONE shared field
+        // inversion (the unit-vector encoding already arrives normalized),
+        // so the BB encode path skips its per-point inversions.
+        auto for_each_line_point = [&bl](auto&& f) {
+          for (auto& fm : bl.bit_proofs) {
+            f(fm.t1_0);
+            f(fm.t2_0);
+            f(fm.t1_1);
+            f(fm.t2_1);
+          }
+          f(bl.sum_proof.t1);
+          f(bl.sum_proof.t2);
+          for (auto& comms : bl.opening_comms) {
+            for (auto& c : comms) f(c);
+          }
+          for (auto& comms : bl.zk_comms) {
+            for (auto& c : comms) f(c);
+          }
+        };
+        std::vector<crypto::Point> line_pts;
+        for_each_line_point(
+            [&line_pts](crypto::Point& q) { line_pts.push_back(q); });
+        crypto::ec_normalize_batch(line_pts);
+        std::size_t at = 0;
+        for_each_line_point(
+            [&line_pts, &at](crypto::Point& q) { q = line_pts[at++]; });
       }
     }
 

@@ -107,12 +107,21 @@ void DiskBallotSource::build(const std::string& path,
 }
 
 DiskBallotSource::DiskBallotSource(const std::string& path,
-                                   std::size_t cache_pages)
-    : cache_pages_(std::max<std::size_t>(cache_pages, 4)) {
-  file_ = std::fopen(path.c_str(), "rb");
-  if (!file_) throw ProtocolError("cannot open " + path);
+                                   std::size_t cache_pages,
+                                   std::size_t read_handles) {
+  std::size_t n = std::max<std::size_t>(read_handles, 1);
+  std::size_t per_stripe = std::max<std::size_t>(cache_pages / n, 4);
+  stripes_.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    auto s = std::make_unique<Stripe>();
+    s->file = std::fopen(path.c_str(), "rb");
+    if (!s->file) throw ProtocolError("cannot open " + path);
+    s->cache_pages = per_stripe;
+    stripes_.push_back(std::move(s));
+  }
+  std::FILE* f = stripes_[0]->file;
   std::uint8_t hdr[16];
-  if (std::fread(hdr, 1, 16, file_) != 16) {
+  if (std::fread(hdr, 1, 16, f) != 16) {
     throw ProtocolError("truncated ballot file");
   }
   auto rd_u64 = [](const std::uint8_t* p) {
@@ -127,43 +136,49 @@ DiskBallotSource::DiskBallotSource(const std::string& path,
   records_base_ = index_base_ + count_ * kIndexEntry;
 }
 
-DiskBallotSource::~DiskBallotSource() {
-  if (file_) std::fclose(file_);
+DiskBallotSource::~DiskBallotSource() = default;  // Stripe closes its FILE*
+
+DiskBallotSource::Stripe& DiskBallotSource::stripe_for(Serial serial) {
+  // Fibonacci hash: serials are assigned contiguously by the EA, so a
+  // plain modulus would alias with the shard interleaving.
+  std::uint64_t h = serial * 0x9E3779B97F4A7C15ull;
+  return *stripes_[(h >> 32) % stripes_.size()];
 }
 
-const std::uint8_t* DiskBallotSource::page(std::uint64_t page_no) {
-  auto it = cache_.find(page_no);
-  if (it != cache_.end()) {
-    ++cache_hits_;
-    lru_.erase(it->second.second);
-    lru_.push_front(page_no);
-    it->second.second = lru_.begin();
+const std::uint8_t* DiskBallotSource::page(Stripe& s, std::uint64_t page_no) {
+  auto it = s.cache.find(page_no);
+  if (it != s.cache.end()) {
+    cache_hits_.fetch_add(1, std::memory_order_relaxed);
+    s.lru.erase(it->second.second);
+    s.lru.push_front(page_no);
+    it->second.second = s.lru.begin();
     return it->second.first.data();
   }
-  ++page_reads_;
+  page_reads_.fetch_add(1, std::memory_order_relaxed);
   std::vector<std::uint8_t> data(kPageSize);
-  if (std::fseek(file_, static_cast<long>(page_no * kPageSize), SEEK_SET)) {
+  if (std::fseek(s.file, static_cast<long>(page_no * kPageSize), SEEK_SET)) {
     throw ProtocolError("seek failed");
   }
-  std::size_t got = std::fread(data.data(), 1, kPageSize, file_);
+  std::size_t got = std::fread(data.data(), 1, kPageSize, s.file);
   if (got == 0) throw ProtocolError("read past end of ballot file");
-  lru_.push_front(page_no);
+  s.lru.push_front(page_no);
   auto [ins, _] =
-      cache_.emplace(page_no, std::pair{std::move(data), lru_.begin()});
-  if (cache_.size() > cache_pages_) {
-    cache_.erase(lru_.back());
-    lru_.pop_back();
+      s.cache.emplace(page_no, std::pair{std::move(data), s.lru.begin()});
+  if (s.cache.size() > s.cache_pages) {
+    s.cache.erase(s.lru.back());
+    s.lru.pop_back();
   }
   return ins->second.first.data();
 }
 
-DiskBallotSource::IndexEntry DiskBallotSource::index_entry(std::size_t idx) {
+DiskBallotSource::IndexEntry DiskBallotSource::index_entry(Stripe& s,
+                                                           std::size_t idx) {
   std::uint64_t byte_off = index_base_ + idx * kIndexEntry;
   std::uint8_t raw[kIndexEntry];
   // The entry may straddle a page boundary.
   for (std::size_t i = 0; i < kIndexEntry; ++i) {
     std::uint64_t off = byte_off + i;
-    raw[i] = page(off / kPageSize)[off % kPageSize];
+    raw[i] = page(s, off / kPageSize)[off % kPageSize];
   }
   IndexEntry e;
   e.serial = 0;
@@ -175,11 +190,12 @@ DiskBallotSource::IndexEntry DiskBallotSource::index_entry(std::size_t idx) {
   return e;
 }
 
-std::optional<std::size_t> DiskBallotSource::index_of_locked(Serial serial) {
+std::optional<std::size_t> DiskBallotSource::index_of_locked(Stripe& s,
+                                                             Serial serial) {
   std::size_t lo = 0, hi = count_;
   while (lo < hi) {
     std::size_t mid = lo + (hi - lo) / 2;
-    IndexEntry e = index_entry(mid);
+    IndexEntry e = index_entry(s, mid);
     if (e.serial == serial) return mid;
     if (e.serial < serial) {
       lo = mid + 1;
@@ -191,27 +207,30 @@ std::optional<std::size_t> DiskBallotSource::index_of_locked(Serial serial) {
 }
 
 std::optional<std::size_t> DiskBallotSource::index_of(Serial serial) {
-  std::scoped_lock lk(mu_);
-  return index_of_locked(serial);
+  Stripe& s = stripe_for(serial);
+  std::scoped_lock lk(s.mu);
+  return index_of_locked(s, serial);
 }
 
 Serial DiskBallotSource::serial_at(std::size_t idx) {
   if (idx >= count_) throw ProtocolError("serial_at: out of range");
-  std::scoped_lock lk(mu_);
-  return index_entry(idx).serial;
+  Stripe& s = *stripes_[idx % stripes_.size()];
+  std::scoped_lock lk(s.mu);
+  return index_entry(s, idx).serial;
 }
 
 std::optional<VcBallotInit> DiskBallotSource::find(Serial serial) {
-  std::scoped_lock lk(mu_);
-  auto idx = index_of_locked(serial);
+  Stripe& s = stripe_for(serial);
+  std::scoped_lock lk(s.mu);
+  auto idx = index_of_locked(s, serial);
   if (!idx) return std::nullopt;
-  IndexEntry e = index_entry(*idx);
+  IndexEntry e = index_entry(s, *idx);
   std::vector<std::uint8_t> blob(e.length);
-  if (std::fseek(file_,
+  if (std::fseek(s.file,
                  static_cast<long>(records_base_ + e.offset), SEEK_SET)) {
     throw ProtocolError("seek failed");
   }
-  if (std::fread(blob.data(), 1, e.length, file_) != e.length) {
+  if (std::fread(blob.data(), 1, e.length, s.file) != e.length) {
     throw ProtocolError("truncated record");
   }
   Reader r(blob);

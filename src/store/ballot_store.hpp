@@ -56,10 +56,12 @@ class MemoryBallotSource final : public BallotDataSource {
 //   index: count * (u64 serial, u64 offset, u32 length), sorted by serial
 //   records: encoded VcBallotInit blobs
 //
-// Lookups are serialized by an internal mutex: the shards of a sharded VC
-// node share one source, so the LRU page cache and the FILE* must not be
-// mutated concurrently (the paper's PostgreSQL plays this role; a
-// connection pool would lift the serialization, see ROADMAP).
+// Concurrency: the source behaves like a small read-only connection pool
+// (the paper's PostgreSQL role). `read_handles` independent stripes each
+// own a FILE*, a mutex and a slice of the LRU page cache; lookups hash the
+// serial onto a stripe, so the shards of a sharded VC node no longer
+// serialize behind one lock. Hot index pages may be cached once per stripe
+// — bounded duplication traded for lock-free-across-stripes reads.
 class DiskBallotSource final : public BallotDataSource {
  public:
   static void build(const std::string& path,
@@ -80,8 +82,11 @@ class DiskBallotSource final : public BallotDataSource {
     bool finished_ = false;
   };
 
+  // `cache_pages` is the total page-cache budget, split evenly across the
+  // `read_handles` stripes (pass the VC shard count for sharded nodes).
   explicit DiskBallotSource(const std::string& path,
-                            std::size_t cache_pages = 256);
+                            std::size_t cache_pages = 256,
+                            std::size_t read_handles = 1);
   ~DiskBallotSource() override;
 
   std::optional<core::VcBallotInit> find(core::Serial serial) override;
@@ -105,25 +110,35 @@ class DiskBallotSource final : public BallotDataSource {
     std::uint64_t offset;
     std::uint32_t length;
   };
+  // One independent read handle: its own FILE*, lock and LRU cache slice.
+  struct Stripe {
+    // Owns its FILE* so partially-constructed sources (a later fopen or
+    // header read failing) do not leak the handles already opened.
+    ~Stripe() {
+      if (file) std::fclose(file);
+    }
+    std::mutex mu;
+    std::FILE* file = nullptr;
+    // LRU page cache (guarded by mu).
+    std::list<std::uint64_t> lru;
+    std::unordered_map<std::uint64_t,
+                       std::pair<std::vector<std::uint8_t>,
+                                 std::list<std::uint64_t>::iterator>>
+        cache;
+    std::size_t cache_pages = 4;
+  };
 
-  // _locked helpers require mu_ held (public entry points take it once;
-  // find() composes index_of + record read under a single hold).
-  std::optional<std::size_t> index_of_locked(core::Serial serial);
-  const std::uint8_t* page(std::uint64_t page_no);
-  IndexEntry index_entry(std::size_t idx);
+  Stripe& stripe_for(core::Serial serial);
+  // _locked helpers require the stripe's mu held (public entry points take
+  // it once; find() composes index_of + record read under a single hold).
+  std::optional<std::size_t> index_of_locked(Stripe& s, core::Serial serial);
+  const std::uint8_t* page(Stripe& s, std::uint64_t page_no);
+  IndexEntry index_entry(Stripe& s, std::size_t idx);
 
-  std::mutex mu_;
-  std::FILE* file_ = nullptr;
+  std::vector<std::unique_ptr<Stripe>> stripes_;
   std::uint64_t count_ = 0;
   std::uint64_t index_base_ = 16;
   std::uint64_t records_base_ = 0;
-  // LRU page cache (guarded by mu_).
-  std::list<std::uint64_t> lru_;
-  std::unordered_map<std::uint64_t,
-                     std::pair<std::vector<std::uint8_t>,
-                               std::list<std::uint64_t>::iterator>>
-      cache_;
-  std::size_t cache_pages_;
   // Atomic: read lock-free by the per-fault cost accounting in VcNode.
   std::atomic<std::uint64_t> page_reads_{0};
   std::atomic<std::uint64_t> cache_hits_{0};
