@@ -6,6 +6,7 @@
 #include "crypto/schnorr.hpp"
 #include "net/thread_net.hpp"
 #include "util/error.hpp"
+#include "util/proc_stats.hpp"
 
 namespace ddemos::bench {
 
@@ -45,17 +46,35 @@ std::size_t env_size(const char* name, std::size_t def) {
   return static_cast<std::size_t>(std::strtoull(v, nullptr, 10));
 }
 
-VoteCollectionResult run_vote_collection(const VoteCollectionConfig& cfg) {
+std::string env_str(const char* name, const char* def) {
+  const char* v = std::getenv(name);
+  return v ? v : def;
+}
+
+std::size_t resolve_n_ballots(const VoteCollectionConfig& cfg) {
+  std::size_t n =
+      cfg.n_ballots ? cfg.n_ballots : std::max<std::size_t>(cfg.casts, 2000);
+  // Each cast targets a distinct serial; a universe smaller than the cast
+  // count used to silently shrink the measured run to n_ballots casts.
+  return std::max(n, cfg.casts);
+}
+
+VoteCollectionCampaign::VoteCollectionCampaign(VoteCollectionConfig cfg)
+    : cfg_(std::move(cfg)), n_ballots_(resolve_n_ballots(cfg_)) {}
+
+const PhaseSample& VoteCollectionCampaign::generate() {
+  if (generated_) return setup_sample_;
+  Instrumentation instr;  // no host yet: wall/allocation/RSS accounting
+  instr.begin_phase("setup");
+
   ea::EaConfig ea_cfg;
   ea_cfg.params.election_id = to_bytes("bench-election");
-  for (std::size_t i = 0; i < cfg.options; ++i) {
+  for (std::size_t i = 0; i < cfg_.options; ++i) {
     ea_cfg.params.options.push_back("opt" + std::to_string(i));
   }
-  std::size_t n_ballots =
-      cfg.n_ballots ? cfg.n_ballots : std::max<std::size_t>(cfg.casts, 2000);
-  ea_cfg.params.n_voters = n_ballots;
-  ea_cfg.params.n_vc = cfg.n_vc;
-  ea_cfg.params.f_vc = cfg.f_vc;
+  ea_cfg.params.n_voters = n_ballots_;
+  ea_cfg.params.n_vc = cfg_.n_vc;
+  ea_cfg.params.f_vc = cfg_.f_vc;
   ea_cfg.params.n_bb = 1;
   ea_cfg.params.f_bb = 0;
   ea_cfg.params.n_trustees = 1;
@@ -63,55 +82,74 @@ VoteCollectionResult run_vote_collection(const VoteCollectionConfig& cfg) {
   ea_cfg.params.t_start = 0;
   // Far-away end: the benchmark measures the vote-collection phase only.
   ea_cfg.params.t_end = std::numeric_limits<std::int64_t>::max() / 4;
-  ea_cfg.seed = cfg.seed;
+  ea_cfg.seed = cfg_.seed;
   ea_cfg.vc_only = true;
 
   // Generate ballots (streaming), capture the first `casts` as targets.
-  std::vector<VoteTarget> targets;
-  targets.reserve(cfg.casts);
-  crypto::Rng pick(cfg.seed ^ 0xabcdef);
-  std::vector<std::shared_ptr<store::BallotDataSource>> sources(cfg.n_vc);
-  std::vector<std::vector<VcBallotInit>> mem_ballots(cfg.n_vc);
+  targets_.reserve(cfg_.casts);
+  crypto::Rng pick(cfg_.seed ^ 0xabcdef);
+  mem_ballots_.assign(cfg_.disk_store ? 0 : cfg_.n_vc, {});
   std::vector<std::unique_ptr<store::DiskBallotSource::Builder>> builders;
-  if (cfg.disk_store) {
-    for (std::size_t i = 0; i < cfg.n_vc; ++i) {
+  if (cfg_.disk_store) {
+    for (std::size_t i = 0; i < cfg_.n_vc; ++i) {
       builders.push_back(std::make_unique<store::DiskBallotSource::Builder>(
-          cfg.disk_dir + "/vc" + std::to_string(i) + ".ballots"));
+          cfg_.disk_dir + "/vc" + std::to_string(i) + ".ballots"));
     }
   }
-  ea::SetupArtifacts arts = ea::ea_setup_streaming(
+  arts_ = ea::ea_setup_streaming(
       ea_cfg, [&](const Ballot& ballot, std::span<VcBallotInit> per_vc) {
-        if (targets.size() < cfg.casts) {
+        if (targets_.size() < cfg_.casts) {
           std::size_t part = pick.below(kNumParts);
-          std::size_t opt = pick.below(cfg.options);
+          std::size_t opt = pick.below(cfg_.options);
           const BallotLine& line = ballot.parts[part].lines[opt];
-          targets.push_back(
+          targets_.push_back(
               VoteTarget{ballot.serial, line.vote_code, line.receipt});
         }
         for (std::size_t i = 0; i < per_vc.size(); ++i) {
-          if (cfg.disk_store) {
+          if (cfg_.disk_store) {
             builders[i]->add(per_vc[i]);
           } else {
-            mem_ballots[i].push_back(per_vc[i]);
+            mem_ballots_[i].push_back(per_vc[i]);
           }
         }
       });
+  for (auto& b : builders) b->finish();
+
+  generated_ = true;
+  setup_sample_ = instr.end_phase();
+  return setup_sample_;
+}
+
+VoteCollectionResult VoteCollectionCampaign::run_cell(
+    std::size_t n_shards, const CheckpointFn& checkpoint,
+    std::size_t checkpoint_every, bool final_cell) {
+  if (!generated_) generate();
+  const VoteCollectionConfig& cfg = cfg_;
+
+  std::vector<std::shared_ptr<store::BallotDataSource>> sources(cfg.n_vc);
   for (std::size_t i = 0; i < cfg.n_vc; ++i) {
     if (cfg.disk_store) {
-      builders[i]->finish();
       // One read handle per VC shard, so sharded disk-backed runs do not
       // serialize lookups behind a single FILE* lock.
       sources[i] = std::make_shared<store::DiskBallotSource>(
           cfg.disk_dir + "/vc" + std::to_string(i) + ".ballots",
-          cfg.cache_pages, std::max<std::size_t>(cfg.n_shards, 1));
+          cfg.cache_pages, std::max<std::size_t>(n_shards, 1));
+    } else if (final_cell) {
+      // No later cell needs the master set: hand it over instead of
+      // doubling resident memory (the accounting would report the copy).
+      sources[i] = std::make_shared<store::MemoryBallotSource>(
+          std::move(mem_ballots_[i]));
     } else {
+      // Copy from the master set: a later cell needs the data again.
       sources[i] =
-          std::make_shared<store::MemoryBallotSource>(std::move(mem_ballots[i]));
+          std::make_shared<store::MemoryBallotSource>(mem_ballots_[i]);
     }
   }
+  std::vector<VoteTarget> targets =
+      final_cell ? std::move(targets_) : targets_;
 
   vc::VcNode::Options opts;
-  opts.n_shards = std::max<std::size_t>(cfg.n_shards, 1);
+  opts.n_shards = std::max<std::size_t>(n_shards, 1);
   if (!cfg.threads) {
     // Modeled signature charges calibrated against this CPU; on ThreadNet
     // charge() is a no-op, so the threaded sweep runs real Schnorr instead.
@@ -137,7 +175,7 @@ VoteCollectionResult run_vote_collection(const VoteCollectionConfig& cfg) {
   std::vector<NodeId> vc_ids(cfg.n_vc);
   for (std::size_t i = 0; i < cfg.n_vc; ++i) vc_ids[i] = static_cast<NodeId>(i);
   for (std::size_t i = 0; i < cfg.n_vc; ++i) {
-    host->add_node(std::make_unique<vc::VcNode>(arts.vc_inits[i], sources[i],
+    host->add_node(std::make_unique<vc::VcNode>(arts_.vc_inits[i], sources[i],
                                                 vc_ids, std::vector<NodeId>{},
                                                 opts),
                    "vc" + std::to_string(i));
@@ -170,6 +208,32 @@ VoteCollectionResult run_vote_collection(const VoteCollectionConfig& cfg) {
   // per cast); it exists to catch hangs, not to bound the measurement.
   run_opts.wall_timeout_us = std::max<sim::Duration>(
       120'000'000, static_cast<sim::Duration>(cfg.casts) * 200'000);
+
+  Instrumentation instr(host);
+  sim::TimePoint virt_base = host->now();
+  instr.begin_phase("collection");
+  auto wall_start = std::chrono::steady_clock::now();
+  std::uint64_t events_base = host->events_dispatched();
+  std::size_t next_mark = checkpoint_every;
+  if (checkpoint && checkpoint_every) {
+    run_opts.probe = [&] {
+      // Probe hooks fire every probe_interval events, so a checkpoint
+      // lands within a handful of events of its cast-count mark.
+      std::size_t done_casts = gen.completed() + gen.rejected();
+      if (done_casts < next_mark) return;
+      Checkpoint cp;
+      cp.completed = done_casts;
+      cp.total = gen.target_count();
+      cp.wall_s = std::chrono::duration<double>(
+                      std::chrono::steady_clock::now() - wall_start)
+                      .count();
+      cp.virtual_us = host->now();
+      cp.events = host->events_dispatched() - events_base;
+      cp.rss_kb = util::current_rss_kb();
+      checkpoint(cp);
+      while (next_mark <= done_casts) next_mark += checkpoint_every;
+    };
+  }
   if (!host->run_to_quiescence([&gen] { return gen.done(); }, run_opts)) {
     // The queue drained (or the wall budget lapsed) with casts unresolved
     // (e.g. a lossy link ate a vote): fail loudly rather than emit metrics
@@ -180,12 +244,31 @@ VoteCollectionResult run_vote_collection(const VoteCollectionConfig& cfg) {
   if (gen.rejected() > 0) throw ProtocolError("benchmark vote rejected");
 
   VoteCollectionResult out;
+  out.setup = setup_sample_;
+  out.collection = instr.end_phase();
+  // Between done() probes the sim can pop a few of the far-future
+  // election-end timers, teleporting now() to t_end (~int64max/4); the
+  // phase's meaningful virtual span ends at the last receipt — the same
+  // span the throughput figure uses.
+  if (gen.last_receipt() >= 0) {
+    out.collection.virtual_s = std::min(
+        out.collection.virtual_s,
+        static_cast<double>(gen.last_receipt() - virt_base) / 1e6);
+  }
   out.completed = gen.completed();
   out.mean_latency_ms = gen.mean_latency_us() / 1000.0;
   double span_s =
       static_cast<double>(gen.last_receipt() - gen.first_send()) / 1e6;
   out.throughput_ops = span_s > 0 ? gen.completed() / span_s : 0;
   return out;
+}
+
+VoteCollectionResult run_vote_collection(const VoteCollectionConfig& cfg) {
+  VoteCollectionCampaign campaign(cfg);
+  campaign.generate();
+  // Single-use campaign: the only cell is the final one (moves the master
+  // data instead of copying, matching the pre-campaign memory profile).
+  return campaign.run_cell(cfg.n_shards, nullptr, 0, /*final_cell=*/true);
 }
 
 }  // namespace ddemos::bench

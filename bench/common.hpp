@@ -4,6 +4,7 @@
 #pragma once
 
 #include <cstdlib>
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -11,6 +12,7 @@
 #include "core/workload.hpp"
 #include "crypto/rng.hpp"
 #include "ea/ea.hpp"
+#include "instrumentation.hpp"
 #include "sim/sim.hpp"
 #include "store/ballot_store.hpp"
 #include "vc/vc_node.hpp"
@@ -59,6 +61,66 @@ struct VoteCollectionResult {
   double throughput_ops = 0;   // receipts per second of (virtual|wall) time
   double mean_latency_ms = 0;  // client-perceived
   std::size_t completed = 0;
+  // Uniform accounting (bench::Instrumentation) for the two campaign
+  // phases: EA streaming generation into the stores, and the collection
+  // run itself (events, allocations, RSS, wall + virtual time).
+  PhaseSample setup, collection;
+};
+
+// Ballot-universe size a config resolves to: the explicit n_ballots (or
+// the max(casts, 2000) default) clamped up to the cast count — a closed
+// loop casting `casts` distinct ballots needs at least that many serials,
+// and an under-sized universe used to silently shrink the measured run.
+std::size_t resolve_n_ballots(const VoteCollectionConfig& cfg);
+
+// A reusable vote-collection campaign, split so large sweeps amortize the
+// expensive EA generation phase: generate() streams the EA's per-ballot
+// data into the configured stores (DiskBallotSource builders or in-memory
+// vectors) exactly once; run_cell() then hosts a fresh cluster over that
+// data per sweep cell (vc shards vary per cell, the ballot files and the
+// captured vote targets are shared). run_vote_collection() is the
+// single-cell convenience wrapper the Figure 4/5 benches use.
+class VoteCollectionCampaign {
+ public:
+  explicit VoteCollectionCampaign(VoteCollectionConfig cfg);
+
+  // Phase 1: EA streaming setup. Returns the phase's accounting sample
+  // (also retained in every later result's `setup` field).
+  const PhaseSample& generate();
+
+  // Periodic progress snapshot during a cell run (fig6's checkpoint log).
+  struct Checkpoint {
+    std::size_t completed = 0, total = 0;  // casts resolved so far
+    double wall_s = 0;                     // since the cell run began
+    sim::TimePoint virtual_us = 0;         // host clock at the snapshot
+    std::uint64_t events = 0;              // dispatched in the cell so far
+    std::uint64_t rss_kb = 0;
+  };
+  using CheckpointFn = std::function<void(const Checkpoint&)>;
+
+  // Phase 2: build a cluster with `n_shards` worker shards per VC node
+  // over the generated data and drive the closed loop to completion.
+  // `checkpoint` (if set) fires every `checkpoint_every` completed casts.
+  // `final_cell` moves the master targets/ballots into the cluster instead
+  // of copying them (halves peak RSS for memory-backed runs); no further
+  // cell may run after it.
+  VoteCollectionResult run_cell(std::size_t n_shards,
+                                const CheckpointFn& checkpoint = nullptr,
+                                std::size_t checkpoint_every = 0,
+                                bool final_cell = false);
+
+  std::size_t n_ballots() const { return n_ballots_; }
+
+ private:
+  VoteCollectionConfig cfg_;
+  std::size_t n_ballots_ = 0;
+  ea::SetupArtifacts arts_;
+  std::vector<core::VoteTarget> targets_;
+  // Kept as the master copy so every run_cell gets a fresh source
+  // (!disk_store only; disk cells re-open the files per cell).
+  std::vector<std::vector<core::VcBallotInit>> mem_ballots_;
+  PhaseSample setup_sample_;
+  bool generated_ = false;
 };
 
 // Runs the vote-collection phase only (as the paper's Figure 4/5a/5b
@@ -67,7 +129,8 @@ struct VoteCollectionResult {
 // over the real multi-threaded transport with real crypto.
 VoteCollectionResult run_vote_collection(const VoteCollectionConfig& cfg);
 
-// Environment-variable scaling knob shared by all figure benches.
+// Environment-variable scaling knobs shared by all figure benches.
 std::size_t env_size(const char* name, std::size_t def);
+std::string env_str(const char* name, const char* def);
 
 }  // namespace ddemos::bench

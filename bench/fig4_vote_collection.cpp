@@ -59,9 +59,10 @@ int main() {
         rows.push_back(Row{vc, cc, r.mean_latency_ms, r.throughput_ops});
         std::printf("BENCH_JSON {\"bench\":\"fig4\",\"net\":\"%s\","
                     "\"vc\":%zu,\"cc\":%zu,\"casts\":%zu,"
-                    "\"throughput_ops\":%.0f,\"latency_ms\":%.2f}\n",
+                    "\"throughput_ops\":%.0f,\"latency_ms\":%.2f,%s}\n",
                     net, vc, cc, cfg.casts, r.throughput_ops,
-                    r.mean_latency_ms);
+                    r.mean_latency_ms,
+                    accounting_fields(r.collection).c_str());
         std::fflush(stdout);
       }
     }

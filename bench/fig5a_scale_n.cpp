@@ -52,8 +52,9 @@ int main() {
                 r.mean_latency_ms);
     std::printf("BENCH_JSON {\"bench\":\"fig5a\",\"mode\":\"sim-n\","
                 "\"n\":%zu,\"shards\":1,"
-                "\"throughput_ops\":%.0f,\"latency_ms\":%.2f}\n",
-                n, r.throughput_ops, r.mean_latency_ms);
+                "\"throughput_ops\":%.0f,\"latency_ms\":%.2f,%s}\n",
+                n, r.throughput_ops, r.mean_latency_ms,
+                accounting_fields(r.collection).c_str());
     std::fflush(stdout);
   }
   std::filesystem::remove_all(dir);
@@ -64,29 +65,33 @@ int main() {
       env_size("DDEMOS_FIG5A_SHARD_BALLOTS", std::max<std::size_t>(step, 2000));
 
   // One sweep body for both backends so the sim and ThreadNet curves in
-  // the perf-trajectory artifact stay comparable field-for-field.
+  // the perf-trajectory artifact stay comparable field-for-field. The EA
+  // generation runs once per backend (VoteCollectionCampaign); only the
+  // cluster + closed loop are rebuilt per shard cell.
   auto shard_sweep = [&](const char* mode, bool threads,
                          std::size_t concurrency, std::uint64_t seed) {
+    VoteCollectionConfig cfg;
+    cfg.n_vc = 4;
+    cfg.f_vc = 1;
+    cfg.concurrency = concurrency;
+    cfg.casts = shard_casts;
+    cfg.n_ballots = shard_ballots;
+    cfg.options = 2;
+    cfg.seed = seed;
+    cfg.threads = threads;
+    VoteCollectionCampaign campaign(cfg);
+    campaign.generate();
     std::printf("%-8s %12s %12s\n", "shards", "ops/sec", "latency_ms");
     for (std::size_t shards = 1; shards <= max_shards; shards *= 2) {
-      VoteCollectionConfig cfg;
-      cfg.n_vc = 4;
-      cfg.f_vc = 1;
-      cfg.concurrency = concurrency;
-      cfg.casts = shard_casts;
-      cfg.n_ballots = shard_ballots;
-      cfg.options = 2;
-      cfg.seed = seed;
-      cfg.n_shards = shards;
-      cfg.threads = threads;
-      VoteCollectionResult r = run_vote_collection(cfg);
+      VoteCollectionResult r = campaign.run_cell(
+          shards, nullptr, 0, /*final_cell=*/shards * 2 > max_shards);
       std::printf("%-8zu %12.0f %12.1f\n", shards, r.throughput_ops,
                   r.mean_latency_ms);
       std::printf("BENCH_JSON {\"bench\":\"fig5a\",\"mode\":\"%s\","
                   "\"n\":%zu,\"shards\":%zu,"
-                  "\"throughput_ops\":%.0f,\"latency_ms\":%.2f}\n",
+                  "\"throughput_ops\":%.0f,\"latency_ms\":%.2f,%s}\n",
                   mode, shard_ballots, shards, r.throughput_ops,
-                  r.mean_latency_ms);
+                  r.mean_latency_ms, accounting_fields(r.collection).c_str());
       std::fflush(stdout);
     }
   };

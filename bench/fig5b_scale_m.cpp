@@ -28,8 +28,9 @@ int main() {
     std::printf("%-6zu %12.0f %12.1f\n", m, r.throughput_ops,
                 r.mean_latency_ms);
     std::printf("BENCH_JSON {\"bench\":\"fig5b\",\"m\":%zu,"
-                "\"throughput_ops\":%.0f,\"latency_ms\":%.2f}\n",
-                m, r.throughput_ops, r.mean_latency_ms);
+                "\"throughput_ops\":%.0f,\"latency_ms\":%.2f,%s}\n",
+                m, r.throughput_ops, r.mean_latency_ms,
+                accounting_fields(r.collection).c_str());
     std::fflush(stdout);
   }
   return 0;

@@ -9,6 +9,7 @@
 
 #include "common.hpp"
 #include "core/driver.hpp"
+#include "instrumentation.hpp"
 
 using namespace ddemos;
 using namespace ddemos::core;
@@ -47,7 +48,14 @@ int main() {
       return static_cast<sim::TimePoint>(v) * 100;
     });
     cfg.measure_cpu = true;
+    // Sharper phase boundaries for the per-phase accounting rows.
+    cfg.probe_interval = 64;
     ElectionDriver driver(cfg);
+    // Per-phase accounting rides the driver's phase hooks: one
+    // Instrumentation sample per election phase (voting / consensus /
+    // tally / result), emitted as its own BENCH_JSON row below.
+    bench::InstrumentationObserver accounting(&driver.host());
+    driver.add_observer(&accounting);
     ElectionReport r = driver.run();
 
     std::printf("%-10zu %14.2f %14.2f %14.2f %14.2f\n", casts,
@@ -55,12 +63,15 @@ int main() {
                 r.phases.push_tally_s(), r.phases.publish_s());
     std::printf("BENCH_JSON {\"bench\":\"fig5c\",\"casts\":%zu,"
                 "\"collection_s\":%.3f,\"consensus_s\":%.3f,"
-                "\"push_tally_s\":%.3f,\"publish_s\":%.3f,"
-                "\"events\":%llu,\"allocations\":%llu}\n",
+                "\"push_tally_s\":%.3f,\"publish_s\":%.3f,%s}\n",
                 casts, r.phases.collection_s(), r.phases.consensus_s(),
                 r.phases.push_tally_s(), r.phases.publish_s(),
-                static_cast<unsigned long long>(r.events_processed),
-                static_cast<unsigned long long>(r.payload_allocations));
+                bench::accounting_fields(r).c_str());
+    for (const bench::PhaseSample& s : accounting.samples()) {
+      std::printf("BENCH_JSON {\"bench\":\"fig5c\",\"casts\":%zu,"
+                  "\"phase\":\"%s\",%s}\n",
+                  casts, s.phase.c_str(), bench::accounting_fields(s).c_str());
+    }
     std::fflush(stdout);
   }
   return 0;

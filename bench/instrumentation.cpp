@@ -1,0 +1,106 @@
+#include "instrumentation.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+
+#include "net/buffer.hpp"
+#include "util/error.hpp"
+#include "util/proc_stats.hpp"
+
+namespace ddemos::bench {
+
+namespace {
+
+double wall_now_s() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+std::string accounting_fields(const PhaseSample& s) {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "\"wall_s\":%.3f,\"virtual_s\":%.3f,\"events\":%llu,"
+                "\"events_per_sec\":%.0f,\"allocations\":%llu,"
+                "\"rss_kb\":%llu,\"peak_rss_kb\":%llu",
+                s.wall_s, s.virtual_s,
+                static_cast<unsigned long long>(s.events), s.events_per_sec(),
+                static_cast<unsigned long long>(s.allocations),
+                static_cast<unsigned long long>(s.rss_kb),
+                static_cast<unsigned long long>(s.peak_rss_kb));
+  return buf;
+}
+
+std::string accounting_fields(const core::ElectionReport& r) {
+  PhaseSample s;
+  s.wall_s = r.wall_seconds;
+  s.virtual_s =
+      static_cast<double>(r.phases.result_published_at - r.phases.t_start) /
+      1e6;
+  s.events = r.events_processed;
+  s.allocations = r.payload_allocations;
+  s.rss_kb = util::current_rss_kb();
+  s.peak_rss_kb = std::max(r.peak_rss_kb, s.rss_kb);
+  return accounting_fields(s);
+}
+
+void Instrumentation::begin_phase(std::string name) {
+  if (open_) end_phase();
+  open_ = true;
+  open_name_ = std::move(name);
+  wall_base_s_ = wall_now_s();
+  virtual_base_ = host_ ? host_->now() : 0;
+  events_base_ = host_ ? host_->events_dispatched() : 0;
+  alloc_base_ = net::Buffer::payload_allocations();
+}
+
+PhaseSample Instrumentation::end_phase() {
+  if (!open_) throw ProtocolError("Instrumentation: no open phase to end");
+  PhaseSample s;
+  s.phase = std::move(open_name_);
+  s.wall_s = wall_now_s() - wall_base_s_;
+  s.virtual_s =
+      host_ ? static_cast<double>(host_->now() - virtual_base_) / 1e6 : 0;
+  s.events = host_ ? host_->events_dispatched() - events_base_ : 0;
+  s.allocations = net::Buffer::payload_allocations() - alloc_base_;
+  s.rss_kb = util::current_rss_kb();
+  // getrusage and /proc/self/statm account pages slightly differently;
+  // clamp so the reported peak is never below the current sample.
+  s.peak_rss_kb = std::max(util::peak_rss_kb(), s.rss_kb);
+  open_ = false;
+  samples_.push_back(std::move(s));
+  return samples_.back();
+}
+
+const PhaseSample* Instrumentation::sample(const std::string& phase) const {
+  for (const PhaseSample& s : samples_) {
+    if (s.phase == phase) return &s;
+  }
+  return nullptr;
+}
+
+const char* InstrumentationObserver::phase_name(core::ElectionPhase phase) {
+  switch (phase) {
+    case core::ElectionPhase::kVoting: return "voting";
+    case core::ElectionPhase::kConsensus: return "consensus";
+    case core::ElectionPhase::kTally: return "tally";
+    case core::ElectionPhase::kResult: return "result";
+  }
+  return "unknown";
+}
+
+void InstrumentationObserver::on_phase_entered(core::ElectionPhase phase,
+                                               sim::TimePoint) {
+  // begin_phase closes the previous phase, so each election phase's sample
+  // spans exactly [its entry, the next phase's entry).
+  instr_.begin_phase(phase_name(phase));
+}
+
+void InstrumentationObserver::on_complete(const core::ElectionReport&) {
+  if (instr_.phase_open()) instr_.end_phase();
+}
+
+}  // namespace ddemos::bench

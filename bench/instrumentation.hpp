@@ -1,0 +1,95 @@
+// Shared benchmark instrumentation (extracted from micro_dispatch's ad-hoc
+// accounting): phase-scoped counters over the hosting runtime's dispatched
+// events, the zero-copy pipeline's payload allocations, wall + virtual
+// time, and process RSS. Every figure bench splices the same uniform
+// BENCH_JSON fields (accounting_fields) into its rows, so the CI
+// perf-trajectory tooling joins event/allocation/memory readings across
+// benches; InstrumentationObserver adapts the layer to the election
+// driver's phase hooks for full-system runs.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/driver.hpp"
+#include "sim/runtime.hpp"
+
+namespace ddemos::bench {
+
+// Counters accumulated between begin_phase and end_phase. Time and event
+// counters are deltas over the phase; the RSS readings are absolute
+// samples taken at phase end (peak_rss_kb is process-lifetime peak, so it
+// is monotone across phases by construction).
+struct PhaseSample {
+  std::string phase;
+  double wall_s = 0;
+  double virtual_s = 0;           // host time advance (virtual on the sim)
+  std::uint64_t events = 0;       // handler invocations dispatched
+  std::uint64_t allocations = 0;  // net::Buffer payload allocations
+  std::uint64_t rss_kb = 0;       // resident set at phase end
+  std::uint64_t peak_rss_kb = 0;  // process peak RSS at phase end
+  double events_per_sec() const { return wall_s > 0 ? events / wall_s : 0; }
+};
+
+// The uniform BENCH_JSON fragment (no braces, no leading/trailing comma):
+//   "wall_s":…,"virtual_s":…,"events":…,"events_per_sec":…,
+//   "allocations":…,"rss_kb":…,"peak_rss_kb":…
+std::string accounting_fields(const PhaseSample& s);
+// The same fields read out of a completed election report (virtual_s from
+// the phase breakdown's full span).
+std::string accounting_fields(const core::ElectionReport& r);
+
+class Instrumentation {
+ public:
+  // `host` supplies the event counter and virtual clock; null records
+  // wall/allocation/RSS only (events stay 0).
+  explicit Instrumentation(const sim::RuntimeHost* host = nullptr)
+      : host_(host) {}
+  void attach(const sim::RuntimeHost* host) { host_ = host; }
+
+  // Opens a phase, implicitly closing any phase still open.
+  void begin_phase(std::string name);
+  // Closes the open phase, appends its sample and returns a copy (by
+  // value: samples_ may reallocate on the next phase); throws
+  // ProtocolError when no phase is open.
+  PhaseSample end_phase();
+  bool phase_open() const { return open_; }
+
+  const std::vector<PhaseSample>& samples() const { return samples_; }
+  // First sample recorded under `phase`, or null.
+  const PhaseSample* sample(const std::string& phase) const;
+
+ private:
+  const sim::RuntimeHost* host_ = nullptr;
+  bool open_ = false;
+  std::string open_name_;
+  double wall_base_s_ = 0;
+  sim::TimePoint virtual_base_ = 0;
+  std::uint64_t events_base_ = 0;
+  std::uint64_t alloc_base_ = 0;
+  std::vector<PhaseSample> samples_;
+};
+
+// ElectionObserver adapter: cuts one Instrumentation phase per election
+// phase (voting / consensus / tally / result), closing the last one at
+// on_complete. Attach the driver's host before run() for event counts.
+class InstrumentationObserver final : public core::ElectionObserver {
+ public:
+  explicit InstrumentationObserver(const sim::RuntimeHost* host = nullptr)
+      : instr_(host) {}
+  void attach(const sim::RuntimeHost* host) { instr_.attach(host); }
+
+  void on_phase_entered(core::ElectionPhase phase, sim::TimePoint at) override;
+  void on_complete(const core::ElectionReport& report) override;
+
+  static const char* phase_name(core::ElectionPhase phase);
+  const std::vector<PhaseSample>& samples() const { return instr_.samples(); }
+  const PhaseSample* sample(const std::string& phase) const {
+    return instr_.sample(phase);
+  }
+
+ private:
+  Instrumentation instr_;
+};
+
+}  // namespace ddemos::bench

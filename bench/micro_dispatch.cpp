@@ -5,10 +5,10 @@
 //
 //   DDEMOS_BENCH_EVENTS  total dispatched events in the storm (default 2e6)
 //   DDEMOS_BENCH_NODES   ring size (default 64)
-#include <chrono>
 #include <cstdio>
 
 #include "common.hpp"
+#include "instrumentation.hpp"
 #include "net/buffer.hpp"
 #include "sim/sim.hpp"
 
@@ -81,20 +81,21 @@ int main() {
   const std::uint32_t hops =
       static_cast<std::uint32_t>(total_events / n_nodes);
   for (auto* n : nodes) n->inject(hops);
-  // Injected sends depart from context of a finished handler; drain now.
-  auto wall_start = std::chrono::steady_clock::now();
-  std::size_t events = sim.run_until_idle(total_events + n_nodes + 16);
-  double secs = std::chrono::duration<double>(
-                    std::chrono::steady_clock::now() - wall_start)
-                    .count();
-  double events_per_sec = secs > 0 ? static_cast<double>(events) / secs : 0;
+  // Injected sends depart from context of a finished handler; drain now,
+  // accounted through the shared instrumentation layer every bench uses.
+  bench::Instrumentation instr(&sim);
+  instr.begin_phase("dispatch");
+  sim.run_until_idle(total_events + n_nodes + 16);
+  bench::PhaseSample storm = instr.end_phase();
 
-  std::printf("# micro_dispatch: %zu nodes, %zu events, %.2fs wall\n",
-              n_nodes, events, secs);
+  std::printf("# micro_dispatch: %zu nodes, %llu events, %.2fs wall\n",
+              n_nodes, static_cast<unsigned long long>(storm.events),
+              storm.wall_s);
   std::printf("BENCH_JSON {\"bench\":\"micro_dispatch\","
               "\"metric\":\"events_per_sec\",\"value\":%.0f,"
-              "\"nodes\":%zu,\"events\":%zu}\n",
-              events_per_sec, n_nodes, events);
+              "\"nodes\":%zu,%s}\n",
+              storm.events_per_sec(), n_nodes,
+              bench::accounting_fields(storm).c_str());
 
   // --- payload allocations per multicast ----------------------------------
   const std::size_t fan = 32, rounds = 1000;
@@ -108,16 +109,18 @@ int main() {
       msim.add_node(std::make_unique<FanoutNode>(sinks), "fanout")));
   msim.start();
   msim.run_until_idle();
-  net::Buffer::reset_payload_allocations();
+  instr.attach(&msim);
+  instr.begin_phase("multicast");
   for (std::size_t r = 0; r < rounds; ++r) {
     fanout->multicast_round();
     msim.run_until_idle();
   }
-  double allocs_per_multicast =
-      static_cast<double>(net::Buffer::payload_allocations()) / rounds;
+  bench::PhaseSample mc = instr.end_phase();
+  double allocs_per_multicast = static_cast<double>(mc.allocations) / rounds;
   std::printf("BENCH_JSON {\"bench\":\"micro_dispatch\","
               "\"metric\":\"allocations_per_multicast\",\"value\":%.3f,"
-              "\"recipients\":%zu,\"rounds\":%zu}\n",
-              allocs_per_multicast, fan, rounds);
+              "\"recipients\":%zu,\"rounds\":%zu,%s}\n",
+              allocs_per_multicast, fan, rounds,
+              bench::accounting_fields(mc).c_str());
   return 0;
 }

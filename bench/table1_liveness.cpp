@@ -8,6 +8,7 @@
 
 #include "common.hpp"
 #include "core/driver.hpp"
+#include "instrumentation.hpp"
 
 using namespace ddemos;
 using namespace ddemos::core;
@@ -56,8 +57,9 @@ int main() {
     std::printf("%-6zu %14.1f %14.1f %14.1f %8s\n", nv, tcomp_ms, twait_ms,
                 measured_ms, ok ? "HOLDS" : "VIOLATED");
     std::printf("BENCH_JSON {\"bench\":\"table1\",\"nv\":%zu,"
-                "\"twait_ms\":%.1f,\"measured_ms\":%.1f,\"holds\":%s}\n",
-                nv, twait_ms, measured_ms, ok ? "true" : "false");
+                "\"twait_ms\":%.1f,\"measured_ms\":%.1f,\"holds\":%s,%s}\n",
+                nv, twait_ms, measured_ms, ok ? "true" : "false",
+                bench::accounting_fields(report).c_str());
     std::fflush(stdout);
   }
   return 0;

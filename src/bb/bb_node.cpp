@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "crypto/batch.hpp"
 #include "crypto/commit.hpp"
 #include "crypto/schnorr.hpp"
 #include "ea/ea.hpp"
@@ -21,6 +22,19 @@ std::uint64_t scalar_to_u64(const crypto::Fn& s) {
     v = v << 8 | be[static_cast<std::size_t>(i)];
   }
   return v;
+}
+
+// Combined check over a trustee dataset's Pedersen-VSS shares: one
+// random-linear-combination MSM covers every share; on failure the
+// per-instance verifier re-runs so a structurally valid message with any
+// bad share is rejected exactly as the serial loops rejected it.
+bool verify_vss_instances(
+    const std::vector<crypto::PedersenVssInstance>& insts) {
+  if (crypto::pedersen_vss_verify_batch(insts)) return true;
+  return std::all_of(insts.begin(), insts.end(),
+                     [](const crypto::PedersenVssInstance& i) {
+                       return crypto::pedersen_vss_verify(i.share, i.comms);
+                     });
 }
 
 void encode_published_line(Writer& w, const PublishedLine& l) {
@@ -257,12 +271,15 @@ void BbNode::maybe_combine_ballot(Serial serial) {
   auto dit = trustee_ballot_data_.find(serial);
   if (dit == trustee_ballot_data_.end()) return;
 
-  // Validate whole trustee datasets; keep the first ht valid ones.
+  // Validate whole trustee datasets; keep the first ht valid ones. The
+  // structural pass collects every Pedersen-VSS share with its commitment
+  // polynomial, then one batched check replaces the per-share loop.
   std::vector<const TrusteeBallotMsg*> valid;
   for (const auto& [tidx, msg] : dit->second) {
     if ((msg.voted != 0) != pb.voted) continue;
     if (pb.voted && msg.used_part != pb.used_part) continue;
     bool ok = true;
+    std::vector<crypto::PedersenVssInstance> insts;
     for (std::size_t part = 0; part < kNumParts && ok; ++part) {
       bool used = pb.voted && pb.used_part == part;
       const TrusteePartData& pd = msg.parts[part];
@@ -283,7 +300,7 @@ void BbNode::maybe_combine_ballot(Serial serial) {
             ok = false;
             break;
           }
-          for (std::size_t j = 0; j < m && ok; ++j) {
+          for (std::size_t j = 0; j < m; ++j) {
             for (std::size_t k = 0; k < 4; ++k) {
               // comms for u + challenge * v.
               std::vector<crypto::Point> eval;
@@ -293,22 +310,17 @@ void BbNode::maybe_combine_ballot(Serial serial) {
                 eval.push_back(crypto::ec_add(
                     cu[t], crypto::ec_mul(challenge_, cv[t])));
               }
-              if (!crypto::pedersen_vss_verify(pd.zk_bits[l][j][k], eval)) {
-                ok = false;
-                break;
-              }
+              insts.push_back({pd.zk_bits[l][j][k], std::move(eval)});
             }
           }
-          if (ok) {
-            std::vector<crypto::Point> eval;
-            const auto& su = zc[8 * m];
-            const auto& sv = zc[8 * m + 1];
-            for (std::size_t t = 0; t < su.size(); ++t) {
-              eval.push_back(crypto::ec_add(
-                  su[t], crypto::ec_mul(challenge_, sv[t])));
-            }
-            if (!crypto::pedersen_vss_verify(pd.zk_sum[l], eval)) ok = false;
+          std::vector<crypto::Point> eval;
+          const auto& su = zc[8 * m];
+          const auto& sv = zc[8 * m + 1];
+          for (std::size_t t = 0; t < su.size(); ++t) {
+            eval.push_back(crypto::ec_add(
+                su[t], crypto::ec_mul(challenge_, sv[t])));
           }
+          insts.push_back({pd.zk_sum[l], std::move(eval)});
         }
       } else {
         if (pd.openings.size() != lines.size()) {
@@ -322,18 +334,15 @@ void BbNode::maybe_combine_ballot(Serial serial) {
             break;
           }
           for (std::size_t j = 0; j < m; ++j) {
-            if (!crypto::pedersen_vss_verify(pd.openings[l][j].first,
-                                             lines[l].opening_comms[2 * j]) ||
-                !crypto::pedersen_vss_verify(
-                    pd.openings[l][j].second,
-                    lines[l].opening_comms[2 * j + 1])) {
-              ok = false;
-              break;
-            }
+            insts.push_back(
+                {pd.openings[l][j].first, lines[l].opening_comms[2 * j]});
+            insts.push_back(
+                {pd.openings[l][j].second, lines[l].opening_comms[2 * j + 1]});
           }
         }
       }
     }
+    ok = ok && verify_vss_instances(insts);
     if (ok) valid.push_back(&msg);
     if (valid.size() == ht) break;
   }
@@ -449,17 +458,17 @@ void BbNode::maybe_publish_result() {
     first = false;
   }
 
-  // Verify each trustee's total shares, keep ht valid contributions.
+  // Verify each trustee's total shares (one batched MSM per trustee, the
+  // per-share fallback attributing any failure), keep ht valid ones.
   std::vector<const TrusteeTallyMsg*> valid;
   for (const auto& [tidx, msg] : trustee_tally_data_) {
-    bool ok = true;
-    for (std::size_t j = 0; j < m && ok; ++j) {
-      if (!crypto::pedersen_vss_verify(msg.totals[j].first, m_comms[j]) ||
-          !crypto::pedersen_vss_verify(msg.totals[j].second, r_comms[j])) {
-        ok = false;
-      }
+    std::vector<crypto::PedersenVssInstance> insts;
+    insts.reserve(2 * m);
+    for (std::size_t j = 0; j < m; ++j) {
+      insts.push_back({msg.totals[j].first, m_comms[j]});
+      insts.push_back({msg.totals[j].second, r_comms[j]});
     }
-    if (ok) valid.push_back(&msg);
+    if (verify_vss_instances(insts)) valid.push_back(&msg);
     if (valid.size() == ht) break;
   }
   if (valid.size() < ht) return;

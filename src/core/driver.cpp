@@ -4,6 +4,7 @@
 #include <unordered_set>
 
 #include "util/error.hpp"
+#include "util/proc_stats.hpp"
 
 namespace ddemos::core {
 
@@ -249,13 +250,14 @@ void ElectionDriver::probe_phases() {
 ElectionReport ElectionDriver::run() {
   auto wall_start = std::chrono::steady_clock::now();
   std::uint64_t alloc_base = net::Buffer::payload_allocations();
-  std::uint64_t events_base = sim_ ? sim_->events_processed() : 0;
+  std::uint64_t events_base = host_->events_dispatched();
   std::uint64_t delivered_base = sim_ ? sim_->delivered_messages() : 0;
   std::uint64_t dropped_base = sim_ ? sim_->dropped_messages() : 0;
 
   sim::RunOptions opts;
   opts.max_events = cfg_.max_events;
   opts.wall_timeout_us = cfg_.wall_timeout_us;
+  opts.probe_interval = cfg_.probe_interval;
   opts.probe = [this] { probe_phases(); };
 
   for (ElectionObserver* o : observers_) {
@@ -279,13 +281,14 @@ ElectionReport ElectionDriver::run() {
 
   report_ = harvest();
   report_.completed = report_.completed && done_in_budget;
+  report_.events_processed = host_->events_dispatched() - events_base;
   if (sim_) {
-    report_.events_processed = sim_->events_processed() - events_base;
     report_.messages_delivered = sim_->delivered_messages() - delivered_base;
     report_.messages_dropped = sim_->dropped_messages() - dropped_base;
   }
   report_.payload_allocations =
       net::Buffer::payload_allocations() - alloc_base;
+  report_.peak_rss_kb = util::peak_rss_kb();
   report_.wall_seconds =
       std::chrono::duration_cast<std::chrono::duration<double>>(
           std::chrono::steady_clock::now() - wall_start)

@@ -68,6 +68,9 @@ struct DriverConfig {
   bool measure_cpu = false;
   std::size_t max_events = 50'000'000;  // simulator event budget per run()
   sim::Duration wall_timeout_us = 60'000'000;  // ThreadNet completion cap
+  // Events between phase probes on the simulator: smaller = sharper phase
+  // boundaries for observers, at some dispatch-loop overhead.
+  std::size_t probe_interval = 1024;
 };
 
 // Node ids of an election instantiated on some RuntimeHost.
@@ -133,11 +136,15 @@ struct ElectionReport {
   // entry per shard even when vc_shards = 1.
   std::vector<std::vector<vc::VcShardStats>> vc_shard_stats;
   // Runtime accounting for the run() span (zeros on ThreadNet where noted).
-  std::uint64_t events_processed = 0;    // simulator only
+  std::uint64_t events_processed = 0;    // handler invocations, both backends
   std::uint64_t messages_delivered = 0;  // simulator only
   std::uint64_t messages_dropped = 0;    // simulator only
   std::uint64_t payload_allocations = 0;
+  std::uint64_t peak_rss_kb = 0;  // process peak RSS sampled after the run
   double wall_seconds = 0;  // real time spent inside run()
+  double events_per_sec() const {
+    return wall_seconds > 0 ? events_processed / wall_seconds : 0;
+  }
 };
 
 enum class ElectionPhase : std::uint8_t {

@@ -190,6 +190,58 @@ bool verify_sum_batch(const Point& key,
   return ec_msm(ks, ps).is_infinity();
 }
 
+bool pedersen_vss_verify_batch(std::span<const PedersenVssInstance> xs) {
+  if (xs.empty()) return true;
+  std::size_t comm_terms = 0;
+  for (const PedersenVssInstance& x : xs) {
+    // The per-instance verifier rejects an empty commitment vector; so
+    // must the combined check (a zero contribution would accept it).
+    if (x.comms.empty()) return false;
+    comm_terms += x.comms.size();
+  }
+  Sha256 seed;
+  seed.update(to_bytes("ddemos/batch/pvss"));
+  for (const PedersenVssInstance& x : xs) {
+    std::uint8_t idx[4];
+    for (int i = 0; i < 4; ++i) {
+      idx[i] = static_cast<std::uint8_t>(x.share.x >> (8 * i));
+    }
+    seed.update(BytesView(idx, 4));
+    absorb_scalar(seed, x.share.f);
+    absorb_scalar(seed, x.share.g);
+    for (const Point& c : x.comms) absorb_point(seed, c);
+  }
+  WeightStream ws(seed.finish());
+
+  // Sum over instances of w*(f*G + g*H - sum_j x^j C_j) == 0: G and H each
+  // collect one combined scalar, every coefficient commitment contributes
+  // one w*x^j term (x is a small trustee index, but w*x^j is full-size —
+  // the weights dominate the extra MSM work per instance).
+  std::vector<Fn> ks;
+  std::vector<Point> ps;
+  ks.reserve(comm_terms + 2);
+  ps.reserve(comm_terms + 2);
+  Fn g_coeff = Fn::zero();
+  Fn h_coeff = Fn::zero();
+  for (const PedersenVssInstance& x : xs) {
+    Fn w = ws.next();
+    g_coeff = g_coeff + w * x.share.f;
+    h_coeff = h_coeff + w * x.share.g;
+    Fn xi = Fn::from_u64(x.share.x);
+    Fn xp = w;
+    for (const Point& c : x.comms) {
+      ks.push_back(xp);
+      ps.push_back(ec_neg(c));
+      xp = xp * xi;
+    }
+  }
+  ks.push_back(g_coeff);
+  ps.push_back(ec_generator());
+  ks.push_back(h_coeff);
+  ps.push_back(ec_generator_h());
+  return ec_msm(ks, ps).is_infinity();
+}
+
 bool eg_open_check_batch(const Point& key,
                          std::span<const EgOpenInstance> xs) {
   if (xs.empty()) return true;

@@ -13,6 +13,7 @@
 #include <span>
 #include <vector>
 
+#include "crypto/pedersen.hpp"
 #include "crypto/zkp.hpp"
 
 namespace ddemos::crypto {
@@ -49,5 +50,18 @@ struct EgOpenInstance {
 // an MSM of 2N+2 terms (the weights themselves are the only full-size
 // scalars multiplied per instance).
 bool eg_open_check_batch(const Point& key, std::span<const EgOpenInstance> xs);
+
+struct PedersenVssInstance {
+  PedersenShare share;
+  std::vector<Point> comms;  // coefficient commitments for this share
+};
+// Batched pedersen_vss_verify: all N share checks
+//   f_i*G + g_i*H - sum_j x_i^j C_ij == 0
+// fold into one MSM with a single combined G and H term plus one
+// w_i*x_i^j term per coefficient commitment. Matches the per-instance
+// verifier's rejection of an empty commitment vector (whole batch fails).
+// Used by the BB nodes' trustee-message verification; callers fall back to
+// pedersen_vss_verify per instance on failure to attribute blame.
+bool pedersen_vss_verify_batch(std::span<const PedersenVssInstance> xs);
 
 }  // namespace ddemos::crypto

@@ -232,6 +232,7 @@ void ThreadNet::worker_loop(Node& node, Shard& shard) {
     for (std::uint64_t token : due) {
       lk.unlock();
       node.proc->on_timer(token);
+      dispatched_.fetch_add(1, std::memory_order_relaxed);
       notify_progress();
       lk.lock();
     }
@@ -240,6 +241,7 @@ void ThreadNet::worker_loop(Node& node, Shard& shard) {
       shard.inbox.pop_front();
       lk.unlock();
       node.proc->on_message(m.from, m.payload);
+      dispatched_.fetch_add(1, std::memory_order_relaxed);
       notify_progress();
       lk.lock();
       continue;

@@ -71,6 +71,12 @@ class ThreadNet final : public sim::RuntimeHost {
   // approximate.
   std::vector<std::size_t> shard_queue_high_water(NodeId id) const override;
 
+  // Handler invocations (messages + timers) dispatched across all workers.
+  // Exact after stop(); a mid-run read is a consistent lower bound.
+  std::uint64_t events_dispatched() const override {
+    return dispatched_.load(std::memory_order_relaxed);
+  }
+
  private:
   class NodeContext;
   struct Mail {
@@ -124,6 +130,7 @@ class ThreadNet final : public sim::RuntimeHost {
   // (no lock, no syscall) while it is zero, keeping the per-handler cost
   // of the completion-wait machinery off the transport's hot path.
   std::atomic<int> progress_waiters_{0};
+  std::atomic<std::uint64_t> dispatched_{0};
   std::mutex progress_mu_;
   std::condition_variable progress_cv_;
 

@@ -154,6 +154,11 @@ class RuntimeHost {
   virtual std::vector<std::size_t> shard_queue_high_water(NodeId) const {
     return {};
   }
+  // Cumulative handler invocations (messages + timers) dispatched over the
+  // host's life: the simulator's virtual event count, or the total across
+  // all worker threads on ThreadNet. Drives the uniform events/sec
+  // accounting in ElectionReport and bench::Instrumentation.
+  virtual std::uint64_t events_dispatched() const { return 0; }
 };
 
 }  // namespace ddemos::sim

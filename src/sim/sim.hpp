@@ -93,6 +93,9 @@ class Simulation final : public RuntimeHost {
   std::uint64_t dropped_messages() const { return dropped_; }
   // Cumulative events dispatched (messages + timers) over the sim's life.
   std::uint64_t events_processed() const { return events_processed_; }
+  std::uint64_t events_dispatched() const override {
+    return events_processed_;
+  }
 
   // Used by NodeContext (internal).
   void submit_send(NodeId from, NodeId to, net::Buffer payload,

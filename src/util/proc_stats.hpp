@@ -1,0 +1,48 @@
+// Process memory accounting for the benchmark/instrumentation layer and
+// the election driver's report: current resident set size (sampled from
+// /proc/self/statm) and the process-lifetime peak RSS (getrusage). Both
+// return KiB, or 0 on platforms without the underlying source — callers
+// treat the counters as best-effort telemetry, never control flow.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/resource.h>
+#include <unistd.h>
+#endif
+
+namespace ddemos::util {
+
+inline std::uint64_t current_rss_kb() {
+#if defined(__linux__)
+  std::FILE* f = std::fopen("/proc/self/statm", "r");
+  if (!f) return 0;
+  unsigned long long size = 0, resident = 0;
+  int got = std::fscanf(f, "%llu %llu", &size, &resident);
+  std::fclose(f);
+  if (got != 2) return 0;
+  long page = ::sysconf(_SC_PAGESIZE);
+  if (page <= 0) page = 4096;
+  return resident * static_cast<std::uint64_t>(page) / 1024;
+#else
+  return 0;
+#endif
+}
+
+inline std::uint64_t peak_rss_kb() {
+#if defined(__unix__) || defined(__APPLE__)
+  struct rusage ru;
+  if (::getrusage(RUSAGE_SELF, &ru) != 0) return 0;
+#if defined(__APPLE__)
+  return static_cast<std::uint64_t>(ru.ru_maxrss) / 1024;  // bytes there
+#else
+  return static_cast<std::uint64_t>(ru.ru_maxrss);  // already KiB on Linux
+#endif
+#else
+  return 0;
+#endif
+}
+
+}  // namespace ddemos::util

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "crypto/batch.hpp"
 #include "crypto/pedersen.hpp"
 #include "crypto/rng.hpp"
 #include "crypto/shamir.hpp"
@@ -115,6 +116,37 @@ TEST(PedersenVss, TamperedShareFailsVerification) {
   bad = deal.shares[0];
   bad.g = bad.g + Fn::one();
   EXPECT_FALSE(pedersen_vss_verify(bad, deal.coefficient_comms));
+}
+
+TEST(PedersenVss, BatchVerifyMatchesPerInstance) {
+  // The random-linear-combination batch the BB nodes use for trustee
+  // messages: all-valid batches pass, any tampered share (or an empty
+  // commitment vector) fails the combined check, the empty batch is
+  // trivially true.
+  Rng rng(52);
+  std::vector<PedersenVssInstance> insts;
+  for (std::uint64_t d = 0; d < 3; ++d) {
+    PedersenDeal deal = pedersen_vss_deal(random_scalar(rng), 2 + d, 5, rng);
+    for (const auto& s : deal.shares) {
+      insts.push_back({s, deal.coefficient_comms});
+    }
+  }
+  EXPECT_TRUE(pedersen_vss_verify_batch(insts));
+  EXPECT_TRUE(pedersen_vss_verify_batch({}));
+
+  auto tampered = insts;
+  tampered[7].share.f = tampered[7].share.f + Fn::one();
+  EXPECT_FALSE(pedersen_vss_verify_batch(tampered));
+  // The per-instance fallback attributes the failure to exactly one share.
+  std::size_t bad = 0;
+  for (const auto& i : tampered) {
+    bad += pedersen_vss_verify(i.share, i.comms) ? 0 : 1;
+  }
+  EXPECT_EQ(bad, 1u);
+
+  auto empty_comms = insts;
+  empty_comms[0].comms.clear();
+  EXPECT_FALSE(pedersen_vss_verify_batch(empty_comms));
 }
 
 TEST(PedersenVss, HomomorphicAddition) {

@@ -1,0 +1,264 @@
+#!/usr/bin/env python3
+"""Perf-regression gate over the BENCH_JSON trajectory.
+
+Joins the CI bench-smoke artifact (``bench-smoke.jsonl``) against the
+committed baseline (``bench/baseline.jsonl``) by (bench, params) keys and
+fails when any throughput/latency-style metric regresses by more than the
+threshold (default 35%). Prints a markdown delta table, optionally into
+the GitHub job summary.
+
+Row model: every JSON line is one measured point. Fields are split into
+  * metrics  — numeric fields this tool gates (direction-aware, see
+    METRIC_DIRECTIONS / classify_metric)
+  * params   — everything else; they identify the point and form the join
+    key together with the "bench" field.
+Rows appearing only on one side are reported informationally and never
+fail the gate (benches come and go across PRs); only a matched metric
+moving the wrong way beyond the threshold fails.
+
+Usage:
+  tools/bench_check.py --baseline bench/baseline.jsonl \
+      --current build/bench-smoke.jsonl [--threshold 0.35] \
+      [--summary "$GITHUB_STEP_SUMMARY"] [--warn-only]
+  tools/bench_check.py --self-test
+"""
+
+import argparse
+import json
+import sys
+
+# Exact metric names with a gating direction: +1 = higher is better,
+# -1 = lower is better.
+METRIC_DIRECTIONS = {
+    "throughput_ops": +1,
+    "events_per_sec": +1,
+    "latency_ms": -1,
+    "measured_ms": -1,
+    "collection_s": -1,
+    "consensus_s": -1,
+    "push_tally_s": -1,
+    "publish_s": -1,
+    "allocations_per_multicast": -1,
+    "ns_per_op": -1,
+    "us_per_op": -1,
+}
+
+# Numeric fields that are measurements but too environment-dependent (or
+# informational) to gate: they are excluded from both metrics and the key.
+UNGATED_MEASUREMENTS = {
+    "value",  # micro_dispatch alias of its "metric" field, gated below
+    "wall_s",  # sub-second at smoke scale: pure scheduler noise
+    "rss_kb",
+    "peak_rss_kb",
+    "virtual_s",
+    "events",
+    "allocations",
+    "twait_ms",
+    "real_time_ns",
+    "cpu_time_ns",
+    "iterations",
+}
+
+
+def classify_metric(name):
+    """Direction for a gated metric name, or None when not gated."""
+    if name in METRIC_DIRECTIONS:
+        return METRIC_DIRECTIONS[name]
+    return None
+
+
+def split_row(row):
+    """Returns (key, metrics) for one BENCH_JSON row."""
+    metrics = {}
+    params = {}
+    metric_alias = row.get("metric")  # micro_dispatch: {"metric":..,"value":..}
+    for field, value in row.items():
+        if field == "metric":
+            continue
+        if field == "value" and metric_alias is not None:
+            direction = classify_metric(metric_alias)
+            if direction is not None:
+                metrics[metric_alias] = (float(value), direction)
+            continue
+        direction = classify_metric(field)
+        if direction is not None and isinstance(value, (int, float)):
+            metrics[field] = (float(value), direction)
+        elif field in UNGATED_MEASUREMENTS:
+            continue
+        else:
+            params[field] = value
+    key = tuple(sorted(params.items()))
+    return key, metrics
+
+
+def load_jsonl(path):
+    rows = {}
+    with open(path) as f:
+        for line_no, line in enumerate(f, 1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                row = json.loads(line)
+            except json.JSONDecodeError as e:
+                raise SystemExit(f"{path}:{line_no}: bad JSON: {e}")
+            key, metrics = split_row(row)
+            # Duplicate keys (e.g. a bench rerun): last row wins, matching
+            # "the artifact reflects the final state of the job".
+            rows[key] = metrics
+    return rows
+
+
+def fmt_key(key):
+    return " ".join(f"{k}={v}" for k, v in key)
+
+
+def fmt_value(v):
+    return f"{v:.3f}" if abs(v) < 100 else f"{v:.0f}"
+
+
+def compare(baseline, current, threshold):
+    """Returns (table_rows, regressions, notes)."""
+    table = []
+    regressions = []
+    notes = []
+    for key in sorted(baseline.keys() | current.keys()):
+        if key not in current:
+            notes.append(f"missing from current artifact: {fmt_key(key)}")
+            continue
+        if key not in baseline:
+            notes.append(f"new (no baseline yet): {fmt_key(key)}")
+            continue
+        base_metrics, cur_metrics = baseline[key], current[key]
+        for name in sorted(base_metrics.keys() & cur_metrics.keys()):
+            base_v, direction = base_metrics[name]
+            cur_v, _ = cur_metrics[name]
+            if base_v == 0:
+                delta = 0.0 if cur_v == 0 else float("inf")
+            else:
+                delta = (cur_v - base_v) / abs(base_v)
+            # Regression = the metric moved against its direction.
+            regressed = (delta * direction) < -threshold
+            status = "REGRESSED" if regressed else "ok"
+            table.append((fmt_key(key), name, base_v, cur_v, delta, status))
+            if regressed:
+                regressions.append((fmt_key(key), name, base_v, cur_v, delta))
+    return table, regressions, notes
+
+
+def render_markdown(table, regressions, notes, threshold):
+    lines = []
+    lines.append(f"## Bench perf gate (threshold {threshold:.0%})")
+    lines.append("")
+    lines.append("| point | metric | baseline | current | delta | status |")
+    lines.append("|---|---|---:|---:|---:|---|")
+    for key, name, base_v, cur_v, delta, status in table:
+        flag = "❌" if status == "REGRESSED" else "✅"
+        lines.append(
+            f"| {key} | {name} | {fmt_value(base_v)} | {fmt_value(cur_v)} "
+            f"| {delta:+.1%} | {flag} {status} |"
+        )
+    if notes:
+        lines.append("")
+        for n in notes:
+            lines.append(f"- {n}")
+    lines.append("")
+    if regressions:
+        lines.append(f"**{len(regressions)} metric(s) regressed more than "
+                     f"{threshold:.0%}.** Refresh `bench/baseline.jsonl` from "
+                     "a green run if the change is intentional (see README).")
+    else:
+        lines.append("No regressions beyond the threshold.")
+    return "\n".join(lines) + "\n"
+
+
+def run_gate(args):
+    baseline = load_jsonl(args.baseline)
+    current = load_jsonl(args.current)
+    if not baseline:
+        raise SystemExit(f"{args.baseline}: no baseline rows")
+    if not current:
+        raise SystemExit(f"{args.current}: no current rows")
+    table, regressions, notes = compare(baseline, current, args.threshold)
+    md = render_markdown(table, regressions, notes, args.threshold)
+    print(md)
+    if args.summary:
+        with open(args.summary, "a") as f:
+            f.write(md)
+    if regressions and not args.warn_only:
+        for key, name, base_v, cur_v, delta in regressions:
+            print(f"REGRESSION {key} {name}: {fmt_value(base_v)} -> "
+                  f"{fmt_value(cur_v)} ({delta:+.1%})", file=sys.stderr)
+        return 1
+    return 0
+
+
+def self_test():
+    """Proves the gate trips on an injected 2x latency regression and
+    stays green on within-threshold noise."""
+    base_rows = [
+        {"bench": "fig4", "net": "lan", "vc": 4, "cc": 500,
+         "throughput_ops": 1000, "latency_ms": 100.0},
+        {"bench": "micro_dispatch", "metric": "events_per_sec",
+         "value": 3_000_000, "nodes": 64},
+    ]
+    def rows_to_map(rows):
+        return {k: m for k, m in (split_row(r) for r in rows)}
+
+    # 2x latency regression on the fig4 cell must trip the gate.
+    worse = [dict(base_rows[0], latency_ms=200.0), base_rows[1]]
+    _, regressions, _ = compare(rows_to_map(base_rows), rows_to_map(worse),
+                                threshold=0.35)
+    assert len(regressions) == 1, regressions
+    assert regressions[0][1] == "latency_ms", regressions
+
+    # A 50% throughput drop must trip too (direction-aware).
+    slower = [dict(base_rows[0], throughput_ops=500), base_rows[1]]
+    _, regressions, _ = compare(rows_to_map(base_rows), rows_to_map(slower),
+                                threshold=0.35)
+    assert [r[1] for r in regressions] == ["throughput_ops"], regressions
+
+    # The micro_dispatch metric/value alias is gated as events_per_sec.
+    slow_dispatch = [base_rows[0], dict(base_rows[1], value=1_000_000)]
+    _, regressions, _ = compare(rows_to_map(base_rows),
+                                rows_to_map(slow_dispatch), threshold=0.35)
+    assert [r[1] for r in regressions] == ["events_per_sec"], regressions
+
+    # Within-threshold noise (and improvements) pass.
+    noisy = [dict(base_rows[0], latency_ms=120.0, throughput_ops=900),
+             dict(base_rows[1], value=5_000_000)]
+    _, regressions, _ = compare(rows_to_map(base_rows), rows_to_map(noisy),
+                                threshold=0.35)
+    assert not regressions, regressions
+
+    # A vanished or new point is informational, never a failure.
+    _, regressions, notes = compare(rows_to_map(base_rows),
+                                    rows_to_map([base_rows[0]]),
+                                    threshold=0.35)
+    assert not regressions and len(notes) == 1, (regressions, notes)
+
+    print("bench_check self-test passed")
+    return 0
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--baseline", default="bench/baseline.jsonl")
+    ap.add_argument("--current", default="build/bench-smoke.jsonl")
+    ap.add_argument("--threshold", type=float, default=0.35,
+                    help="fractional regression that fails the gate")
+    ap.add_argument("--summary", default=None,
+                    help="file to append the markdown table to "
+                         "(e.g. $GITHUB_STEP_SUMMARY)")
+    ap.add_argument("--warn-only", action="store_true",
+                    help="print the table but always exit 0")
+    ap.add_argument("--self-test", action="store_true",
+                    help="verify the gate trips on injected regressions")
+    args = ap.parse_args()
+    if args.self_test:
+        return self_test()
+    return run_gate(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())
