@@ -108,6 +108,43 @@ void BM_EcMsm(benchmark::State& state) {
 }
 BENCHMARK(BM_EcMsm)->Arg(2)->Arg(8)->Arg(32);
 
+// The two MSM engines head to head across the crossover region. ec_msm
+// auto-selects between them at ec_msm_crossover() terms; the sweep is the
+// data behind the default (EXPERIMENTS.md "Parallel audit").
+void BM_EcMsmStrauss(benchmark::State& state) {
+  Rng rng(44);
+  std::size_t n = static_cast<std::size_t>(state.range(0));
+  std::vector<Fn> ks;
+  std::vector<Point> ps;
+  for (std::size_t i = 0; i < n; ++i) {
+    ks.push_back(random_scalar(rng));
+    ps.push_back(ec_mul_g(random_scalar(rng)));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ec_msm_strauss(ks, ps));
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(n));
+}
+BENCHMARK(BM_EcMsmStrauss)
+    ->Arg(4)->Arg(16)->Arg(64)->Arg(256)->Arg(1024)->Arg(4096);
+
+void BM_EcMsmPippenger(benchmark::State& state) {
+  Rng rng(44);  // same seed: identical inputs to BM_EcMsmStrauss
+  std::size_t n = static_cast<std::size_t>(state.range(0));
+  std::vector<Fn> ks;
+  std::vector<Point> ps;
+  for (std::size_t i = 0; i < n; ++i) {
+    ks.push_back(random_scalar(rng));
+    ps.push_back(ec_mul_g(random_scalar(rng)));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ec_msm_pippenger(ks, ps));
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(n));
+}
+BENCHMARK(BM_EcMsmPippenger)
+    ->Arg(4)->Arg(16)->Arg(64)->Arg(256)->Arg(1024)->Arg(4096);
+
 void BM_BatchToAffine(benchmark::State& state) {
   Rng rng(42);
   std::size_t n = static_cast<std::size_t>(state.range(0));
@@ -342,6 +379,13 @@ int main(int argc, char** argv) {
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
   ddemos::crypto::BenchJsonReporter reporter;
   benchmark::RunSpecifiedBenchmarks(&reporter);
+  // The auto-select boundary in effect for this run (crossover_n is part of
+  // the row key, so a retuned default shows up as a new row, not a gate
+  // failure).
+  std::printf(
+      "BENCH_JSON {\"bench\":\"micro_crypto\",\"name\":\"msm_crossover\","
+      "\"crossover_n\":%zu}\n",
+      ddemos::crypto::ec_msm_crossover());
   benchmark::Shutdown();
   return 0;
 }

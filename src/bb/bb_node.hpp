@@ -19,6 +19,10 @@
 #include "core/messages.hpp"
 #include "sim/runtime.hpp"
 
+namespace ddemos::util {
+class ThreadPool;
+}
+
 namespace ddemos::bb {
 
 // What a BB node has published for one ballot line after msk
@@ -88,6 +92,13 @@ class BbNode final : public sim::Process {
     return published_;
   }
 
+  // Optional shared worker pool for the node's bulk crypto (per-ballot
+  // trustee-data combine and the result-publication tally check). The
+  // pool only changes wall-clock time, never decisions or published
+  // bytes: chunk boundaries are thread-count independent. nullptr (the
+  // default) keeps everything on the node's own thread.
+  void set_compute_pool(util::ThreadPool* pool) { pool_ = pool; }
+
  private:
   void handle_vote_set_chunk(std::size_t vc, Reader& r);
   void handle_vote_set_done(std::size_t vc, Reader& r);
@@ -103,6 +114,7 @@ class BbNode final : public sim::Process {
   std::size_t ballot_index(core::Serial serial) const;
 
   core::BbInit init_;
+  util::ThreadPool* pool_ = nullptr;
   std::map<core::Serial, std::size_t> serial_index_;
 
   // Vote-set acceptance.

@@ -3,8 +3,12 @@
 #include <map>
 #include <set>
 
+#include <algorithm>
+#include <iterator>
+
 #include "core/messages.hpp"
 #include "crypto/batch.hpp"
+#include "util/thread_pool.hpp"
 
 namespace ddemos::client {
 
@@ -114,7 +118,7 @@ std::optional<Auditor::BallotView> Auditor::fetch_ballot(
   return v;
 }
 
-AuditReport Auditor::verify_election() const {
+AuditReport Auditor::verify_election(const AuditOptions& opts) const {
   AuditReport report;
   auto meta = fetch_meta(reader_);
   if (!meta) {
@@ -151,28 +155,26 @@ AuditReport Auditor::verify_election() const {
   }
 
   const std::size_t m = meta->params.m();
-  std::vector<crypto::ElGamalCipher> sums(
-      m, crypto::ElGamalCipher{crypto::Point::infinity(),
-                               crypto::Point::infinity()});
-
-  // Crypto checks are collected across all ballots and verified in one
-  // random-linear-combination batch per proof family; only if a combined
-  // check fails do we re-verify per instance to attribute blame (keeping
-  // accept/reject decisions and failure counts identical to per-instance
-  // verification). Structural checks stay inline.
-  std::vector<crypto::BitProofInstance> bit_insts;
-  std::vector<crypto::SumProofInstance> sum_insts;
-  std::vector<crypto::EgOpenInstance> open_insts;
 
   // Per-ballot checks over the cast set and the opened ballots. A real
   // auditor iterates all serials in the BB; we iterate the serials present
   // in the vote set plus delegated ones (full sweeps are exercised through
-  // verify-all helpers in tests using every serial).
-  for (const VoteSetEntry& e : voteset) {
+  // verify-all helpers in tests using every serial). Each ballot audits
+  // into its own slot and the slots merge in ballot order afterwards, so
+  // failures, batch-instance order and the homomorphic sums are identical
+  // at every thread count.
+  struct BallotAudit {
+    std::vector<std::string> failures;
+    std::vector<crypto::BitProofInstance> bit_insts;
+    std::vector<crypto::SumProofInstance> sum_insts;
+    std::vector<crypto::EgOpenInstance> open_insts;
+    std::vector<crypto::ElGamalCipher> cast_encoding;  // m entries if cast
+  };
+  auto audit_ballot = [&](const VoteSetEntry& e, BallotAudit& out) {
     auto ballot = fetch_ballot(e.serial);
     if (!ballot) {
-      report.fail("ballot missing from BB majority");
-      continue;
+      out.failures.push_back("ballot missing from BB majority");
+      return;
     }
     // (a) no duplicate vote codes within the opened ballot.
     std::set<Bytes> codes;
@@ -180,20 +182,20 @@ AuditReport Auditor::verify_election() const {
       for (const auto& pl : ballot->published[part]) {
         if (!pl.decrypted_code.empty() &&
             !codes.insert(pl.decrypted_code).second) {
-          report.fail("duplicate vote code inside ballot");
+          out.failures.push_back("duplicate vote code inside ballot");
         }
       }
     }
     if (!ballot->voted) {
-      report.fail("vote-set serial not marked voted on BB");
-      continue;
+      out.failures.push_back("vote-set serial not marked voted on BB");
+      return;
     }
     // The published cast position must decrypt to the submitted code.
     const auto& used_lines = ballot->published[ballot->used_part];
     if (ballot->used_line >= used_lines.size() ||
         used_lines[ballot->used_line].decrypted_code != e.vote_code) {
-      report.fail("cast position does not match submitted vote code");
-      continue;
+      out.failures.push_back("cast position does not match submitted vote code");
+      return;
     }
     // (e) ZK proofs of the used part are complete and valid.
     const auto& init_lines = ballot->init[ballot->used_part];
@@ -201,11 +203,11 @@ AuditReport Auditor::verify_election() const {
       const bb::PublishedLine& pl = used_lines[l];
       const BbLineInit& li = init_lines[l];
       if (!pl.zk_complete || pl.bit_responses.size() != m) {
-        report.fail("zk proofs incomplete for used part");
+        out.failures.push_back("zk proofs incomplete for used part");
         continue;
       }
       for (std::size_t j = 0; j < m; ++j) {
-        bit_insts.push_back(crypto::BitProofInstance{
+        out.bit_insts.push_back(crypto::BitProofInstance{
             li.encoding[j], li.bit_proofs[j], cast->challenge,
             pl.bit_responses[j]});
       }
@@ -213,7 +215,7 @@ AuditReport Auditor::verify_election() const {
       for (std::size_t j = 1; j < m; ++j) {
         sum = crypto::eg_add(sum, li.encoding[j]);
       }
-      sum_insts.push_back(crypto::SumProofInstance{
+      out.sum_insts.push_back(crypto::SumProofInstance{
           sum, crypto::Fn::one(), li.sum_proof, cast->challenge,
           pl.sum_response});
     }
@@ -224,29 +226,70 @@ AuditReport Auditor::verify_election() const {
     for (std::size_t l = 0; l < unused_init.size(); ++l) {
       const bb::PublishedLine& pl = unused_lines[l];
       if (!pl.opened || pl.messages.size() != m) {
-        report.fail("unused part not opened");
+        out.failures.push_back("unused part not opened");
         continue;
       }
       std::uint64_t total = 0;
       for (std::size_t j = 0; j < m; ++j) {
-        if (pl.messages[j] > 1) report.fail("opened message not a bit");
+        if (pl.messages[j] > 1) {
+          out.failures.push_back("opened message not a bit");
+        }
         total += pl.messages[j];
-        open_insts.push_back(crypto::EgOpenInstance{
+        out.open_insts.push_back(crypto::EgOpenInstance{
             unused_init[l].encoding[j],
             crypto::Fn::from_u64(pl.messages[j]), pl.randomness[j]});
       }
-      if (total != 1) report.fail("opened encoding is not a unit vector");
+      if (total != 1) {
+        out.failures.push_back("opened encoding is not a unit vector");
+      }
     }
-    // Accumulate homomorphic tally.
-    const auto& cast_line = ballot->init[ballot->used_part];
-    for (std::size_t j = 0; j < m; ++j) {
-      sums[j] = crypto::eg_add(sums[j],
-                               cast_line[ballot->used_line].encoding[j]);
+    // Contribution to the homomorphic tally.
+    out.cast_encoding = ballot->init[ballot->used_part][ballot->used_line]
+                            .encoding;
+  };
+
+  std::size_t n_threads =
+      opts.n_threads ? opts.n_threads : util::ThreadPool::env_threads(1);
+  util::ThreadPool pool(n_threads);
+  util::ThreadPool* pool_ptr = pool.n_threads() > 1 ? &pool : nullptr;
+  constexpr std::size_t kBallotChunk = 16;
+  std::vector<BallotAudit> audited(voteset.size());
+  pool.parallel_for(voteset.size(), kBallotChunk,
+                    [&](std::size_t lo, std::size_t hi) {
+                      for (std::size_t i = lo; i < hi; ++i) {
+                        audit_ballot(voteset[i], audited[i]);
+                      }
+                    });
+
+  // Merge the per-ballot results in ballot order; crypto checks collect
+  // across all ballots and resolve in one random-linear-combination batch
+  // per proof family (chunked over the pool). Only if a combined check
+  // fails do we re-verify per instance to attribute blame (keeping
+  // accept/reject decisions and failure counts identical to per-instance
+  // verification).
+  std::vector<crypto::ElGamalCipher> sums(
+      m, crypto::ElGamalCipher{crypto::Point::infinity(),
+                               crypto::Point::infinity()});
+  std::vector<crypto::BitProofInstance> bit_insts;
+  std::vector<crypto::SumProofInstance> sum_insts;
+  std::vector<crypto::EgOpenInstance> open_insts;
+  for (BallotAudit& ba : audited) {
+    for (std::string& f : ba.failures) report.fail(std::move(f));
+    std::move(ba.bit_insts.begin(), ba.bit_insts.end(),
+              std::back_inserter(bit_insts));
+    std::move(ba.sum_insts.begin(), ba.sum_insts.end(),
+              std::back_inserter(sum_insts));
+    std::move(ba.open_insts.begin(), ba.open_insts.end(),
+              std::back_inserter(open_insts));
+    if (!ba.cast_encoding.empty()) {
+      for (std::size_t j = 0; j < m; ++j) {
+        sums[j] = crypto::eg_add(sums[j], ba.cast_encoding[j]);
+      }
     }
   }
 
   // Resolve the batched crypto checks (fig4/fig5 audit-phase fast path).
-  if (!crypto::verify_bit_batch(meta->commit_key, bit_insts)) {
+  if (!crypto::verify_bit_batch(meta->commit_key, bit_insts, pool_ptr)) {
     for (const auto& inst : bit_insts) {
       if (!crypto::verify_bit(meta->commit_key, inst.cipher, inst.fm,
                               inst.challenge, inst.resp)) {
@@ -254,7 +297,7 @@ AuditReport Auditor::verify_election() const {
       }
     }
   }
-  if (!crypto::verify_sum_batch(meta->commit_key, sum_insts)) {
+  if (!crypto::verify_sum_batch(meta->commit_key, sum_insts, pool_ptr)) {
     for (const auto& inst : sum_insts) {
       if (!crypto::verify_sum(meta->commit_key, inst.sum, inst.total,
                               inst.fm, inst.challenge, inst.z)) {
@@ -262,7 +305,7 @@ AuditReport Auditor::verify_election() const {
       }
     }
   }
-  if (!crypto::eg_open_check_batch(meta->commit_key, open_insts)) {
+  if (!crypto::eg_open_check_batch(meta->commit_key, open_insts, pool_ptr)) {
     for (const auto& inst : open_insts) {
       if (!crypto::eg_open_check(meta->commit_key, inst.cipher, inst.m,
                                  inst.r)) {

@@ -28,6 +28,14 @@ class MajorityReader {
   std::size_t f_bb_;
 };
 
+struct AuditOptions {
+  // Worker threads for per-ballot verification chunks and the chunked
+  // batch crypto. 0 resolves DDEMOS_AUDIT_THREADS (default 1 = serial).
+  // Chunk boundaries are independent of the thread count, so the report
+  // (including blame attribution order) is identical at every setting.
+  std::size_t n_threads = 0;
+};
+
 struct AuditReport {
   bool passed = true;
   std::vector<std::string> failures;
@@ -44,7 +52,8 @@ class Auditor {
   explicit Auditor(MajorityReader reader) : reader_(std::move(reader)) {}
 
   // Full election verification: checks (a)-(e) and tally consistency.
-  AuditReport verify_election() const;
+  // Per-ballot work fans out across an AuditOptions::n_threads pool.
+  AuditReport verify_election(const AuditOptions& opts = {}) const;
 
   // Delegated audit for one voter (checks (f) and (g)); does not reveal
   // the voter's choice to the auditor.

@@ -178,6 +178,10 @@ void ElectionDriver::init() {
   for (NodeId id : topo_.bb_ids) {
     bbs_.push_back(&dynamic_cast<bb::BbNode&>(host_->process(id)));
   }
+  if (cfg_.compute_threads > 1) {
+    compute_pool_ = std::make_unique<util::ThreadPool>(cfg_.compute_threads);
+    for (bb::BbNode* bb : bbs_) bb->set_compute_pool(compute_pool_.get());
+  }
   if (topo_.load_client_id != sim::kNoNode) {
     client_ = &dynamic_cast<ClosedLoopClient&>(
         host_->process(topo_.load_client_id));

@@ -20,6 +20,7 @@
 #include "sim/sim.hpp"
 #include "store/ballot_store.hpp"
 #include "trustee/trustee_node.hpp"
+#include "util/thread_pool.hpp"
 #include "vc/vc_node.hpp"
 
 namespace ddemos::core {
@@ -67,6 +68,12 @@ struct DriverConfig {
   sim::LinkModel link = sim::LinkModel::lan();
   bool measure_cpu = false;
   std::size_t max_events = 50'000'000;  // simulator event budget per run()
+  // BB compute pool: > 1 attaches a driver-owned util::ThreadPool to every
+  // BB node so the trustee-data combine and tally check fan out across
+  // real cores. Decisions and published bytes are unchanged at any value
+  // (chunk boundaries are thread-count independent); only wall clock (and
+  // measure_cpu virtual time) moves.
+  std::size_t compute_threads = 1;
   sim::Duration wall_timeout_us = 60'000'000;  // ThreadNet completion cap
   // Events between phase probes on the simulator: smaller = sharper phase
   // boundaries for observers, at some dispatch-loop overhead.
@@ -223,6 +230,9 @@ class ElectionDriver {
 
   DriverConfig cfg_;
   std::shared_ptr<const ea::SetupArtifacts> artifacts_;
+  // Shared by every BB node when cfg_.compute_threads > 1; must outlive
+  // the host's processes.
+  std::unique_ptr<util::ThreadPool> compute_pool_;
   std::unique_ptr<sim::Simulation> owned_sim_;
   sim::RuntimeHost* host_ = nullptr;
   sim::Simulation* sim_ = nullptr;  // host_ when it is a Simulation

@@ -1,5 +1,7 @@
 #include "crypto/batch.hpp"
 
+#include "util/thread_pool.hpp"
+
 #include <algorithm>
 
 #include "crypto/schnorr.hpp"
@@ -45,9 +47,7 @@ void absorb_scalar(Sha256& h, const Fn& s) { h.update(s.to_bytes_be()); }
 
 void absorb_point(Sha256& h, const Point& p) { h.update(ec_encode(p)); }
 
-}  // namespace
-
-bool schnorr_verify_batch(std::span<const SchnorrInstance> xs) {
+bool schnorr_batch_one(std::span<const SchnorrInstance> xs) {
   if (xs.empty()) return true;
   Sha256 seed;
   seed.update(to_bytes("ddemos/batch/schnorr"));
@@ -87,8 +87,7 @@ bool schnorr_verify_batch(std::span<const SchnorrInstance> xs) {
   return ec_msm(ks, ps).is_infinity();
 }
 
-bool verify_bit_batch(const Point& key,
-                      std::span<const BitProofInstance> xs) {
+bool bit_batch_one(const Point& key, std::span<const BitProofInstance> xs) {
   if (xs.empty()) return true;
   // The challenge-splitting constraint is exact per instance.
   for (const BitProofInstance& x : xs) {
@@ -145,8 +144,7 @@ bool verify_bit_batch(const Point& key,
   return ec_msm(ks, ps).is_infinity();
 }
 
-bool verify_sum_batch(const Point& key,
-                      std::span<const SumProofInstance> xs) {
+bool sum_batch_one(const Point& key, std::span<const SumProofInstance> xs) {
   if (xs.empty()) return true;
   Sha256 seed;
   seed.update(to_bytes("ddemos/batch/sum"));
@@ -190,7 +188,7 @@ bool verify_sum_batch(const Point& key,
   return ec_msm(ks, ps).is_infinity();
 }
 
-bool pedersen_vss_verify_batch(std::span<const PedersenVssInstance> xs) {
+bool pvss_batch_one(std::span<const PedersenVssInstance> xs) {
   if (xs.empty()) return true;
   std::size_t comm_terms = 0;
   for (const PedersenVssInstance& x : xs) {
@@ -242,8 +240,7 @@ bool pedersen_vss_verify_batch(std::span<const PedersenVssInstance> xs) {
   return ec_msm(ks, ps).is_infinity();
 }
 
-bool eg_open_check_batch(const Point& key,
-                         std::span<const EgOpenInstance> xs) {
+bool open_batch_one(const Point& key, std::span<const EgOpenInstance> xs) {
   if (xs.empty()) return true;
   Sha256 seed;
   seed.update(to_bytes("ddemos/batch/open"));
@@ -278,6 +275,62 @@ bool eg_open_check_batch(const Point& key,
   ks.push_back(g_coeff);
   ps.push_back(ec_generator());
   return ec_msm(ks, ps).is_infinity();
+}
+
+// Fixed-size chunks keep the decomposition (and every chunk's Fiat-Shamir
+// weights) independent of the worker count; a short batch skips the pool.
+constexpr std::size_t kBatchChunk = 256;
+
+template <typename Inst, typename VerifyOne>
+bool chunked_batch(std::span<const Inst> xs, util::ThreadPool* pool,
+                   const VerifyOne& one) {
+  if (!pool || pool->n_threads() <= 1 || xs.size() <= kBatchChunk) {
+    return one(xs);
+  }
+  const std::size_t n_chunks = (xs.size() + kBatchChunk - 1) / kBatchChunk;
+  std::vector<char> ok(n_chunks, 0);
+  pool->parallel_for(xs.size(), kBatchChunk,
+                     [&](std::size_t b, std::size_t e) {
+                       ok[b / kBatchChunk] = one(xs.subspan(b, e - b)) ? 1 : 0;
+                     });
+  return std::all_of(ok.begin(), ok.end(), [](char c) { return c != 0; });
+}
+
+}  // namespace
+
+bool schnorr_verify_batch(std::span<const SchnorrInstance> xs,
+                          util::ThreadPool* pool) {
+  return chunked_batch(xs, pool, [](std::span<const SchnorrInstance> c) {
+    return schnorr_batch_one(c);
+  });
+}
+
+bool verify_bit_batch(const Point& key, std::span<const BitProofInstance> xs,
+                      util::ThreadPool* pool) {
+  return chunked_batch(xs, pool, [&key](std::span<const BitProofInstance> c) {
+    return bit_batch_one(key, c);
+  });
+}
+
+bool verify_sum_batch(const Point& key, std::span<const SumProofInstance> xs,
+                      util::ThreadPool* pool) {
+  return chunked_batch(xs, pool, [&key](std::span<const SumProofInstance> c) {
+    return sum_batch_one(key, c);
+  });
+}
+
+bool pedersen_vss_verify_batch(std::span<const PedersenVssInstance> xs,
+                               util::ThreadPool* pool) {
+  return chunked_batch(xs, pool, [](std::span<const PedersenVssInstance> c) {
+    return pvss_batch_one(c);
+  });
+}
+
+bool eg_open_check_batch(const Point& key, std::span<const EgOpenInstance> xs,
+                         util::ThreadPool* pool) {
+  return chunked_batch(xs, pool, [&key](std::span<const EgOpenInstance> c) {
+    return open_batch_one(key, c);
+  });
 }
 
 }  // namespace ddemos::crypto

@@ -8,6 +8,12 @@
 // Callers use these on the audit fast path: if the combined check passes,
 // every instance is valid; on failure they fall back to the per-instance
 // verifiers to attribute blame. Empty batches verify trivially.
+// Every verifier also has a chunked parallel form: pass a ThreadPool and
+// the instance set splits into fixed-size chunks (boundaries independent
+// of the worker count, so results are reproducible at any thread count),
+// each chunk deriving its own Fiat-Shamir weights and running its own MSM
+// on the pool. The per-instance fallback path for blame attribution is
+// unchanged — callers still re-verify instance by instance on failure.
 #pragma once
 
 #include <span>
@@ -16,12 +22,17 @@
 #include "crypto/pedersen.hpp"
 #include "crypto/zkp.hpp"
 
+namespace ddemos::util {
+class ThreadPool;
+}
+
 namespace ddemos::crypto {
 
 struct SchnorrInstance {
   Bytes pk, msg, sig;
 };
-bool schnorr_verify_batch(std::span<const SchnorrInstance> xs);
+bool schnorr_verify_batch(std::span<const SchnorrInstance> xs,
+                          util::ThreadPool* pool = nullptr);
 
 struct BitProofInstance {
   ElGamalCipher cipher;
@@ -31,7 +42,8 @@ struct BitProofInstance {
 };
 // All instances must share the commitment key; 4 Sigma-OR equations per
 // instance fold into a single MSM of 6N+2 terms.
-bool verify_bit_batch(const Point& key, std::span<const BitProofInstance> xs);
+bool verify_bit_batch(const Point& key, std::span<const BitProofInstance> xs,
+                      util::ThreadPool* pool = nullptr);
 
 struct SumProofInstance {
   ElGamalCipher sum;
@@ -40,7 +52,8 @@ struct SumProofInstance {
   Fn challenge;
   Fn z;
 };
-bool verify_sum_batch(const Point& key, std::span<const SumProofInstance> xs);
+bool verify_sum_batch(const Point& key, std::span<const SumProofInstance> xs,
+                      util::ThreadPool* pool = nullptr);
 
 struct EgOpenInstance {
   ElGamalCipher cipher;
@@ -49,7 +62,8 @@ struct EgOpenInstance {
 // Batched eg_open_check: both opening equations per ciphertext fold into
 // an MSM of 2N+2 terms (the weights themselves are the only full-size
 // scalars multiplied per instance).
-bool eg_open_check_batch(const Point& key, std::span<const EgOpenInstance> xs);
+bool eg_open_check_batch(const Point& key, std::span<const EgOpenInstance> xs,
+                         util::ThreadPool* pool = nullptr);
 
 struct PedersenVssInstance {
   PedersenShare share;
@@ -62,6 +76,7 @@ struct PedersenVssInstance {
 // verifier's rejection of an empty commitment vector (whole batch fails).
 // Used by the BB nodes' trustee-message verification; callers fall back to
 // pedersen_vss_verify per instance on failure to attribute blame.
-bool pedersen_vss_verify_batch(std::span<const PedersenVssInstance> xs);
+bool pedersen_vss_verify_batch(std::span<const PedersenVssInstance> xs,
+                               util::ThreadPool* pool = nullptr);
 
 }  // namespace ddemos::crypto

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <array>
+#include <atomic>
 #include <cstdlib>
 
 #include "crypto/rng.hpp"
@@ -604,7 +605,7 @@ Point ec_mul2(const Fn& a, const Point& p, const Fn& b) {
   return msm_impl(es);
 }
 
-Point ec_msm(std::span<const Fn> ks, std::span<const Point> ps) {
+Point ec_msm_strauss(std::span<const Fn> ks, std::span<const Point> ps) {
   if (ks.size() != ps.size()) {
     throw CryptoError("ec_msm: scalar/point count mismatch");
   }
@@ -618,6 +619,187 @@ Point ec_msm(std::span<const Fn> ks, std::span<const Point> ps) {
     es.push_back(MsmEntry{is_g ? nullptr : &ps[i], ks[i]});
   }
   return msm_impl(es);
+}
+
+// --- Pippenger bucket method ------------------------------------------------
+
+namespace {
+
+// Index of the highest set bit, or -1 for zero.
+int u256_bit_length(const U256& x) {
+  for (int w = 3; w >= 0; --w) {
+    if (x.w[w] == 0) continue;
+    int b = 63;
+    while (!((x.w[w] >> b) & 1)) --b;
+    return 64 * w + b + 1;
+  }
+  return 0;
+}
+
+// Bits [pos, pos + c) of x as an unsigned digit; c <= 32 keeps the
+// two-word splice below 64 bits of shift.
+std::uint64_t u256_window(const U256& x, int pos, int c) {
+  int word = pos >> 6;
+  int off = pos & 63;
+  if (word >= 4) return 0;
+  std::uint64_t v = x.w[word] >> off;
+  if (off + c > 64 && word + 1 < 4) v |= x.w[word + 1] << (64 - off);
+  return v & ((1ull << c) - 1);
+}
+
+// One GLV half of an input term: a <= ~129-bit magnitude against a
+// sign-folded affine base.
+struct PipHalf {
+  U256 mag;
+  AffinePoint base;
+};
+
+}  // namespace
+
+Point ec_msm_pippenger(std::span<const Fn> ks, std::span<const Point> ps) {
+  if (ks.size() != ps.size()) {
+    throw CryptoError("ec_msm: scalar/point count mismatch");
+  }
+  // One simultaneous inversion puts every live input point in the affine
+  // frame, so bucket accumulation runs entirely on mixed additions.
+  std::vector<const Point*> live;
+  std::vector<const Fn*> live_ks;
+  live.reserve(ks.size());
+  live_ks.reserve(ks.size());
+  std::vector<Point> jac;
+  jac.reserve(ks.size());
+  for (std::size_t i = 0; i < ks.size(); ++i) {
+    if (ks[i].is_zero() || ps[i].is_infinity()) continue;
+    live.push_back(&ps[i]);
+    live_ks.push_back(&ks[i]);
+    jac.push_back(ps[i]);
+  }
+  if (live.empty()) return Point::infinity();
+  std::vector<AffinePoint> aff = batch_to_affine(jac);
+
+  // GLV split halves the digit ladder: every term contributes up to two
+  // ~129-bit halves, the lambda half riding phi(P) = (beta*x, y).
+  std::vector<PipHalf> halves;
+  halves.reserve(2 * live.size());
+  int max_bits = 0;
+  for (std::size_t i = 0; i < live.size(); ++i) {
+    GlvSplit s = glv_split(*live_ks[i]);
+    if (!s.k1.is_zero()) {
+      AffinePoint b = aff[i];
+      if (s.neg1) b.y = b.y.neg();
+      halves.push_back(PipHalf{s.k1, b});
+      max_bits = std::max(max_bits, u256_bit_length(s.k1));
+    }
+    if (!s.k2.is_zero()) {
+      AffinePoint b{aff[i].x * glv_beta(), aff[i].y, false};
+      if (s.neg2) b.y = b.y.neg();
+      halves.push_back(PipHalf{s.k2, b});
+      max_bits = std::max(max_bits, u256_bit_length(s.k2));
+    }
+  }
+  if (halves.empty()) return Point::infinity();
+
+  // Window width from the input size (ln-based heuristic): each extra bit
+  // of c halves the window count but doubles the bucket-collapse work.
+  int c = 2;
+  for (std::size_t n = ks.size(); (n >> (c + 2)) != 0 && c < 13; ++c) {
+  }
+  // Signed digits in (-2^(c-1), 2^(c-1)]: half the buckets of the
+  // unsigned method, negative digits add the negated base. The recode
+  // carry can spill one window past max_bits.
+  const int n_windows = (max_bits + c - 1) / c + 1;
+  const std::size_t n_buckets = 1ull << (c - 1);
+  const std::uint64_t full = 1ull << c;
+  std::vector<Point> buckets(static_cast<std::size_t>(n_windows) * n_buckets,
+                             Point::infinity());
+  int top_window = 0;
+  for (const PipHalf& h : halves) {
+    std::uint64_t carry = 0;
+    for (int w = 0; w < n_windows; ++w) {
+      std::int64_t d =
+          static_cast<std::int64_t>(u256_window(h.mag, w * c, c) + carry);
+      carry = 0;
+      if (d > static_cast<std::int64_t>(n_buckets)) {
+        d -= static_cast<std::int64_t>(full);
+        carry = 1;
+      }
+      if (d == 0) continue;  // 0, or exactly 2^c folded into the carry
+      AffinePoint b = h.base;
+      std::size_t mag;
+      if (d < 0) {
+        b.y = b.y.neg();
+        mag = static_cast<std::size_t>(-d);
+      } else {
+        mag = static_cast<std::size_t>(d);
+      }
+      std::size_t slot =
+          static_cast<std::size_t>(w) * n_buckets + (mag - 1);
+      buckets[slot] = ec_add_mixed(buckets[slot], b);
+      top_window = std::max(top_window, w);
+    }
+  }
+
+  // Batch-normalize every bucket with one more simultaneous inversion so
+  // the running-sum collapse uses mixed additions for the S chain.
+  std::vector<AffinePoint> bucket_aff = batch_to_affine(buckets);
+
+  // Per-window running-sum collapse: S walks buckets high-to-low, T
+  // accumulates S, so bucket j contributes j*S-steps = its digit weight.
+  Point acc = Point::infinity();
+  for (int w = top_window; w >= 0; --w) {
+    if (w != top_window) {
+      for (int d = 0; d < c; ++d) acc = ec_double(acc);
+    }
+    Point s = Point::infinity();
+    Point t = Point::infinity();
+    const std::size_t base = static_cast<std::size_t>(w) * n_buckets;
+    for (std::size_t j = n_buckets; j-- > 0;) {
+      const AffinePoint& b = bucket_aff[base + j];
+      if (!b.infinity) s = ec_add_mixed(s, b);
+      if (!s.is_infinity()) t = ec_add(t, s);
+    }
+    acc = ec_add(acc, t);
+  }
+  return acc;
+}
+
+namespace {
+
+// Calibrated on the micro_crypto Strauss-vs-Pippenger sweep (see
+// bench/micro_crypto.cpp and EXPERIMENTS.md); DDEMOS_MSM_CROSSOVER
+// overrides at startup, ec_msm_set_crossover overrides for tests.
+constexpr std::size_t kDefaultMsmCrossover = 64;
+
+std::size_t msm_crossover_default() {
+  if (const char* env = std::getenv("DDEMOS_MSM_CROSSOVER")) {
+    char* end = nullptr;
+    unsigned long v = std::strtoul(env, &end, 10);
+    if (end != env && *end == '\0' && v > 0) {
+      return static_cast<std::size_t>(v);
+    }
+  }
+  return kDefaultMsmCrossover;
+}
+
+std::atomic<std::size_t>& msm_crossover_state() {
+  static std::atomic<std::size_t> v{msm_crossover_default()};
+  return v;
+}
+
+}  // namespace
+
+std::size_t ec_msm_crossover() {
+  return msm_crossover_state().load(std::memory_order_relaxed);
+}
+
+std::size_t ec_msm_set_crossover(std::size_t n) {
+  if (n == 0) n = msm_crossover_default();
+  return msm_crossover_state().exchange(n, std::memory_order_relaxed);
+}
+
+Point ec_msm(std::span<const Fn> ks, std::span<const Point> ps) {
+  if (ks.size() >= ec_msm_crossover()) return ec_msm_pippenger(ks, ps);
+  return ec_msm_strauss(ks, ps);
 }
 
 namespace {

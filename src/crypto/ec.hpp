@@ -50,10 +50,24 @@ Point ec_mul_naive(const Fn& k, const Point& p);
 // Interleaved Strauss double-mul a*P + b*G; the b half runs against static
 // precomputed affine odd-multiple tables for G and phi(G).
 Point ec_mul2(const Fn& a, const Point& p, const Fn& b);
-// General multi-scalar product sum_i ks[i]*ps[i]. All odd-multiples tables
-// share one doubling ladder and one batched field inversion; zero scalars
-// and infinity points are skipped.
+// General multi-scalar product sum_i ks[i]*ps[i]. Auto-selecting front
+// door: small products run the Strauss engine, large ones cross over to
+// the Pippenger bucket method at ec_msm_crossover() terms. Zero scalars
+// and infinity points are skipped by both engines.
 Point ec_msm(std::span<const Fn> ks, std::span<const Point> ps);
+// The Strauss/wNAF engine directly (the pre-crossover path).
+Point ec_msm_strauss(std::span<const Fn> ks, std::span<const Point> ps);
+// Bucket-method MSM: GLV halves binned into 2^c-1 buckets per c-bit
+// window (c grows ~log2 n), buckets batch-normalized with one Montgomery
+// simultaneous inversion and collapsed by running sums. Wins past a few
+// dozen terms where Strauss' per-point tables stop amortizing.
+Point ec_msm_pippenger(std::span<const Fn> ks, std::span<const Point> ps);
+// Crossover control (thread-safe): point count at or above which ec_msm
+// picks Pippenger. Default comes from the micro_crypto calibration sweep;
+// DDEMOS_MSM_CROSSOVER overrides it at startup, set() overrides for tests
+// (returns the previous value; 0 restores the default).
+std::size_t ec_msm_crossover();
+std::size_t ec_msm_set_crossover(std::size_t n);
 
 bool ec_eq(const Point& p, const Point& q);
 

@@ -1,0 +1,123 @@
+#include "util/thread_pool.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdlib>
+
+namespace ddemos::util {
+
+struct ThreadPool::Job {
+  std::function<void(std::size_t, std::size_t)> body;
+  std::size_t n = 0;
+  std::size_t chunk = 1;
+  std::size_t n_chunks = 0;
+  std::atomic<std::size_t> cursor{0};
+  // done/error live under mu so the waiter's wake-up can't be missed.
+  std::mutex mu;
+  std::condition_variable cv;
+  std::size_t done = 0;
+  std::exception_ptr error;
+};
+
+ThreadPool::ThreadPool(std::size_t n_threads) {
+  std::size_t workers = n_threads > 1 ? n_threads - 1 : 0;
+  workers_.reserve(workers);
+  for (std::size_t i = 0; i < workers; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& t : workers_) t.join();
+}
+
+void ThreadPool::run_chunks(Job& job) {
+  for (;;) {
+    std::size_t i = job.cursor.fetch_add(1, std::memory_order_relaxed);
+    if (i >= job.n_chunks) return;
+    std::size_t begin = i * job.chunk;
+    std::size_t end = std::min(begin + job.chunk, job.n);
+    std::exception_ptr err;
+    try {
+      job.body(begin, end);
+    } catch (...) {
+      err = std::current_exception();
+    }
+    {
+      std::lock_guard<std::mutex> lk(job.mu);
+      if (err && !job.error) job.error = err;
+      if (++job.done == job.n_chunks) {
+        job.cv.notify_all();
+      }
+    }
+  }
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::shared_ptr<Job> job;
+    {
+      std::unique_lock<std::mutex> lk(mu_);
+      cv_.wait(lk, [this] { return stop_ || !jobs_.empty(); });
+      if (jobs_.empty()) return;  // stop_ set and nothing left to help
+      job = jobs_.front();
+      if (job->cursor.load(std::memory_order_relaxed) >= job->n_chunks) {
+        // Fully claimed; retire it from the queue and look again.
+        jobs_.pop_front();
+        continue;
+      }
+    }
+    run_chunks(*job);
+  }
+}
+
+void ThreadPool::parallel_for(
+    std::size_t n, std::size_t chunk,
+    const std::function<void(std::size_t, std::size_t)>& body) {
+  if (n == 0) return;
+  chunk = std::max<std::size_t>(1, chunk);
+  std::size_t n_chunks = (n + chunk - 1) / chunk;
+  if (workers_.empty() || n_chunks == 1) {
+    for (std::size_t begin = 0; begin < n; begin += chunk) {
+      body(begin, std::min(begin + chunk, n));
+    }
+    return;
+  }
+  auto job = std::make_shared<Job>();
+  job->body = body;
+  job->n = n;
+  job->chunk = chunk;
+  job->n_chunks = n_chunks;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    jobs_.push_back(job);
+  }
+  cv_.notify_all();
+  run_chunks(*job);  // the caller is an executor too
+  {
+    std::unique_lock<std::mutex> lk(job->mu);
+    job->cv.wait(lk, [&] { return job->done == job->n_chunks; });
+  }
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    auto it = std::find(jobs_.begin(), jobs_.end(), job);
+    if (it != jobs_.end()) jobs_.erase(it);
+  }
+  if (job->error) std::rethrow_exception(job->error);
+}
+
+std::size_t ThreadPool::env_threads(std::size_t fallback) {
+  const char* env = std::getenv("DDEMOS_AUDIT_THREADS");
+  if (!env || !*env) return fallback;
+  char* end = nullptr;
+  unsigned long v = std::strtoul(env, &end, 10);
+  if (end == env || *end != '\0' || v == 0 || v > 1024) return fallback;
+  return static_cast<std::size_t>(v);
+}
+
+}  // namespace ddemos::util

@@ -1,0 +1,59 @@
+// Fixed-worker fork-join pool for the verification layer. No work
+// stealing: parallel_for splits an index range into fixed-size chunks
+// that the workers and the calling thread drain from a shared atomic
+// cursor. Chunk boundaries depend only on (n, chunk), never on the
+// worker count, so any per-chunk derivation (e.g. Fiat-Shamir batch
+// weights) is identical at every thread count — parallel audits stay
+// bit-for-bit reproducible.
+//
+// parallel_for may be called concurrently from several threads (BB nodes
+// on a ThreadNet share one pool); jobs queue and every worker helps the
+// oldest incomplete one. The first exception a chunk throws is captured
+// and rethrown on the calling thread after the job drains.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace ddemos::util {
+
+class ThreadPool {
+ public:
+  // n_threads counts total executors: the caller always participates, so
+  // n_threads <= 1 spawns no workers and parallel_for runs inline.
+  explicit ThreadPool(std::size_t n_threads);
+  ~ThreadPool();
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  // Total executors (workers + the calling thread); always >= 1.
+  std::size_t n_threads() const { return workers_.size() + 1; }
+
+  // Runs body(begin, end) over [0, n) in chunks of `chunk` indices. Blocks
+  // until every chunk finished; rethrows the first captured exception.
+  void parallel_for(std::size_t n, std::size_t chunk,
+                    const std::function<void(std::size_t, std::size_t)>& body);
+
+  // DDEMOS_AUDIT_THREADS env var, or fallback when unset/invalid.
+  static std::size_t env_threads(std::size_t fallback = 1);
+
+ private:
+  struct Job;
+  void worker_loop();
+  static void run_chunks(Job& job);
+
+  std::vector<std::thread> workers_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::shared_ptr<Job>> jobs_;
+  bool stop_ = false;
+};
+
+}  // namespace ddemos::util

@@ -131,6 +131,93 @@ TEST(EcFast, MsmRepeatedAndGeneratorPoints) {
   EXPECT_TRUE(ec_eq(ec_msm(ks, ps), want));
 }
 
+TEST(EcFast, PippengerMatchesStraussAcrossSizes) {
+  Rng rng(711);
+  // Random sizes straddling both engines' sweet spots, with generator
+  // terms and repeated points mixed in like real verifier equations.
+  for (std::size_t n : {std::size_t{1}, std::size_t{2}, std::size_t{3},
+                        std::size_t{9}, std::size_t{33}, std::size_t{100},
+                        std::size_t{257}}) {
+    std::vector<Fn> ks;
+    std::vector<Point> ps;
+    Point repeated = ec_mul_g(random_scalar(rng));
+    for (std::size_t i = 0; i < n; ++i) {
+      ks.push_back(random_scalar(rng));
+      if (i % 7 == 3) {
+        ps.push_back(ec_generator());
+      } else if (i % 5 == 1) {
+        ps.push_back(repeated);
+      } else {
+        ps.push_back(ec_mul_g(random_scalar(rng)));
+      }
+    }
+    Point fast = ec_msm_pippenger(ks, ps);
+    EXPECT_TRUE(ec_eq(fast, ec_msm_strauss(ks, ps))) << "n=" << n;
+    if (n <= 9) {
+      Point want = Point::infinity();
+      for (std::size_t i = 0; i < n; ++i) {
+        want = ec_add(want, ec_mul_naive(ks[i], ps[i]));
+      }
+      EXPECT_TRUE(ec_eq(fast, want)) << "n=" << n;
+    }
+  }
+}
+
+TEST(EcFast, PippengerEdgeScalars) {
+  Rng rng(712);
+  // Zero, one, n-1, lambda and friends: every edge scalar against its own
+  // random point in one product, cross-checked against the naive sum.
+  std::vector<Fn> ks = edge_scalars(rng);
+  std::vector<Point> ps;
+  Point want = Point::infinity();
+  for (const Fn& k : ks) {
+    Point p = ec_mul_g(random_scalar(rng));
+    ps.push_back(p);
+    want = ec_add(want, ec_mul_naive(k, p));
+  }
+  EXPECT_TRUE(ec_eq(ec_msm_pippenger(ks, ps), want));
+  EXPECT_TRUE(ec_eq(ec_msm_strauss(ks, ps), want));
+}
+
+TEST(EcFast, PippengerDegenerateInputs) {
+  Rng rng(713);
+  Point p = ec_mul_g(random_scalar(rng));
+  // All-infinity points and all-zero scalars collapse to infinity.
+  std::vector<Fn> ks(8, random_scalar(rng));
+  std::vector<Point> inf_ps(8, Point::infinity());
+  EXPECT_TRUE(ec_msm_pippenger(ks, inf_ps).is_infinity());
+  std::vector<Fn> zeros(8, Fn::zero());
+  std::vector<Point> ps(8, p);
+  EXPECT_TRUE(ec_msm_pippenger(zeros, ps).is_infinity());
+  EXPECT_TRUE(ec_msm_pippenger({}, {}).is_infinity());
+  // Cancelling pair: k*P + (n-k)*P = infinity.
+  std::array<Fn, 2> ck{ks[0], Fn::zero() - ks[0]};
+  std::array<Point, 2> cp{p, p};
+  EXPECT_TRUE(ec_msm_pippenger(ck, cp).is_infinity());
+  EXPECT_THROW(ec_msm_pippenger(std::span<const Fn>(ck).subspan(0, 1), cp),
+               CryptoError);
+}
+
+TEST(EcFast, MsmAutoSelectsAtCrossoverBoundary) {
+  Rng rng(714);
+  // Pin the crossover and check the front door agrees with both engines
+  // at the boundary and one term either side of it.
+  std::size_t prev = ec_msm_set_crossover(4);
+  for (std::size_t n : {std::size_t{3}, std::size_t{4}, std::size_t{5}}) {
+    std::vector<Fn> ks;
+    std::vector<Point> ps;
+    for (std::size_t i = 0; i < n; ++i) {
+      ks.push_back(random_scalar(rng));
+      ps.push_back(ec_mul_g(random_scalar(rng)));
+    }
+    Point got = ec_msm(ks, ps);
+    EXPECT_TRUE(ec_eq(got, ec_msm_strauss(ks, ps))) << "n=" << n;
+    EXPECT_TRUE(ec_eq(got, ec_msm_pippenger(ks, ps))) << "n=" << n;
+  }
+  ec_msm_set_crossover(prev);
+  EXPECT_EQ(ec_msm_crossover(), prev);
+}
+
 TEST(EcFast, AddMixedMatchesGeneralAdd) {
   Rng rng(707);
   Point p = ec_mul(random_scalar(rng), ec_mul_g(random_scalar(rng)));

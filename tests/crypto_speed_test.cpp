@@ -103,6 +103,50 @@ TEST(CryptoSpeed, WnafGlvMulBeatsNaiveLadderTwofold) {
                            "naive double-and-add ladder";
 }
 
+TEST(CryptoSpeed, MsmAutoBeatsStraussAtAuditScale) {
+  const char* why = nullptr;
+  if (skip_reason(&why)) GTEST_SKIP() << "speed gate skipped: " << why;
+
+  // At n = 1024 (the working set of one chunked-batch audit MSM) the auto
+  // front door must route to Pippenger and clearly beat Strauss. The 1.5x
+  // floor sits well under the ~1.8x measured on the calibration box, so
+  // the gate trips on a broken dispatch (crossover regressed above 1024)
+  // or a wrecked bucket engine, not on machine-to-machine noise.
+  Rng rng(993);
+  constexpr std::size_t kN = 1024;
+  std::vector<Fn> ks;
+  std::vector<Point> ps;
+  for (std::size_t i = 0; i < kN; ++i) {
+    ks.push_back(random_scalar(rng));
+    ps.push_back(ec_mul_g(random_scalar(rng)));
+  }
+  ASSERT_TRUE(ec_eq(ec_msm(ks, ps), ec_msm_strauss(ks, ps)));
+
+  Point sink = Point::infinity();
+  double auto_ns = best_ns_per_op(3, [&](int) { sink = ec_msm(ks, ps); });
+  Point auto_last = sink;
+  double strauss_ns =
+      best_ns_per_op(3, [&](int) { sink = ec_msm_strauss(ks, ps); });
+  ASSERT_TRUE(ec_eq(auto_last, sink));
+
+  double ratio = strauss_ns / auto_ns;
+  std::printf(
+      "BENCH_JSON {\"bench\":\"crypto_speed\",\"name\":\"ec_msm_1024\","
+      "\"ns_per_op\":%.1f}\n",
+      auto_ns);
+  std::printf(
+      "BENCH_JSON {\"bench\":\"crypto_speed\","
+      "\"name\":\"ec_msm_strauss_1024\",\"ns_per_op\":%.1f}\n",
+      strauss_ns);
+  std::printf(
+      "BENCH_JSON {\"bench\":\"crypto_speed\",\"name\":\"ec_msm_speedup\","
+      "\"ratio\":%.2f}\n",
+      ratio);
+  EXPECT_GE(ratio, 1.5) << "ec_msm auto-select no longer beats Strauss at "
+                           "n=1024; Pippenger dispatch or bucket engine "
+                           "regressed";
+}
+
 TEST(CryptoSpeed, BitProofVerifySpeedupReported) {
   const char* why = nullptr;
   if (skip_reason(&why)) GTEST_SKIP() << "speed gate skipped: " << why;

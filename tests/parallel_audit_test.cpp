@@ -1,0 +1,207 @@
+// Parallel audit engine: the ThreadPool primitive, the chunked batch
+// verifiers, and verify_election's n_threads knob. The contract under
+// test is determinism — chunk boundaries are independent of the worker
+// count, so an AuditReport (including blame attribution on injected bad
+// proofs) must be byte-identical at every thread count and across runs.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "core/driver.hpp"
+#include "crypto/batch.hpp"
+#include "crypto/elgamal.hpp"
+#include "crypto/pedersen.hpp"
+#include "crypto/rng.hpp"
+#include "util/thread_pool.hpp"
+
+namespace ddemos::core {
+namespace {
+
+// --- ThreadPool unit tests -------------------------------------------------
+
+TEST(ThreadPool, EmptyRangeNeverInvokesBody) {
+  util::ThreadPool pool(4);
+  bool called = false;
+  pool.parallel_for(0, 16, [&](std::size_t, std::size_t) { called = true; });
+  EXPECT_FALSE(called);
+}
+
+TEST(ThreadPool, CoversEveryIndexExactlyOnce) {
+  for (std::size_t threads : {std::size_t{1}, std::size_t{2}, std::size_t{4}}) {
+    util::ThreadPool pool(threads);
+    EXPECT_EQ(pool.n_threads(), threads);
+    constexpr std::size_t kN = 1000;
+    std::vector<std::atomic<int>> hits(kN);
+    pool.parallel_for(kN, 7, [&](std::size_t lo, std::size_t hi) {
+      ASSERT_LT(lo, hi);
+      ASSERT_LE(hi, kN);
+      for (std::size_t i = lo; i < hi; ++i) hits[i].fetch_add(1);
+    });
+    for (std::size_t i = 0; i < kN; ++i) EXPECT_EQ(hits[i].load(), 1);
+  }
+}
+
+TEST(ThreadPool, PropagatesChunkExceptions) {
+  util::ThreadPool pool(4);
+  auto boom = [&](std::size_t lo, std::size_t) {
+    if (lo >= 32) throw std::runtime_error("chunk failed");
+  };
+  EXPECT_THROW(pool.parallel_for(64, 8, boom), std::runtime_error);
+  // The pool survives a failed job and keeps scheduling.
+  std::atomic<std::size_t> done{0};
+  pool.parallel_for(64, 8, [&](std::size_t lo, std::size_t hi) {
+    done.fetch_add(hi - lo);
+  });
+  EXPECT_EQ(done.load(), 64u);
+}
+
+TEST(ThreadPool, ConcurrentParallelForCallers) {
+  // Several caller threads share one pool (the BB-node topology): every
+  // job must complete with full coverage. Also the TSan CI target for the
+  // queue and chunk-cursor machinery.
+  util::ThreadPool pool(3);
+  constexpr std::size_t kCallers = 4;
+  constexpr std::size_t kN = 500;
+  std::vector<std::atomic<std::size_t>> sums(kCallers);
+  std::vector<std::thread> callers;
+  for (std::size_t c = 0; c < kCallers; ++c) {
+    callers.emplace_back([&pool, &sums, c] {
+      for (int rep = 0; rep < 3; ++rep) {
+        pool.parallel_for(kN, 11, [&sums, c](std::size_t lo, std::size_t hi) {
+          for (std::size_t i = lo; i < hi; ++i) sums[c].fetch_add(i);
+        });
+      }
+    });
+  }
+  for (std::thread& t : callers) t.join();
+  for (std::size_t c = 0; c < kCallers; ++c) {
+    EXPECT_EQ(sums[c].load(), 3u * (kN * (kN - 1) / 2));
+  }
+}
+
+// --- Chunked batch verification --------------------------------------------
+
+TEST(ParallelBatch, ChunkedOpenCheckMatchesSerialDecisions) {
+  crypto::Rng rng(811);
+  crypto::Point key = crypto::ec_mul_g(crypto::random_scalar(rng));
+  // Enough instances to span several 256-instance chunks.
+  std::vector<crypto::EgOpenInstance> xs;
+  for (int i = 0; i < 600; ++i) {
+    crypto::Fn m = crypto::Fn::from_u64(static_cast<std::uint64_t>(i % 2));
+    crypto::Fn r = crypto::random_scalar(rng);
+    xs.push_back({crypto::eg_commit(key, m, r), m, r});
+  }
+  util::ThreadPool pool(4);
+  EXPECT_TRUE(crypto::eg_open_check_batch(key, xs));
+  EXPECT_TRUE(crypto::eg_open_check_batch(key, xs, &pool));
+  // One bad instance anywhere (middle chunk here) fails both forms.
+  xs[300].m = xs[300].m + crypto::Fn::one();
+  EXPECT_FALSE(crypto::eg_open_check_batch(key, xs));
+  EXPECT_FALSE(crypto::eg_open_check_batch(key, xs, &pool));
+}
+
+// --- verify_election across thread counts ----------------------------------
+
+ElectionParams audit_params(std::size_t voters) {
+  ElectionParams p;
+  p.election_id = to_bytes("parallel-audit-test");
+  p.options = {"alpha", "beta"};
+  p.n_voters = voters;
+  p.n_vc = 4;
+  p.f_vc = 1;
+  p.n_bb = 3;
+  p.f_bb = 1;
+  p.n_trustees = 3;
+  p.h_trustees = 2;
+  p.t_start = 0;
+  p.t_end = 60'000'000;
+  return p;
+}
+
+void expect_same_report(const client::AuditReport& a,
+                        const client::AuditReport& b) {
+  EXPECT_EQ(a.passed, b.passed);
+  EXPECT_EQ(a.failures, b.failures);
+  EXPECT_EQ(a.tally, b.tally);
+}
+
+TEST(ParallelAudit, CleanElectionIdenticalAcrossThreadCounts) {
+  DriverConfig cfg;
+  cfg.params = audit_params(6);
+  cfg.seed = 91;
+  cfg.workload = VoteListWorkload::make({0, 1, 0, 1, 1, 0});
+  ElectionDriver runner(cfg);
+  runner.run();
+  client::Auditor auditor(runner.reader());
+  auto base = auditor.verify_election(client::AuditOptions{1});
+  EXPECT_TRUE(base.passed);
+  for (std::size_t threads : {std::size_t{2}, std::size_t{4}}) {
+    expect_same_report(base,
+                       auditor.verify_election(client::AuditOptions{threads}));
+  }
+  // Deterministic across repeated runs at the same thread count.
+  expect_same_report(auditor.verify_election(client::AuditOptions{2}),
+                     auditor.verify_election(client::AuditOptions{2}));
+}
+
+TEST(ParallelAudit, BlameAttributionIdenticalAcrossThreadCounts) {
+  // EA commits ballot 0 part B line 0 with openings dealt for the wrong
+  // randomness: the BB still opens it (the VSS shares are valid), the
+  // messages are a valid unit vector, but the two eg_open checks fail —
+  // exercising the batch-failure fallback that attributes blame.
+  DriverConfig cfg;
+  cfg.params = audit_params(2);
+  cfg.seed = 92;
+  cfg.workload = VoteListWorkload::make({0, 1});
+  cfg.voter_template.forced_part = 0;
+  cfg.tamper_setup = [](ea::SetupArtifacts& arts) {
+    crypto::Rng rng(998);
+    crypto::Point key = arts.bb_inits[0].commit_key;
+    std::vector<crypto::Fn> ms = {crypto::Fn::one(), crypto::Fn::zero()};
+    std::vector<crypto::Fn> rs = {crypto::random_scalar(rng),
+                                  crypto::random_scalar(rng)};
+    std::vector<crypto::ElGamalCipher> enc = {
+        crypto::eg_commit(key, ms[0], rs[0]),
+        crypto::eg_commit(key, ms[1], rs[1])};
+    for (auto& bb : arts.bb_inits) {
+      bb.ballots[0].parts[1][0].encoding = enc;
+    }
+    for (std::size_t j = 0; j < 2; ++j) {
+      auto dm = crypto::pedersen_vss_deal(ms[j], 2, 3, rng);
+      // Openings for a fresh random r, NOT the committed rs[j].
+      auto dr = crypto::pedersen_vss_deal(crypto::random_scalar(rng), 2, 3,
+                                          rng);
+      for (auto& bb : arts.bb_inits) {
+        bb.ballots[0].parts[1][0].opening_comms[2 * j] = dm.coefficient_comms;
+        bb.ballots[0].parts[1][0].opening_comms[2 * j + 1] =
+            dr.coefficient_comms;
+      }
+      for (std::size_t t = 0; t < 3; ++t) {
+        arts.trustee_inits[t].ballots[0].parts[1][0].open_m[j] = dm.shares[t];
+        arts.trustee_inits[t].ballots[0].parts[1][0].open_r[j] = dr.shares[t];
+      }
+    }
+  };
+  ElectionDriver runner(cfg);
+  runner.run();
+  client::Auditor auditor(runner.reader());
+  auto base = auditor.verify_election(client::AuditOptions{1});
+  EXPECT_FALSE(base.passed);
+  // Both tampered openings blamed, nothing else.
+  std::size_t blamed = 0;
+  for (const std::string& f : base.failures) {
+    if (f == "commitment opening invalid") ++blamed;
+  }
+  EXPECT_EQ(blamed, 2u);
+  for (std::size_t threads : {std::size_t{2}, std::size_t{4}}) {
+    expect_same_report(base,
+                       auditor.verify_election(client::AuditOptions{threads}));
+  }
+  expect_same_report(auditor.verify_election(client::AuditOptions{4}),
+                     auditor.verify_election(client::AuditOptions{4}));
+}
+
+}  // namespace
+}  // namespace ddemos::core
