@@ -3,6 +3,7 @@
 #include <chrono>
 
 #include "core/messages.hpp"
+#include "core/tcp_launcher.hpp"
 #include "crypto/schnorr.hpp"
 #include "net/thread_net.hpp"
 #include "util/error.hpp"
@@ -85,12 +86,18 @@ const PhaseSample& VoteCollectionCampaign::generate() {
   ea_cfg.seed = cfg_.seed;
   ea_cfg.vc_only = true;
 
+  ea_params_ = ea_cfg.params;
+
   // Generate ballots (streaming), capture the first `casts` as targets.
+  // On the TCP backend no VC store is kept here at all: every node process
+  // recomputes its own slice from (params, seed), so the launcher only
+  // needs the vote targets.
+  const bool tcp = cfg_.backend == Backend::kTcp;
   targets_.reserve(cfg_.casts);
   crypto::Rng pick(cfg_.seed ^ 0xabcdef);
-  mem_ballots_.assign(cfg_.disk_store ? 0 : cfg_.n_vc, {});
+  mem_ballots_.assign(cfg_.disk_store || tcp ? 0 : cfg_.n_vc, {});
   std::vector<std::unique_ptr<store::DiskBallotSource::Builder>> builders;
-  if (cfg_.disk_store) {
+  if (cfg_.disk_store && !tcp) {
     for (std::size_t i = 0; i < cfg_.n_vc; ++i) {
       builders.push_back(std::make_unique<store::DiskBallotSource::Builder>(
           cfg_.disk_dir + "/vc" + std::to_string(i) + ".ballots"));
@@ -106,9 +113,9 @@ const PhaseSample& VoteCollectionCampaign::generate() {
               VoteTarget{ballot.serial, line.vote_code, line.receipt});
         }
         for (std::size_t i = 0; i < per_vc.size(); ++i) {
-          if (cfg_.disk_store) {
+          if (!builders.empty()) {
             builders[i]->add(per_vc[i]);
-          } else {
+          } else if (!mem_ballots_.empty()) {
             mem_ballots_[i].push_back(per_vc[i]);
           }
         }
@@ -125,9 +132,16 @@ VoteCollectionResult VoteCollectionCampaign::run_cell(
     std::size_t checkpoint_every, bool final_cell) {
   if (!generated_) generate();
   const VoteCollectionConfig& cfg = cfg_;
+  const bool tcp = cfg.backend == Backend::kTcp;
+  if (tcp && cfg.disk_store) {
+    throw ProtocolError(
+        "tcp backend: disk-backed stores are per-node-process state; "
+        "configure the node processes, not the launcher");
+  }
 
-  std::vector<std::shared_ptr<store::BallotDataSource>> sources(cfg.n_vc);
-  for (std::size_t i = 0; i < cfg.n_vc; ++i) {
+  std::vector<std::shared_ptr<store::BallotDataSource>> sources(
+      tcp ? 0 : cfg.n_vc);
+  for (std::size_t i = 0; i < sources.size(); ++i) {
     if (cfg.disk_store) {
       // One read handle per VC shard, so sharded disk-backed runs do not
       // serialize lookups behind a single FILE* lock.
@@ -150,9 +164,9 @@ VoteCollectionResult VoteCollectionCampaign::run_cell(
 
   vc::VcNode::Options opts;
   opts.n_shards = std::max<std::size_t>(n_shards, 1);
-  if (!cfg.threads) {
-    // Modeled signature charges calibrated against this CPU; on ThreadNet
-    // charge() is a no-op, so the threaded sweep runs real Schnorr instead.
+  if (cfg.backend == Backend::kSim) {
+    // Modeled signature charges calibrated against this CPU; on the real
+    // transports charge() is a no-op, so those sweeps run real Schnorr.
     CalibratedCosts costs = calibrate_signature_costs();
     opts.model_signatures = true;
     opts.sign_cost_us = costs.sign_us;
@@ -162,8 +176,23 @@ VoteCollectionResult VoteCollectionCampaign::run_cell(
 
   std::unique_ptr<sim::Simulation> sim;
   std::unique_ptr<net::ThreadNet> net;
+  std::unique_ptr<core::TcpLauncher> launcher;
   sim::RuntimeHost* host;
-  if (cfg.threads) {
+  if (tcp) {
+    // One OS process per VC node; this process hosts only the load
+    // generator. The spec ships the election parameters and this cell's
+    // shard count — each node process rebuilds its ballots from the seed.
+    core::TcpClusterSpec spec;
+    spec.params = ea_params_;
+    spec.seed = cfg.seed;
+    spec.vc_only = true;
+    spec.collection_only = true;
+    spec.vc_shards = opts.n_shards;
+    spec.vc_options = opts;
+    launcher = std::make_unique<core::TcpLauncher>(std::move(spec));
+    launcher->launch();
+    host = &launcher->net();
+  } else if (cfg.backend == Backend::kThreads) {
     net = std::make_unique<net::ThreadNet>();
     host = net.get();
   } else {
@@ -175,6 +204,10 @@ VoteCollectionResult VoteCollectionCampaign::run_cell(
   std::vector<NodeId> vc_ids(cfg.n_vc);
   for (std::size_t i = 0; i < cfg.n_vc; ++i) vc_ids[i] = static_cast<NodeId>(i);
   for (std::size_t i = 0; i < cfg.n_vc; ++i) {
+    if (tcp) {
+      launcher->net().add_remote("vc" + std::to_string(i));
+      continue;
+    }
     host->add_node(std::make_unique<vc::VcNode>(arts_.vc_inits[i], sources[i],
                                                 vc_ids, std::vector<NodeId>{},
                                                 opts),
@@ -234,11 +267,23 @@ VoteCollectionResult VoteCollectionCampaign::run_cell(
       while (next_mark <= done_casts) next_mark += checkpoint_every;
     };
   }
+  // TCP cluster: C_GO to the node processes + start the local net. The
+  // closed loop's completion predicate needs no remote state — every cast
+  // resolves with a receipt arriving back at the load generator.
+  if (launcher) launcher->go();
   if (!host->run_to_quiescence([&gen] { return gen.done(); }, run_opts)) {
     // The queue drained (or the wall budget lapsed) with casts unresolved
     // (e.g. a lossy link ate a vote): fail loudly rather than emit metrics
     // over partial counts.
     throw ProtocolError("benchmark stalled before completing every cast");
+  }
+  std::uint64_t remote_events = 0;
+  if (launcher) {
+    // Collect the node-process reports (stops the local net too) so the
+    // cell's event accounting covers the whole cluster.
+    for (const core::TcpProcessReport& rep : launcher->stop_cluster()) {
+      remote_events += rep.events;
+    }
   }
   host->stop();  // join ThreadNet workers before reading settled state
   if (gen.rejected() > 0) throw ProtocolError("benchmark vote rejected");
@@ -246,6 +291,7 @@ VoteCollectionResult VoteCollectionCampaign::run_cell(
   VoteCollectionResult out;
   out.setup = setup_sample_;
   out.collection = instr.end_phase();
+  out.collection.events += remote_events;
   // Between done() probes the sim can pop a few of the far-future
   // election-end timers, teleporting now() to t_end (~int64max/4); the
   // phase's meaningful virtual span ends at the last receipt — the same

@@ -32,6 +32,17 @@ struct CalibratedCosts {
 };
 CalibratedCosts calibrate_signature_costs();
 
+// Which runtime hosts a vote-collection cell:
+//  * kSim — hybrid simulator: real protocol code and hashing, modeled
+//    network and signature costs, deterministic virtual time;
+//  * kThreads — net::ThreadNet: real threads and real Schnorr crypto in
+//    one process, wall-clock throughput;
+//  * kTcp — core::TcpLauncher over net::TcpNet: one OS process per VC
+//    node, all traffic over loopback TCP sockets, real crypto. The node
+//    processes rebuild their ballot slice from (params, seed); disk-backed
+//    stores are not supported on this backend.
+enum class Backend { kSim, kThreads, kTcp };
+
 struct VoteCollectionConfig {
   std::size_t n_vc = 4;
   std::size_t f_vc = 1;
@@ -50,11 +61,10 @@ struct VoteCollectionConfig {
   // Intra-node VC shards (the fig5a scaling sweep): one virtual processor
   // per shard on the simulator, one worker thread per shard on ThreadNet.
   std::size_t n_shards = 1;
-  // Host the cluster on net::ThreadNet instead of the simulator: real
-  // threads, real wall-clock throughput. Implies real Schnorr crypto in
-  // the hot path (modeled charges are meaningless where charge() is a
+  // Hosting runtime. The non-simulator backends imply real Schnorr crypto
+  // in the hot path (modeled charges are meaningless where charge() is a
   // no-op) so there is genuine CPU work for the shards to parallelize.
-  bool threads = false;
+  Backend backend = Backend::kSim;
 };
 
 struct VoteCollectionResult {
@@ -114,6 +124,7 @@ class VoteCollectionCampaign {
  private:
   VoteCollectionConfig cfg_;
   std::size_t n_ballots_ = 0;
+  core::ElectionParams ea_params_;  // the params generate() configured
   ea::SetupArtifacts arts_;
   std::vector<core::VoteTarget> targets_;
   // Kept as the master copy so every run_cell gets a fresh source
@@ -124,9 +135,8 @@ class VoteCollectionCampaign {
 };
 
 // Runs the vote-collection phase only (as the paper's Figure 4/5a/5b
-// experiments do) over the hybrid simulator — real protocol code and
-// hashing, modeled network and signature costs — or, with cfg.threads,
-// over the real multi-threaded transport with real crypto.
+// experiments do) on the configured backend: the hybrid simulator, the
+// in-process multi-threaded transport, or the multi-process TCP cluster.
 VoteCollectionResult run_vote_collection(const VoteCollectionConfig& cfg);
 
 // Environment-variable scaling knobs shared by all figure benches.

@@ -112,5 +112,36 @@ int main() {
       std::printf("\n");
     }
   }
+
+  // --- multi-process column: the same LAN sweep over the #VC axis with
+  // one OS process per VC node and all traffic on loopback TCP sockets
+  // (backend=tcp keys these rows separately in the perf trajectory).
+  // One concurrency level: the axis of interest is the process count.
+  std::size_t tcp_cc = ccs.front();
+  std::size_t tcp_casts =
+      std::max<std::size_t>(tcp_cc * cast_factor / 2, cast_floor);
+  std::printf("\n# fig4-tcp: multi-process (TcpNet) throughput vs #VC, "
+              "lan loopback, cc=%zu\n", tcp_cc);
+  std::printf("%-6s %12s %12s\n", "#VC", "ops/sec", "latency_ms");
+  for (std::size_t vc : vcs) {
+    VoteCollectionConfig cfg;
+    cfg.n_vc = vc;
+    cfg.f_vc = (vc - 1) / 3;
+    cfg.concurrency = tcp_cc;
+    cfg.casts = tcp_casts;
+    cfg.n_ballots = std::max(ballots, cfg.casts + 100);
+    cfg.options = 4;
+    cfg.seed = 4242 + vc;
+    cfg.backend = Backend::kTcp;
+    VoteCollectionResult r = run_vote_collection(cfg);
+    std::printf("%-6zu %12.0f %12.1f\n", vc, r.throughput_ops,
+                r.mean_latency_ms);
+    std::printf("BENCH_JSON {\"bench\":\"fig4\",\"net\":\"lan\","
+                "\"backend\":\"tcp\",\"vc\":%zu,\"cc\":%zu,\"casts\":%zu,"
+                "\"throughput_ops\":%.0f,\"latency_ms\":%.2f,%s}\n",
+                vc, tcp_cc, cfg.casts, r.throughput_ops, r.mean_latency_ms,
+                accounting_fields(r.collection).c_str());
+    std::fflush(stdout);
+  }
   return 0;
 }

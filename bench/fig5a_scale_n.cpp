@@ -68,8 +68,12 @@ int main() {
   // the perf-trajectory artifact stay comparable field-for-field. The EA
   // generation runs once per backend (VoteCollectionCampaign); only the
   // cluster + closed loop are rebuilt per shard cell.
-  auto shard_sweep = [&](const char* mode, bool threads,
+  auto shard_sweep = [&](const char* mode, Backend backend,
                          std::size_t concurrency, std::uint64_t seed) {
+    // The multi-process rows carry an explicit backend key so the
+    // perf-trajectory join never mixes them with the in-process curves.
+    const char* backend_field =
+        backend == Backend::kTcp ? "\"backend\":\"tcp\"," : "";
     VoteCollectionConfig cfg;
     cfg.n_vc = 4;
     cfg.f_vc = 1;
@@ -78,7 +82,7 @@ int main() {
     cfg.n_ballots = shard_ballots;
     cfg.options = 2;
     cfg.seed = seed;
-    cfg.threads = threads;
+    cfg.backend = backend;
     VoteCollectionCampaign campaign(cfg);
     campaign.generate();
     std::printf("%-8s %12s %12s\n", "shards", "ops/sec", "latency_ms");
@@ -87,10 +91,10 @@ int main() {
           shards, nullptr, 0, /*final_cell=*/shards * 2 > max_shards);
       std::printf("%-8zu %12.0f %12.1f\n", shards, r.throughput_ops,
                   r.mean_latency_ms);
-      std::printf("BENCH_JSON {\"bench\":\"fig5a\",\"mode\":\"%s\","
+      std::printf("BENCH_JSON {\"bench\":\"fig5a\",\"mode\":\"%s\",%s"
                   "\"n\":%zu,\"shards\":%zu,"
                   "\"throughput_ops\":%.0f,\"latency_ms\":%.2f,%s}\n",
-                  mode, shard_ballots, shards, r.throughput_ops,
+                  mode, backend_field, shard_ballots, shards, r.throughput_ops,
                   r.mean_latency_ms, accounting_fields(r.collection).c_str());
       std::fflush(stdout);
     }
@@ -98,12 +102,16 @@ int main() {
 
   std::printf("\n# fig5a-shards: throughput vs vc shards, simulator "
               "(one virtual processor per shard, calibrated sig costs)\n");
-  shard_sweep("sim-shards", false, 400, 177);
+  shard_sweep("sim-shards", Backend::kSim, 400, 177);
 
   std::printf("\n# fig5a-shards: throughput vs vc shards, ThreadNet "
               "(one worker thread per shard, real crypto; scaling is "
               "bounded by host cores)\n");
   // Lower concurrency keeps every shard saturated with bounded queues.
-  shard_sweep("threadnet-shards", true, 64, 277);
+  shard_sweep("threadnet-shards", Backend::kThreads, 64, 277);
+
+  std::printf("\n# fig5a-shards: throughput vs vc shards, TcpNet "
+              "(one OS process per VC node, loopback TCP, real crypto)\n");
+  shard_sweep("tcp-shards", Backend::kTcp, 64, 377);
   return 0;
 }

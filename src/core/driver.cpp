@@ -10,9 +10,9 @@ namespace ddemos::core {
 
 using sim::NodeId;
 
-ElectionTopology build_election(sim::RuntimeHost& host,
-                                const ea::SetupArtifacts& artifacts,
-                                const DriverConfig& cfg) {
+ElectionTopology build_protocol_nodes(sim::RuntimeHost& host,
+                                      const ea::SetupArtifacts& artifacts,
+                                      const DriverConfig& cfg) {
   const ElectionParams& p = cfg.params;
   ElectionTopology topo;
 
@@ -59,7 +59,13 @@ ElectionTopology build_election(sim::RuntimeHost& host,
         "trustee" + std::to_string(i));
     topo.trustee_ids.push_back(id);
   }
+  return topo;
+}
 
+void build_clients(sim::RuntimeHost& host,
+                   const ea::SetupArtifacts& artifacts,
+                   const DriverConfig& cfg, ElectionTopology& topo) {
+  const ElectionParams& p = cfg.params;
   // Stream the voter workload: one Voter node per open-loop intent, or one
   // multiplexing ClosedLoopClient for closed-loop sources. The workload is
   // the only description of the electorate — no O(n_voters) vectors.
@@ -105,7 +111,7 @@ ElectionTopology build_election(sim::RuntimeHost& host,
                                            workload->concurrency(),
                                            cfg.seed ^ 0x1),
         "loadgen");
-    return topo;
+    return;
   }
   while (auto in = next_intent()) {
     if (in->cast_at == kCastWhenReady) {
@@ -123,6 +129,13 @@ ElectionTopology build_election(sim::RuntimeHost& host,
     topo.voter_ids.push_back(id);
     topo.voter_slots.push_back(VoterSlot{in->slot, in->option});
   }
+}
+
+ElectionTopology build_election(sim::RuntimeHost& host,
+                                const ea::SetupArtifacts& artifacts,
+                                const DriverConfig& cfg) {
+  ElectionTopology topo = build_protocol_nodes(host, artifacts, cfg);
+  build_clients(host, artifacts, cfg, topo);
   return topo;
 }
 

@@ -122,6 +122,23 @@ struct PhaseBreakdown {
   }
 };
 
+// Per-OS-process accounting row for a multi-process (TcpNet) run, merged
+// from the node processes' reports by core::TcpLauncher. Field names mirror
+// bench::Instrumentation's accounting fields so bench rows can emit either
+// source uniformly. Single-process backends leave the vector empty.
+struct NodeAccounting {
+  std::string name;  // "launcher", "vc0", "bb1", ...
+  std::uint64_t events = 0;       // handler invocations in that process
+  std::uint64_t allocations = 0;  // Buffer payload allocations
+  std::uint64_t rss_kb = 0;
+  std::uint64_t peak_rss_kb = 0;
+  // Transport counters (zero for the simulator/ThreadNet).
+  std::uint64_t frames_sent = 0;
+  std::uint64_t frames_received = 0;
+  std::uint64_t reconnects = 0;
+  std::uint64_t frames_dropped = 0;
+};
+
 // Structured outcome of a driver run; everything the benches and tests
 // previously scraped from node internals.
 struct ElectionReport {
@@ -148,6 +165,9 @@ struct ElectionReport {
   std::uint64_t messages_dropped = 0;    // simulator only
   std::uint64_t payload_allocations = 0;
   std::uint64_t peak_rss_kb = 0;  // process peak RSS sampled after the run
+  // One row per OS process on a TcpNet cluster (launcher first); empty on
+  // the single-process backends.
+  std::vector<NodeAccounting> process_accounting;
   double wall_seconds = 0;  // real time spent inside run()
   double events_per_sec() const {
     return wall_seconds > 0 ? events_processed / wall_seconds : 0;
@@ -180,6 +200,20 @@ class ElectionObserver {
 ElectionTopology build_election(sim::RuntimeHost& host,
                                 const ea::SetupArtifacts& artifacts,
                                 const DriverConfig& cfg);
+
+// The two halves of build_election, for hosts where they run in different
+// OS processes (TcpNet): every process builds the protocol-node prefix —
+// VCs 0..Nv-1, then BBs, then trustees, the id convention BB nodes rely on
+// to authenticate VC writers — and only the launcher process streams the
+// client half on top. On TcpNet, add_node keeps just the nodes the calling
+// process hosts, so running the identical build in every process yields
+// an aligned id/name space with each node constructed exactly once.
+ElectionTopology build_protocol_nodes(sim::RuntimeHost& host,
+                                      const ea::SetupArtifacts& artifacts,
+                                      const DriverConfig& cfg);
+void build_clients(sim::RuntimeHost& host,
+                   const ea::SetupArtifacts& artifacts,
+                   const DriverConfig& cfg, ElectionTopology& topo);
 
 class ElectionDriver {
  public:

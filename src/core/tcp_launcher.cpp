@@ -1,0 +1,881 @@
+#include "core/tcp_launcher.hpp"
+
+#include <poll.h>
+#include <signal.h>
+#include <sys/socket.h>
+#include <sys/wait.h>
+#include <unistd.h>
+#ifdef __linux__
+#include <sys/prctl.h>
+#endif
+
+#include <chrono>
+#include <cstdlib>
+#include <cstring>
+
+#include "net/tcp_frame.hpp"
+#include "util/error.hpp"
+#include "util/proc_stats.hpp"
+
+namespace ddemos::core {
+
+using net::FrameHeader;
+using net::FrameKind;
+
+namespace {
+
+// Control-plane opcodes (first payload byte of a kControl frame).
+enum CtrlOp : std::uint8_t {
+  kCtrlHello = 1,   // child -> launcher: u32 process
+  kCtrlConfig = 2,  // launcher -> child: TcpClusterSpec, u32 process count
+  kCtrlReady = 3,   // child -> launcher: u16 data port
+  kCtrlPeers = 4,   // launcher -> child: per-process (host, port) table
+  kCtrlGo = 5,      // launcher -> child: start the election clock
+  kCtrlStatus = 6,  // child -> launcher: u8 all-hosted-nodes-done
+  kCtrlStop = 7,    // launcher -> child: stop, report, exit
+  kCtrlReport = 8,  // child -> launcher: TcpProcessReport
+};
+
+bool send_ctrl(int fd, CtrlOp op, BytesView body = {}) {
+  Bytes payload;
+  payload.reserve(1 + body.size());
+  payload.push_back(op);
+  append(payload, body);
+  FrameHeader h;
+  h.kind = FrameKind::kControl;
+  return net::write_frame(fd, h, payload);
+}
+
+// Blocks until one control frame arrives; empty on EOF/garbage.
+std::optional<std::pair<std::uint8_t, Bytes>> read_ctrl(int fd) {
+  auto frame = net::read_frame(fd);
+  if (!frame || frame->first.kind != FrameKind::kControl ||
+      frame->second.empty()) {
+    return std::nullopt;
+  }
+  std::uint8_t op = frame->second.front();
+  Bytes body(frame->second.begin() + 1, frame->second.end());
+  return std::make_pair(op, std::move(body));
+}
+
+bool wait_readable(int fd, sim::Duration timeout_us) {
+  pollfd pfd{fd, POLLIN, 0};
+  int ms = static_cast<int>(timeout_us / 1000);
+  return ::poll(&pfd, 1, ms) > 0 && (pfd.revents & (POLLIN | POLLHUP));
+}
+
+void encode_vc_stats(Writer& w, const vc::VcStats& s) {
+  w.u64(s.votes_received);
+  w.u64(s.receipts_issued);
+  w.u64(s.rejected_votes);
+  w.u64(static_cast<std::uint64_t>(s.voting_ended_at));
+  w.u64(static_cast<std::uint64_t>(s.consensus_done_at));
+  w.u64(static_cast<std::uint64_t>(s.push_done_at));
+}
+
+vc::VcStats decode_vc_stats(Reader& r) {
+  vc::VcStats s;
+  s.votes_received = r.u64();
+  s.receipts_issued = r.u64();
+  s.rejected_votes = r.u64();
+  s.voting_ended_at = static_cast<sim::TimePoint>(r.u64());
+  s.consensus_done_at = static_cast<sim::TimePoint>(r.u64());
+  s.push_done_at = static_cast<sim::TimePoint>(r.u64());
+  return s;
+}
+
+void encode_shard_stats(Writer& w, const vc::VcShardStats& s) {
+  w.u64(s.handled_messages);
+  w.u64(s.votes_received);
+  w.u64(s.receipts_issued);
+  w.u64(s.rejected_votes);
+  w.u64(s.endorsements_signed);
+  w.u64(s.queue_high_water);
+}
+
+vc::VcShardStats decode_shard_stats(Reader& r) {
+  vc::VcShardStats s;
+  s.handled_messages = r.u64();
+  s.votes_received = r.u64();
+  s.receipts_issued = r.u64();
+  s.rejected_votes = r.u64();
+  s.endorsements_signed = r.u64();
+  s.queue_high_water = r.u64();
+  return s;
+}
+
+}  // namespace
+
+void TcpClusterSpec::encode(Writer& w) const {
+  params.encode(w);
+  w.u64(seed);
+  w.boolean(vc_only);
+  w.boolean(collection_only);
+  w.varint(consensus_rounds);
+  w.varint(vc_shards);
+  w.boolean(vc_options.model_signatures);
+  w.u64(static_cast<std::uint64_t>(vc_options.sign_cost_us));
+  w.u64(static_cast<std::uint64_t>(vc_options.verify_cost_us));
+  w.u64(static_cast<std::uint64_t>(vc_options.base_handler_cost_us));
+  w.varint(vc_options.announce_chunk);
+  w.varint(vc_options.push_chunk);
+  w.u64(static_cast<std::uint64_t>(vc_options.recover_retry_us));
+  w.u64(static_cast<std::uint64_t>(vc_options.page_fault_cost_us));
+  w.varint(vc_options.n_shards);
+  w.u64(static_cast<std::uint64_t>(trustee_options.poll_interval_us));
+}
+
+TcpClusterSpec TcpClusterSpec::decode(Reader& r) {
+  TcpClusterSpec s;
+  s.params = ElectionParams::decode(r);
+  s.seed = r.u64();
+  s.vc_only = r.boolean();
+  s.collection_only = r.boolean();
+  s.consensus_rounds = static_cast<std::size_t>(r.varint());
+  s.vc_shards = static_cast<std::size_t>(r.varint());
+  s.vc_options.model_signatures = r.boolean();
+  s.vc_options.sign_cost_us = static_cast<sim::Duration>(r.u64());
+  s.vc_options.verify_cost_us = static_cast<sim::Duration>(r.u64());
+  s.vc_options.base_handler_cost_us = static_cast<sim::Duration>(r.u64());
+  s.vc_options.announce_chunk = static_cast<std::size_t>(r.varint());
+  s.vc_options.push_chunk = static_cast<std::size_t>(r.varint());
+  s.vc_options.recover_retry_us = static_cast<sim::Duration>(r.u64());
+  s.vc_options.page_fault_cost_us = static_cast<sim::Duration>(r.u64());
+  s.vc_options.n_shards = static_cast<std::size_t>(r.varint());
+  s.trustee_options.poll_interval_us = static_cast<sim::Duration>(r.u64());
+  return s;
+}
+
+void TcpNodeReport::encode(Writer& w) const {
+  w.u32(node_id);
+  w.u8(kind);
+  w.boolean(done);
+  encode_vc_stats(w, vc_stats);
+  w.vec(vc_shard_stats,
+        [](Writer& w2, const vc::VcShardStats& s) { encode_shard_stats(w2, s); });
+  w.vec(vote_set,
+        [](Writer& w2, const VoteSetEntry& e) { e.encode(w2); });
+  w.boolean(result_published);
+  w.vec(tally, [](Writer& w2, std::uint64_t t) { w2.u64(t); });
+  w.u64(static_cast<std::uint64_t>(codes_published_at));
+  w.u64(static_cast<std::uint64_t>(result_published_at));
+}
+
+TcpNodeReport TcpNodeReport::decode(Reader& r) {
+  TcpNodeReport n;
+  n.node_id = r.u32();
+  n.kind = r.u8();
+  n.done = r.boolean();
+  n.vc_stats = decode_vc_stats(r);
+  n.vc_shard_stats = r.vec<vc::VcShardStats>(
+      [](Reader& r2) { return decode_shard_stats(r2); });
+  n.vote_set =
+      r.vec<VoteSetEntry>([](Reader& r2) { return VoteSetEntry::decode(r2); });
+  n.result_published = r.boolean();
+  n.tally = r.vec<std::uint64_t>([](Reader& r2) { return r2.u64(); });
+  n.codes_published_at = static_cast<sim::TimePoint>(r.u64());
+  n.result_published_at = static_cast<sim::TimePoint>(r.u64());
+  return n;
+}
+
+void TcpProcessReport::encode(Writer& w) const {
+  w.u32(process);
+  w.u64(events);
+  w.u64(allocations);
+  w.u64(rss_kb);
+  w.u64(peak_rss_kb);
+  w.u64(frames_sent);
+  w.u64(frames_received);
+  w.u64(reconnects);
+  w.u64(frames_dropped);
+  w.vec(nodes, [](Writer& w2, const TcpNodeReport& n) { n.encode(w2); });
+}
+
+TcpProcessReport TcpProcessReport::decode(Reader& r) {
+  TcpProcessReport p;
+  p.process = r.u32();
+  p.events = r.u64();
+  p.allocations = r.u64();
+  p.rss_kb = r.u64();
+  p.peak_rss_kb = r.u64();
+  p.frames_sent = r.u64();
+  p.frames_received = r.u64();
+  p.reconnects = r.u64();
+  p.frames_dropped = r.u64();
+  p.nodes =
+      r.vec<TcpNodeReport>([](Reader& r2) { return TcpNodeReport::decode(r2); });
+  return p;
+}
+
+std::string TcpLauncher::default_node_binary() {
+  if (const char* env = std::getenv("DDEMOS_NODE_BIN")) return env;
+  char buf[4096];
+  ssize_t n = ::readlink("/proc/self/exe", buf, sizeof(buf) - 1);
+  if (n <= 0) return "ddemos_node";
+  buf[n] = '\0';
+  std::string self(buf);
+  std::size_t slash = self.rfind('/');
+  if (slash == std::string::npos) return "ddemos_node";
+  return self.substr(0, slash) + "/ddemos_node";
+}
+
+TcpClusterSpec TcpLauncher::spec_from(const DriverConfig& cfg) {
+  TcpClusterSpec spec;
+  spec.params = cfg.params;
+  spec.seed = cfg.seed;
+  spec.vc_only = false;
+  spec.collection_only = false;
+  spec.vc_shards = cfg.vc_shards;
+  spec.vc_options = cfg.vc_options;
+  spec.trustee_options = cfg.trustee_options;
+  return spec;
+}
+
+TcpLauncher::TcpLauncher(TcpClusterSpec spec, Options opt)
+    : spec_(std::move(spec)), opt_(std::move(opt)) {
+  const std::size_t n_proto = spec_.protocol_processes();
+  if (n_proto == 0) throw ProtocolError("TcpLauncher: empty cluster");
+  net::TcpConfig ncfg;
+  ncfg.self_process = 0;
+  ncfg.election_id = spec_.params.election_id;
+  ncfg.listen_host = opt_.host;
+  ncfg.node_process.resize(n_proto);
+  // Fixed placement convention: process p hosts protocol node p-1.
+  for (std::size_t id = 0; id < n_proto; ++id) {
+    ncfg.node_process[id] = static_cast<std::uint32_t>(id + 1);
+  }
+  ncfg.default_process = 0;  // voters/load clients live with the launcher
+  net_ = std::make_unique<net::TcpNet>(std::move(ncfg));
+}
+
+TcpLauncher::~TcpLauncher() {
+  try {
+    stop_cluster();
+  } catch (...) {
+    for (auto& child : children_) {
+      if (child->pid > 0) ::kill(child->pid, SIGKILL);
+    }
+  }
+}
+
+void TcpLauncher::launch() {
+  if (launched_) return;
+  const std::size_t n_proto = spec_.protocol_processes();
+  const std::string binary =
+      opt_.node_binary.empty() ? default_node_binary() : opt_.node_binary;
+  control_listen_fd_ = net::tcp_listen(opt_.host, 0, &control_port_);
+
+  auto fail = [&](const std::string& what) {
+    for (auto& child : children_) {
+      if (child->pid > 0) ::kill(child->pid, SIGKILL);
+      if (child->control_fd >= 0) ::close(child->control_fd);
+    }
+    children_.clear();
+    ::close(control_listen_fd_);
+    control_listen_fd_ = -1;
+    throw ProtocolError("TcpLauncher: " + what);
+  };
+
+  for (std::size_t p = 1; p <= n_proto; ++p) {
+    std::string port_s = std::to_string(control_port_);
+    std::string proc_s = std::to_string(p);
+    pid_t pid = ::fork();
+    if (pid < 0) fail("fork failed");
+    if (pid == 0) {
+      ::execl(binary.c_str(), binary.c_str(), "--serve", opt_.host.c_str(),
+              port_s.c_str(), proc_s.c_str(), static_cast<char*>(nullptr));
+      // exec failed (missing binary): nothing sane to do in the child.
+      std::fprintf(stderr, "ddemos_node exec failed: %s\n", binary.c_str());
+      ::_exit(127);
+    }
+    auto child = std::make_unique<Child>();
+    child->pid = pid;
+    children_.push_back(std::move(child));
+  }
+
+  // Accept every child's control connection; the first frame identifies
+  // which process index dialed in (children race, order is arbitrary).
+  auto deadline = std::chrono::steady_clock::now() +
+                  std::chrono::microseconds(opt_.launch_timeout_us);
+  auto remaining_us = [&]() -> sim::Duration {
+    auto left = std::chrono::duration_cast<std::chrono::microseconds>(
+                    deadline - std::chrono::steady_clock::now())
+                    .count();
+    return left > 0 ? left : 0;
+  };
+  for (std::size_t i = 0; i < n_proto; ++i) {
+    if (!wait_readable(control_listen_fd_, remaining_us())) {
+      fail("timed out waiting for node processes (binary: " + binary + ")");
+    }
+    int fd = ::accept(control_listen_fd_, nullptr, nullptr);
+    if (fd < 0) fail("accept failed on the control socket");
+    auto hello = read_ctrl(fd);
+    if (!hello || hello->first != kCtrlHello) {
+      ::close(fd);
+      fail("bad control hello");
+    }
+    Reader r(hello->second);
+    std::uint32_t proc = r.u32();
+    if (proc < 1 || proc > n_proto || children_[proc - 1]->control_fd >= 0) {
+      ::close(fd);
+      fail("control hello from unexpected process " + std::to_string(proc));
+    }
+    children_[proc - 1]->control_fd = fd;
+    children_[proc - 1]->alive.store(true, std::memory_order_release);
+  }
+
+  // Ship the cluster spec; every child deterministically recomputes its
+  // own node's EA data from (params, seed) — no artifacts on the wire.
+  {
+    Writer w;
+    spec_.encode(w);
+    w.u32(static_cast<std::uint32_t>(n_proto + 1));
+    for (auto& child : children_) {
+      if (!send_ctrl(child->control_fd, kCtrlConfig, w.data())) {
+        fail("failed to send config");
+      }
+    }
+  }
+
+  // Collect data-plane ports, then broadcast the full peer table.
+  std::vector<net::TcpPeer> peers(n_proto + 1);
+  peers[0] = net::TcpPeer{opt_.host, net_->listen_port()};
+  for (std::size_t p = 1; p <= n_proto; ++p) {
+    Child& child = *children_[p - 1];
+    if (!wait_readable(child.control_fd, remaining_us())) {
+      fail("timed out waiting for READY from process " + std::to_string(p));
+    }
+    auto ready = read_ctrl(child.control_fd);
+    if (!ready || ready->first != kCtrlReady) {
+      fail("bad READY from process " + std::to_string(p));
+    }
+    Reader r(ready->second);
+    peers[p] = net::TcpPeer{opt_.host, r.u16()};
+  }
+  net_->set_peers(peers);
+  {
+    Writer w;
+    w.vec(peers, [](Writer& w2, const net::TcpPeer& peer) {
+      w2.str(peer.host);
+      w2.u16(peer.port);
+    });
+    for (auto& child : children_) {
+      if (!send_ctrl(child->control_fd, kCtrlPeers, w.data())) {
+        fail("failed to send peer table");
+      }
+    }
+  }
+
+  // From here on a dedicated thread per child consumes STATUS/REPORT
+  // frames; a read error or EOF marks the process dead (fault cells
+  // SIGKILL children mid-election, which must not wedge completion).
+  for (auto& child : children_) {
+    Child* c = child.get();
+    c->reader = std::thread([this, c] { control_reader(*c); });
+  }
+  launched_ = true;
+}
+
+void TcpLauncher::control_reader(Child& child) {
+  while (auto msg = read_ctrl(child.control_fd)) {
+    if (msg->first == kCtrlStatus && !msg->second.empty()) {
+      child.done.store(msg->second.front() != 0, std::memory_order_release);
+      net_->notify_external();
+    } else if (msg->first == kCtrlReport) {
+      try {
+        Reader r(msg->second);
+        child.report = TcpProcessReport::decode(r);
+        child.reported.store(true, std::memory_order_release);
+      } catch (const CodecError&) {
+        break;
+      }
+    }
+  }
+  child.alive.store(false, std::memory_order_release);
+  net_->notify_external();
+}
+
+void TcpLauncher::go() {
+  if (!launched_) throw ProtocolError("TcpLauncher: go() before launch()");
+  for (auto& child : children_) {
+    if (child->alive.load(std::memory_order_acquire)) {
+      send_ctrl(child->control_fd, kCtrlGo);
+    }
+  }
+  net_->start();
+  if (opt_.fault && opt_.fault_after_us > 0) {
+    fault_thread_ = std::thread([this] {
+      sim::Duration slept = 0;
+      while (slept < opt_.fault_after_us &&
+             !stopping_.load(std::memory_order_acquire)) {
+        sim::Duration slice =
+            std::min<sim::Duration>(opt_.fault_after_us - slept, 10'000);
+        std::this_thread::sleep_for(std::chrono::microseconds(slice));
+        slept += slice;
+      }
+      if (!stopping_.load(std::memory_order_acquire)) opt_.fault(*this);
+    });
+  }
+}
+
+bool TcpLauncher::process_alive(std::size_t process) const {
+  if (process == 0) return true;
+  if (process > children_.size()) return false;
+  return children_[process - 1]->alive.load(std::memory_order_acquire);
+}
+
+bool TcpLauncher::remote_complete() const {
+  for (auto& child : children_) {
+    if (!child->alive.load(std::memory_order_acquire)) continue;
+    if (!child->done.load(std::memory_order_acquire)) return false;
+  }
+  return true;
+}
+
+void TcpLauncher::kill_process(std::size_t process) {
+  if (process == 0 || process > children_.size()) {
+    throw ProtocolError("TcpLauncher: cannot kill process " +
+                        std::to_string(process));
+  }
+  Child& child = *children_[process - 1];
+  if (child.pid > 0) ::kill(child.pid, SIGKILL);
+}
+
+void TcpLauncher::reap_children() {
+  auto deadline = std::chrono::steady_clock::now() +
+                  std::chrono::microseconds(opt_.launch_timeout_us);
+  for (auto& child : children_) {
+    if (child->pid <= 0) continue;
+    for (;;) {
+      int status = 0;
+      pid_t got = ::waitpid(child->pid, &status, WNOHANG);
+      if (got == child->pid || (got < 0 && errno == ECHILD)) break;
+      if (std::chrono::steady_clock::now() >= deadline) {
+        ::kill(child->pid, SIGKILL);
+        ::waitpid(child->pid, &status, 0);
+        break;
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    }
+    child->pid = -1;
+  }
+}
+
+std::vector<TcpProcessReport> TcpLauncher::stop_cluster() {
+  std::vector<TcpProcessReport> reports;
+  if (stopped_) {
+    for (auto& child : children_) {
+      if (child->reported.load(std::memory_order_acquire)) {
+        reports.push_back(child->report);
+      }
+    }
+    return reports;
+  }
+  stopped_ = true;
+  stopping_.store(true, std::memory_order_release);
+  if (fault_thread_.joinable()) fault_thread_.join();
+  for (auto& child : children_) {
+    if (child->alive.load(std::memory_order_acquire)) {
+      send_ctrl(child->control_fd, kCtrlStop);
+    }
+  }
+  // Children stop their nets, ship a REPORT and exit; the control readers
+  // capture the report and observe EOF. Bounded wait, then force-reap.
+  auto deadline = std::chrono::steady_clock::now() +
+                  std::chrono::microseconds(opt_.launch_timeout_us);
+  for (;;) {
+    bool pending = false;
+    for (auto& child : children_) {
+      if (child->alive.load(std::memory_order_acquire) &&
+          !child->reported.load(std::memory_order_acquire)) {
+        pending = true;
+      }
+    }
+    if (!pending || std::chrono::steady_clock::now() >= deadline) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  for (auto& child : children_) {
+    if (child->pid > 0 &&
+        child->alive.load(std::memory_order_acquire) &&
+        !child->reported.load(std::memory_order_acquire)) {
+      ::kill(child->pid, SIGKILL);  // wedged child: EOF unblocks its reader
+    }
+  }
+  reap_children();
+  for (auto& child : children_) {
+    if (child->reader.joinable()) child->reader.join();
+    if (child->control_fd >= 0) {
+      ::close(child->control_fd);
+      child->control_fd = -1;
+    }
+    if (child->reported.load(std::memory_order_acquire)) {
+      reports.push_back(child->report);
+    }
+  }
+  if (control_listen_fd_ >= 0) {
+    ::close(control_listen_fd_);
+    control_listen_fd_ = -1;
+  }
+  net_->stop();
+  return reports;
+}
+
+ElectionReport TcpLauncher::run_election(const DriverConfig& cfg) {
+  auto wall_start = std::chrono::steady_clock::now();
+  std::uint64_t alloc_base = net::Buffer::payload_allocations();
+
+  launch();
+  std::shared_ptr<const ea::SetupArtifacts> artifacts = cfg.artifacts;
+  if (!artifacts) {
+    artifacts = std::make_shared<const ea::SetupArtifacts>(ea::ea_setup(
+        {spec_.params, spec_.seed, spec_.vc_only, spec_.consensus_rounds}));
+  }
+  // The identical build code path as the other backends: the protocol-node
+  // prefix turns into remote placeholders here (each node process keeps
+  // its own), the client half is hosted locally.
+  ElectionTopology topo = build_election(*net_, *artifacts, cfg);
+  ClosedLoopClient* client = nullptr;
+  if (topo.load_client_id != sim::kNoNode) {
+    client =
+        &dynamic_cast<ClosedLoopClient&>(net_->process(topo.load_client_id));
+  }
+  go();
+
+  sim::RunOptions opts;
+  opts.wall_timeout_us = cfg.wall_timeout_us;
+  bool done_in_budget = net_->run_to_quiescence(
+      [&] { return remote_complete() && (!client || client->done()); }, opts);
+  std::vector<TcpProcessReport> reports = stop_cluster();
+
+  // --- merge the per-process harvests into one ElectionReport ------------
+  const ElectionParams& p = spec_.params;
+  ElectionReport r;
+  r.phases.t_start = p.t_start;
+  r.phases.t_end = p.t_end;
+  std::size_t resolved_shards =
+      spec_.vc_shards > 1 ? spec_.vc_shards
+                          : std::max<std::size_t>(spec_.vc_options.n_shards, 1);
+  r.vc_stats.assign(p.n_vc, vc::VcStats{});
+  r.vc_shard_stats.assign(
+      p.n_vc, std::vector<vc::VcShardStats>(resolved_shards));
+
+  bool any_live_bb = false;
+  bool all_bbs_published = true;
+  // One row per OS process, launcher first, then every node process in
+  // index order. A process that never reported (killed by a fault cell)
+  // keeps a zeroed row — structural completeness beats silent omission.
+  r.process_accounting.assign(spec_.protocol_processes() + 1,
+                              NodeAccounting{});
+  NodeAccounting& launcher_row = r.process_accounting[0];
+  launcher_row.name = "launcher";
+  launcher_row.events = net_->events_dispatched();
+  launcher_row.allocations = net::Buffer::payload_allocations() - alloc_base;
+  launcher_row.rss_kb = util::current_rss_kb();
+  launcher_row.peak_rss_kb = util::peak_rss_kb();
+  launcher_row.frames_sent = net_->frames_sent();
+  launcher_row.frames_received = net_->frames_received();
+  launcher_row.reconnects = net_->reconnects();
+  launcher_row.frames_dropped = net_->frames_dropped();
+  for (std::size_t proc = 1; proc <= spec_.protocol_processes(); ++proc) {
+    r.process_accounting[proc].name =
+        net_->node_name(static_cast<sim::NodeId>(proc - 1));
+  }
+
+  for (const TcpProcessReport& rep : reports) {
+    if (rep.process >= 1 && rep.process < r.process_accounting.size()) {
+      NodeAccounting& row = r.process_accounting[rep.process];
+      row.events = rep.events;
+      row.allocations = rep.allocations;
+      row.rss_kb = rep.rss_kb;
+      row.peak_rss_kb = rep.peak_rss_kb;
+      row.frames_sent = rep.frames_sent;
+      row.frames_received = rep.frames_received;
+      row.reconnects = rep.reconnects;
+      row.frames_dropped = rep.frames_dropped;
+    }
+    r.events_processed += rep.events;
+
+    for (const TcpNodeReport& node : rep.nodes) {
+      if (node.kind == TcpNodeReport::kVc) {
+        std::size_t i = node.node_id;
+        if (i >= p.n_vc) continue;
+        r.vc_stats[i] = node.vc_stats;
+        if (!node.vc_shard_stats.empty()) {
+          r.vc_shard_stats[i] = node.vc_shard_stats;
+        }
+        if (r.vote_set.empty() && !node.vote_set.empty()) {
+          r.vote_set = node.vote_set;
+        }
+        r.vc_totals.votes_received += node.vc_stats.votes_received;
+        r.vc_totals.receipts_issued += node.vc_stats.receipts_issued;
+        r.vc_totals.rejected_votes += node.vc_stats.rejected_votes;
+        r.vc_totals.voting_ended_at = std::max(
+            r.vc_totals.voting_ended_at, node.vc_stats.voting_ended_at);
+        r.vc_totals.consensus_done_at = std::max(
+            r.vc_totals.consensus_done_at, node.vc_stats.consensus_done_at);
+        r.vc_totals.push_done_at =
+            std::max(r.vc_totals.push_done_at, node.vc_stats.push_done_at);
+      } else if (node.kind == TcpNodeReport::kBb) {
+        any_live_bb = true;
+        all_bbs_published = all_bbs_published && node.result_published;
+        if (r.tally.empty() && node.result_published) r.tally = node.tally;
+        r.phases.tally_published_at =
+            std::max(r.phases.tally_published_at, node.codes_published_at);
+        r.phases.result_published_at =
+            std::max(r.phases.result_published_at, node.result_published_at);
+      }
+    }
+  }
+  // Note: children time-stamp against their own epoch (microseconds since
+  // their net start); GO lands within control-RTT of the launcher's epoch
+  // on loopback, so the merged phase timeline is aligned to ~ms.
+  r.phases.voting_ended_at = r.vc_totals.voting_ended_at;
+  r.phases.consensus_done_at = r.vc_totals.consensus_done_at;
+  r.phases.push_done_at = r.vc_totals.push_done_at;
+  r.completed = done_in_budget && any_live_bb && all_bbs_published;
+
+  r.expected_tally.assign(p.m(), 0);
+  if (client) {
+    r.voters_launched = client->target_count();
+    r.receipts_issued = client->completed();
+    r.expected_tally = client->completed_by_option(p.m());
+    r.phases.last_receipt_at =
+        std::max<sim::TimePoint>(r.phases.last_receipt_at,
+                                 client->last_receipt());
+  } else {
+    r.voters_launched = topo.voter_ids.size();
+    for (std::size_t i = 0; i < topo.voter_ids.size(); ++i) {
+      const auto& voter = dynamic_cast<const client::Voter&>(
+          net_->process(topo.voter_ids[i]));
+      if (!voter.has_receipt()) continue;
+      ++r.receipts_issued;
+      ++r.expected_tally[topo.voter_slots[i].option];
+      r.receipts.push_back(voter.expected_receipt());
+      r.phases.last_receipt_at =
+          std::max(r.phases.last_receipt_at, voter.receipt_at());
+    }
+  }
+  r.events_processed += net_->events_dispatched();
+  r.payload_allocations = net::Buffer::payload_allocations() - alloc_base;
+  r.peak_rss_kb = util::peak_rss_kb();
+  r.wall_seconds = std::chrono::duration_cast<std::chrono::duration<double>>(
+                       std::chrono::steady_clock::now() - wall_start)
+                       .count();
+  return r;
+}
+
+// ---------------------------------------------------------------------
+// Node-process side.
+
+int serve_tcp_node(const std::string& host, std::uint16_t port,
+                   std::uint32_t process) {
+#ifdef __linux__
+  // Die with the launcher: an orphaned node process must never outlive the
+  // test/bench that spawned it.
+  ::prctl(PR_SET_PDEATHSIG, SIGKILL);
+  if (::getppid() == 1) return 3;  // launcher already gone
+#endif
+  int ctrl = -1;
+  for (int attempt = 0; attempt < 50 && ctrl < 0; ++attempt) {
+    ctrl = net::tcp_dial(host, port);
+    if (ctrl < 0) std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+  if (ctrl < 0) return 2;
+  {
+    Writer w;
+    w.u32(process);
+    if (!send_ctrl(ctrl, kCtrlHello, w.data())) return 2;
+  }
+  auto config = read_ctrl(ctrl);
+  if (!config || config->first != kCtrlConfig) return 2;
+  TcpClusterSpec spec;
+  try {
+    Reader r(config->second);
+    spec = TcpClusterSpec::decode(r);
+    (void)r.u32();  // total process count (implied by the spec today)
+  } catch (const CodecError&) {
+    return 2;
+  }
+
+  const std::size_t n_proto = spec.protocol_processes();
+  if (process < 1 || process > n_proto) return 2;
+  net::TcpConfig ncfg;
+  ncfg.self_process = process;
+  ncfg.election_id = spec.params.election_id;
+  ncfg.listen_host = host;
+  ncfg.node_process.resize(n_proto);
+  for (std::size_t id = 0; id < n_proto; ++id) {
+    ncfg.node_process[id] = static_cast<std::uint32_t>(id + 1);
+  }
+  ncfg.default_process = 0;
+  net::TcpNet node_net(std::move(ncfg));
+
+  // Rebuild this process's node from the seed. Typed handles feed the
+  // status loop and the final report.
+  struct VcHandle {
+    sim::NodeId id;
+    vc::VcNode* node;
+  };
+  struct BbHandle {
+    sim::NodeId id;
+    bb::BbNode* node;
+  };
+  std::vector<VcHandle> vcs;
+  std::vector<BbHandle> bbs;
+  if (spec.collection_only) {
+    // Streaming EA, keeping only this VC's per-ballot slice: a bench
+    // cluster of P processes holds 1/P of the ballot universe each.
+    const std::size_t my_vc = process - 1;
+    std::vector<VcBallotInit> mine;
+    ea::SetupArtifacts arts = ea::ea_setup_streaming(
+        {spec.params, spec.seed, /*vc_only=*/true, spec.consensus_rounds},
+        [&](const Ballot&, std::span<VcBallotInit> per_vc) {
+          mine.push_back(std::move(per_vc[my_vc]));
+        });
+    auto source =
+        std::make_shared<store::MemoryBallotSource>(std::move(mine));
+    vc::VcNode::Options vc_options = spec.vc_options;
+    vc_options.n_shards =
+        spec.vc_shards > 1 ? spec.vc_shards
+                           : std::max<std::size_t>(vc_options.n_shards, 1);
+    std::vector<sim::NodeId> vc_ids(spec.params.n_vc);
+    for (std::size_t i = 0; i < spec.params.n_vc; ++i) {
+      vc_ids[i] = static_cast<sim::NodeId>(i);
+    }
+    for (std::size_t i = 0; i < spec.params.n_vc; ++i) {
+      if (i == my_vc) {
+        sim::NodeId id = node_net.add_node(
+            std::make_unique<vc::VcNode>(arts.vc_inits[i], source, vc_ids,
+                                         std::vector<sim::NodeId>{},
+                                         vc_options),
+            "vc" + std::to_string(i));
+        vcs.push_back(
+            VcHandle{id, &dynamic_cast<vc::VcNode&>(node_net.process(id))});
+      } else {
+        node_net.add_remote("vc" + std::to_string(i));
+      }
+    }
+  } else {
+    ea::SetupArtifacts arts = ea::ea_setup(
+        {spec.params, spec.seed, spec.vc_only, spec.consensus_rounds});
+    DriverConfig dcfg;
+    dcfg.params = spec.params;
+    dcfg.seed = spec.seed;
+    dcfg.vc_options = spec.vc_options;
+    dcfg.vc_shards = spec.vc_shards;
+    dcfg.trustee_options = spec.trustee_options;
+    ElectionTopology topo = build_protocol_nodes(node_net, arts, dcfg);
+    for (sim::NodeId id : topo.vc_ids) {
+      if (node_net.is_local(id)) {
+        vcs.push_back(
+            VcHandle{id, &dynamic_cast<vc::VcNode&>(node_net.process(id))});
+      }
+    }
+    for (sim::NodeId id : topo.bb_ids) {
+      if (node_net.is_local(id)) {
+        bbs.push_back(
+            BbHandle{id, &dynamic_cast<bb::BbNode&>(node_net.process(id))});
+      }
+    }
+  }
+
+  {
+    Writer w;
+    w.u16(node_net.listen_port());
+    if (!send_ctrl(ctrl, kCtrlReady, w.data())) return 2;
+  }
+  auto peers_msg = read_ctrl(ctrl);
+  if (!peers_msg || peers_msg->first != kCtrlPeers) return 2;
+  try {
+    Reader r(peers_msg->second);
+    std::vector<net::TcpPeer> peers = r.vec<net::TcpPeer>([](Reader& r2) {
+      net::TcpPeer peer;
+      peer.host = r2.str();
+      peer.port = r2.u16();
+      return peer;
+    });
+    node_net.set_peers(std::move(peers));
+  } catch (const CodecError&) {
+    return 2;
+  }
+  auto go_msg = read_ctrl(ctrl);
+  if (!go_msg || go_msg->first != kCtrlGo) return 2;
+
+  std::uint64_t alloc_base = net::Buffer::payload_allocations();
+  node_net.start();
+
+  // Status loop: report done-ness every ~20ms, stop on C_STOP (or on
+  // control EOF: the launcher died, so quit rather than linger).
+  bool launcher_alive = true;
+  for (;;) {
+    if (wait_readable(ctrl, 20'000)) {
+      auto msg = read_ctrl(ctrl);
+      if (!msg) {
+        launcher_alive = false;
+        break;
+      }
+      if (msg->first == kCtrlStop) break;
+      continue;
+    }
+    bool done = true;
+    for (const VcHandle& vc : vcs) done = done && vc.node->push_complete();
+    for (const BbHandle& bb : bbs) done = done && bb.node->result_published();
+    Writer w;
+    w.u8(done ? 1 : 0);
+    if (!send_ctrl(ctrl, kCtrlStatus, w.data())) {
+      launcher_alive = false;
+      break;
+    }
+  }
+  node_net.stop();
+  if (!launcher_alive) {
+    ::close(ctrl);
+    return 1;
+  }
+
+  TcpProcessReport report;
+  report.process = process;
+  report.events = node_net.events_dispatched();
+  report.allocations = net::Buffer::payload_allocations() - alloc_base;
+  report.rss_kb = util::current_rss_kb();
+  report.peak_rss_kb = util::peak_rss_kb();
+  report.frames_sent = node_net.frames_sent();
+  report.frames_received = node_net.frames_received();
+  report.reconnects = node_net.reconnects();
+  report.frames_dropped = node_net.frames_dropped();
+  for (const VcHandle& vc : vcs) {
+    TcpNodeReport n;
+    n.node_id = vc.id;
+    n.kind = TcpNodeReport::kVc;
+    n.done = vc.node->push_complete();
+    n.vc_stats = vc.node->stats();
+    n.vc_shard_stats = vc.node->shard_stats();
+    std::vector<std::size_t> depth = node_net.shard_queue_high_water(vc.id);
+    for (std::size_t s = 0; s < n.vc_shard_stats.size() && s < depth.size();
+         ++s) {
+      n.vc_shard_stats[s].queue_high_water = depth[s];
+    }
+    n.vote_set = vc.node->final_vote_set();
+    report.nodes.push_back(std::move(n));
+  }
+  for (const BbHandle& bb : bbs) {
+    TcpNodeReport n;
+    n.node_id = bb.id;
+    n.kind = TcpNodeReport::kBb;
+    n.done = bb.node->result_published();
+    n.result_published = bb.node->result_published();
+    if (bb.node->result()) n.tally = bb.node->result()->tally;
+    n.codes_published_at = bb.node->codes_published_at();
+    n.result_published_at = bb.node->result_published_at();
+    report.nodes.push_back(std::move(n));
+  }
+  {
+    Writer w;
+    report.encode(w);
+    send_ctrl(ctrl, kCtrlReport, w.data());
+  }
+  ::close(ctrl);
+  return 0;
+}
+
+}  // namespace ddemos::core

@@ -1,0 +1,186 @@
+// Multi-process cluster orchestration for the TcpNet backend. The launcher
+// (process 0) forks one `ddemos_node --serve` process per protocol node,
+// drives it over a control TCP connection, and hosts the election's client
+// half (voters / load generator) itself, so a whole multi-process election
+// runs out of one DriverConfig exactly like the other two backends:
+//
+//   spawn children -> C_HELLO -> C_CONFIG(spec) -> children build their
+//   node from the seed -> C_READY(data port) -> C_PEERS(port table) ->
+//   C_GO -> election runs over TcpNet data sockets, children stream
+//   C_STATUS -> C_STOP -> C_REPORT(per-node stats + accounting) -> exit.
+//
+// Nothing heavy ships over the control socket: every process recomputes
+// the EA's deterministic setup from (params, seed), so a node process
+// holds exactly its own node's initialization data (the launcher holds the
+// voter ballots). The collected TcpProcessReports merge into the same
+// core::ElectionReport the other backends produce, with one NodeAccounting
+// row per OS process.
+#pragma once
+
+#include <atomic>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/driver.hpp"
+#include "net/tcp_net.hpp"
+
+namespace ddemos::core {
+
+// Everything a node process needs to deterministically rebuild its slice
+// of the election. Process placement is by fixed convention: process p in
+// [1 .. protocol_processes()] hosts protocol node id p-1 over the
+// [VCs | BBs | trustees] prefix; the launcher (process 0) hosts the rest.
+struct TcpClusterSpec {
+  ElectionParams params;
+  std::uint64_t seed = 1;
+  bool vc_only = false;          // EA mode (no BB/trustee crypto payload)
+  bool collection_only = false;  // spawn VC processes only (bench clusters)
+  std::size_t consensus_rounds = 64;
+  std::size_t vc_shards = 1;
+  vc::VcNode::Options vc_options;
+  trustee::TrusteeNode::Options trustee_options;
+
+  std::size_t protocol_processes() const {
+    return collection_only ? params.n_vc
+                           : params.n_vc + params.n_bb + params.n_trustees;
+  }
+
+  void encode(Writer& w) const;
+  static TcpClusterSpec decode(Reader& r);
+};
+
+// Per-node harvest shipped back over the control socket at C_REPORT.
+struct TcpNodeReport {
+  std::uint32_t node_id = 0;
+  enum Kind : std::uint8_t { kVc = 0, kBb = 1, kTrustee = 2 };
+  std::uint8_t kind = kVc;
+  bool done = false;
+  // VC fields
+  vc::VcStats vc_stats;
+  std::vector<vc::VcShardStats> vc_shard_stats;
+  std::vector<VoteSetEntry> vote_set;
+  // BB fields
+  bool result_published = false;
+  std::vector<std::uint64_t> tally;
+  sim::TimePoint codes_published_at = 0;
+  sim::TimePoint result_published_at = 0;
+
+  void encode(Writer& w) const;
+  static TcpNodeReport decode(Reader& r);
+};
+
+struct TcpProcessReport {
+  std::uint32_t process = 0;
+  // bench::Instrumentation-style accounting for the whole OS process.
+  std::uint64_t events = 0;
+  std::uint64_t allocations = 0;
+  std::uint64_t rss_kb = 0;
+  std::uint64_t peak_rss_kb = 0;
+  // Transport counters from the process's TcpNet.
+  std::uint64_t frames_sent = 0;
+  std::uint64_t frames_received = 0;
+  std::uint64_t reconnects = 0;
+  std::uint64_t frames_dropped = 0;
+  std::vector<TcpNodeReport> nodes;
+
+  void encode(Writer& w) const;
+  static TcpProcessReport decode(Reader& r);
+};
+
+class TcpLauncher {
+ public:
+  struct Options {
+    Options() {}
+    // Path of the node binary; "" = ddemos_node next to /proc/self/exe
+    // (overridable via the DDEMOS_NODE_BIN environment variable).
+    std::string node_binary;
+    std::string host = "127.0.0.1";
+    // How often children report status over the control socket.
+    sim::Duration status_interval_us = 25'000;
+    // Budget for the spawn/handshake phase and for reaping children.
+    sim::Duration launch_timeout_us = 30'000'000;
+    // Fault hook for the fault matrix: invoked once, fault_after_us after
+    // go(), from a helper thread (kill_process, sever_connections, ...).
+    std::function<void(TcpLauncher&)> fault;
+    sim::Duration fault_after_us = 0;
+  };
+
+  TcpLauncher(TcpClusterSpec spec, Options opt = {});
+  ~TcpLauncher();  // best-effort: C_STOP + SIGKILL anything still alive
+
+  TcpLauncher(const TcpLauncher&) = delete;
+  TcpLauncher& operator=(const TcpLauncher&) = delete;
+
+  const TcpClusterSpec& spec() const { return spec_; }
+  // The launcher-side TcpNet (process 0). Valid from construction; node
+  // placeholders/clients are registered by run_election, or by the caller
+  // between launch() and go() for custom clusters.
+  net::TcpNet& net() { return *net_; }
+
+  // Spawns the node processes and completes the handshake through C_PEERS.
+  // Throws ProtocolError if any child fails to come up in time.
+  void launch();
+  // C_GO to every child + net().start(); arms the fault hook if set.
+  void go();
+
+  std::size_t process_count() const { return spec_.protocol_processes() + 1; }
+  bool process_alive(std::size_t process) const;
+  // Every *live* protocol process reports done (VC: push complete, BB:
+  // result published, trustees: unconditional). False while any live one
+  // is still working; a killed process never blocks completion.
+  bool remote_complete() const;
+  // SIGKILL a node process (fault injection). The control connection's
+  // EOF marks it dead; remote_complete() then skips it.
+  void kill_process(std::size_t process);
+
+  // C_STOP to every live child, collect C_REPORTs, reap children (SIGKILL
+  // past the timeout), stop the local net. Idempotent; returns the reports
+  // of every process that delivered one, ordered by process index.
+  std::vector<TcpProcessReport> stop_cluster();
+
+  // Full election from a DriverConfig: launch + build the client half
+  // locally + go + completion wait + report merge. The cfg must describe
+  // the same election as the spec (spec_from is the intended source).
+  ElectionReport run_election(const DriverConfig& cfg);
+
+  // Spec for a full multi-process election (every VC/BB/trustee its own
+  // process) matching `cfg`.
+  static TcpClusterSpec spec_from(const DriverConfig& cfg);
+  // "<dir of /proc/self/exe>/ddemos_node", or $DDEMOS_NODE_BIN.
+  static std::string default_node_binary();
+
+ private:
+  struct Child {
+    pid_t pid = -1;
+    int control_fd = -1;
+    std::thread reader;
+    std::atomic<bool> alive{false};
+    std::atomic<bool> done{false};
+    std::atomic<bool> reported{false};
+    TcpProcessReport report;
+  };
+
+  void control_reader(Child& child);
+  void reap_children();
+
+  TcpClusterSpec spec_;
+  Options opt_;
+  std::unique_ptr<net::TcpNet> net_;
+  int control_listen_fd_ = -1;
+  std::uint16_t control_port_ = 0;
+  std::vector<std::unique_ptr<Child>> children_;  // index = process - 1
+  std::thread fault_thread_;
+  std::atomic<bool> stopping_{false};
+  bool launched_ = false;
+  bool stopped_ = false;
+};
+
+// Node-process entry point (ddemos_node --serve): connect to the control
+// socket, rebuild the assigned node from the received spec, run until
+// C_STOP, ship the report. Returns a process exit code.
+int serve_tcp_node(const std::string& host, std::uint16_t port,
+                   std::uint32_t process);
+
+}  // namespace ddemos::core

@@ -1,0 +1,88 @@
+// Wire framing and blocking-socket plumbing for TcpNet. Every byte on a
+// D-DEMOS TCP connection is a length-prefixed frame: a fixed 25-byte header
+// (magic, kind, source/destination node, per-peer sequence number, payload
+// length) followed by the payload. Data frames carry exactly the bytes of
+// one net::Buffer payload — the transport never re-encodes protocol
+// messages, it scatter-writes the header from the stack and the shared
+// payload allocation straight out of the Buffer (writev), so an N-process
+// multicast still costs one serialization.
+//
+// Hello frames open every connection: protocol version, the sending
+// process index, and the election id, so a node never accepts traffic from
+// a different election or a stale cluster incarnation. Sequence numbers
+// are per (source process -> destination process) and strictly increasing;
+// the receiver drops seq <= last-seen, which makes the sender's
+// resend-the-in-flight-frame reconnect policy idempotent (the D-DEMOS
+// VC->BB vote-set submission is not duplicate-safe, so dedup lives here in
+// the transport).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <utility>
+
+#include "util/bytes.hpp"
+
+namespace ddemos::net {
+
+inline constexpr std::uint32_t kFrameMagic = 0x44444d53;  // "DDMS"
+inline constexpr std::uint8_t kFrameVersion = 1;
+// Upper bound on a single frame payload; a header announcing more than
+// this is treated as a malformed stream and the connection is dropped.
+inline constexpr std::uint32_t kMaxFramePayload = 64u << 20;
+
+enum class FrameKind : std::uint8_t {
+  kHello = 1,    // connection opener: HelloBody payload
+  kData = 2,     // one protocol message: raw net::Buffer bytes
+  kControl = 3,  // launcher control plane: opcode byte + body
+};
+
+struct FrameHeader {
+  FrameKind kind = FrameKind::kData;
+  std::uint32_t from = 0;  // sending NodeId (kData) or process (kControl)
+  std::uint32_t to = 0;    // destination NodeId (kData)
+  std::uint64_t seq = 0;   // per (src process -> dst process), kData only
+  std::uint32_t len = 0;   // payload bytes following the header
+
+  static constexpr std::size_t kWireSize = 4 + 1 + 4 + 4 + 8 + 4;
+
+  void encode(std::uint8_t out[kWireSize]) const;
+  // Throws CodecError on bad magic, unknown kind, or oversized length.
+  static FrameHeader decode(const std::uint8_t in[kWireSize]);
+};
+
+struct HelloBody {
+  std::uint8_t version = kFrameVersion;
+  std::uint32_t process = 0;  // sender's process index in the cluster
+  Bytes election_id;
+
+  Bytes encode() const;
+  static HelloBody decode(BytesView payload);  // throws CodecError
+};
+
+// --- blocking POSIX socket helpers (loopback/LAN, IPv4) ---
+
+// Binds + listens on host:port (port 0 = ephemeral) and returns the
+// listening fd; the actually bound port lands in *bound_port. Throws
+// ProtocolError on failure.
+int tcp_listen(const std::string& host, std::uint16_t port,
+               std::uint16_t* bound_port);
+
+// Connects to host:port with TCP_NODELAY; returns -1 on failure (callers
+// redial with backoff, so failure is normal, not exceptional).
+int tcp_dial(const std::string& host, std::uint16_t port);
+
+// Reads exactly n bytes; false on EOF/error (connection is dead).
+bool read_full(int fd, void* buf, std::size_t n);
+
+// Writes header + payload with writev, looping over partial writes; false
+// on error. The payload bytes are borrowed (the caller's Buffer stays
+// alive across the call), never copied.
+bool write_frame(int fd, const FrameHeader& header, BytesView payload);
+
+// Reads one complete frame (header + payload). Empty optional on EOF or
+// any stream error, including a malformed header.
+std::optional<std::pair<FrameHeader, Bytes>> read_frame(int fd);
+
+}  // namespace ddemos::net

@@ -22,10 +22,7 @@ class ThreadNet::NodeContext final : public sim::Context {
 
   std::uint64_t set_timer(Duration after) override {
     Node& n = *net_->nodes_.at(id_);
-    // Far-future timers (vote-collection benches set election end to
-    // "never") would overflow steady_clock's nanosecond epoch; clamp to
-    // 30 days, which is "never" for any wall-clock run.
-    after = std::min<Duration>(after, 30ll * 24 * 3600 * 1'000'000);
+    after = sim::clamp_real_timer_delay(after);
     // Timers fire on shard 0 (the control shard; see sim::Context). Any
     // shard worker — and stop()/start() — may touch the timer list, so
     // take the shard lock.

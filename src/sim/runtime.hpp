@@ -101,6 +101,18 @@ class ShardedProcess : public Process {
                                const net::Buffer& payload) const = 0;
 };
 
+// Real-clock backends (ThreadNet, TcpNet) arm timers against
+// steady_clock. Far-future timers (vote-collection benches set election
+// end to "never") would overflow the clock's nanosecond epoch, and a
+// negative delay has no meaning on a clock that cannot rewind — so every
+// real-clock timer delay passes through this shared clamp: floor at zero,
+// cap at 30 days (which is "never" for any wall-clock run).
+inline constexpr Duration kMaxRealTimerDelay = 30ll * 24 * 3600 * 1'000'000;
+constexpr Duration clamp_real_timer_delay(Duration after) {
+  if (after < 0) return 0;
+  return after < kMaxRealTimerDelay ? after : kMaxRealTimerDelay;
+}
+
 // Options for RuntimeHost::run_to_quiescence. One struct serves both
 // backends; each consumes the knobs that apply to it.
 struct RunOptions {

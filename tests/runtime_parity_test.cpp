@@ -8,6 +8,7 @@
 #include <gtest/gtest.h>
 
 #include "core/driver.hpp"
+#include "core/tcp_launcher.hpp"
 #include "net/thread_net.hpp"
 #include "test_clock.hpp"
 
@@ -75,6 +76,46 @@ TEST(RuntimeParity, SameElectionOnSimAndThreads) {
   EXPECT_EQ(net_report.receipts, sim_report.receipts);
   EXPECT_EQ(net_report.expected_tally, sim_report.expected_tally);
   EXPECT_EQ(sim_report.expected_tally, sim_report.tally);
+}
+
+// Third backend column: the identical election again, this time with every
+// VC/BB/trustee in its own OS process and all protocol traffic over real
+// TCP sockets. Same config, same (params, seed) — each node process
+// recomputes the EA setup deterministically, so the multi-process cluster
+// must land on the exact same tally, agreed vote set, and receipt values
+// as the single-process backends.
+TEST(RuntimeParity, SameElectionAcrossProcessesOnTcp) {
+  ElectionParams p = parity_params();
+  DriverConfig cfg = parity_config(p);
+  cfg.artifacts = std::make_shared<const ea::SetupArtifacts>(
+      ea::ea_setup({p, cfg.seed, false, 64}));
+
+  ElectionDriver sim_driver(cfg);
+  ElectionReport sim_report = sim_driver.run();
+  ASSERT_TRUE(sim_report.completed);
+
+  TcpLauncher launcher(TcpLauncher::spec_from(cfg));
+  ElectionReport tcp_report = launcher.run_election(cfg);
+  ASSERT_TRUE(tcp_report.completed);
+
+  ASSERT_EQ(sim_report.tally, (std::vector<std::uint64_t>{2, 1}));
+  EXPECT_EQ(tcp_report.tally, sim_report.tally);
+  EXPECT_EQ(tcp_report.vote_set, sim_report.vote_set);
+  EXPECT_EQ(tcp_report.receipts_issued, sim_report.receipts_issued);
+  EXPECT_EQ(tcp_report.receipts, sim_report.receipts);
+  EXPECT_EQ(tcp_report.expected_tally, sim_report.expected_tally);
+
+  // Every VC node reported stats from its own process, and the merged VC
+  // totals agree with the single-process run on receipt counters (message
+  // timings are wall-clock there, so only counters are comparable).
+  ASSERT_EQ(tcp_report.vc_stats.size(), p.n_vc);
+  EXPECT_EQ(tcp_report.vc_totals.receipts_issued,
+            sim_report.vc_totals.receipts_issued);
+  // One accounting row per OS process (launcher + every protocol node),
+  // with real frames on the wire.
+  ASSERT_EQ(tcp_report.process_accounting.size(),
+            p.n_vc + p.n_bb + p.n_trustees + 1);
+  EXPECT_GT(tcp_report.process_accounting[0].frames_sent, 0u);
 }
 
 // The same election with intra-node VC sharding (vc_shards = 4): the

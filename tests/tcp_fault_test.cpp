@@ -1,0 +1,110 @@
+// Multi-process fault matrix over the TcpNet backend: a full loopback
+// election with one OS process per VC/BB/trustee where (a) one VC process
+// is SIGKILLed mid-voting and (b) every established data connection is
+// severed mid-voting. Both cells must still complete with every receipt
+// issued and the published tally equal to the ground truth — the same
+// liveness/exactness bar vc_shard_fault_test sets for in-process crashes
+// (f_vc tolerance + voter patience-resubmission), now across real process
+// and socket boundaries.
+#include <gtest/gtest.h>
+
+#include "core/tcp_launcher.hpp"
+#include "test_clock.hpp"
+
+namespace ddemos::core {
+namespace {
+
+using ddemos::test::scaled;
+
+ElectionParams fault_params() {
+  ElectionParams p;
+  p.election_id = to_bytes("tcp-fault");
+  p.options = {"yes", "no"};
+  p.n_voters = 5;
+  p.n_vc = 4;
+  p.f_vc = 1;
+  p.n_bb = 3;
+  p.f_bb = 1;
+  p.n_trustees = 3;
+  p.h_trustees = 2;
+  p.t_start = 0;
+  p.t_end = scaled(1'500'000);
+  return p;
+}
+
+DriverConfig fault_config(const ElectionParams& p) {
+  DriverConfig cfg;
+  cfg.params = p;
+  cfg.seed = 99;
+  cfg.voter_template.patience_us = scaled(300'000);
+  cfg.trustee_options.poll_interval_us = scaled(100'000);
+  cfg.wall_timeout_us = scaled(120'000'000);
+  return cfg;
+}
+
+void check_exact_outcome(const ElectionReport& r, const ElectionParams& p) {
+  ASSERT_TRUE(r.completed);
+  EXPECT_EQ(r.voters_launched, p.n_voters);
+  EXPECT_EQ(r.receipts_issued, p.n_voters);
+  EXPECT_EQ(r.receipts.size(), p.n_voters);  // every voter holds a receipt
+  ASSERT_FALSE(r.tally.empty());
+  EXPECT_EQ(r.tally, r.expected_tally);
+  std::uint64_t total = 0;
+  for (std::uint64_t t : r.tally) total += t;
+  EXPECT_EQ(total, p.n_voters);
+  // The agreed vote set covers every cast ballot.
+  EXPECT_EQ(r.vote_set.size(), p.n_voters);
+  // One accounting row per OS process plus the launcher.
+  EXPECT_EQ(r.process_accounting.size(),
+            p.n_vc + p.n_bb + p.n_trustees + 1);
+}
+
+TEST(TcpFault, KillOneVcProcessMidVoting) {
+  ElectionParams p = fault_params();
+  DriverConfig cfg = fault_config(p);
+
+  TcpLauncher::Options opt;
+  opt.fault_after_us = scaled(300'000);  // mid-voting (window 1.5s)
+  opt.fault = [](TcpLauncher& l) { l.kill_process(2); };  // VC index 1
+  TcpLauncher launcher(TcpLauncher::spec_from(cfg), opt);
+  ElectionReport r = launcher.run_election(cfg);
+
+  check_exact_outcome(r, p);
+  EXPECT_FALSE(launcher.process_alive(2));
+  // The dead process shipped no report: its accounting row stays zeroed
+  // while every survivor's row carries real traffic.
+  EXPECT_EQ(r.process_accounting[2].name, "vc1");
+  EXPECT_EQ(r.process_accounting[2].events, 0u);
+  EXPECT_EQ(r.process_accounting[2].frames_sent, 0u);
+  for (std::size_t proc = 1; proc < r.process_accounting.size(); ++proc) {
+    if (proc == 2) continue;
+    EXPECT_GT(r.process_accounting[proc].frames_sent, 0u)
+        << r.process_accounting[proc].name;
+  }
+}
+
+TEST(TcpFault, SeverAllConnectionsMidVoting) {
+  ElectionParams p = fault_params();
+  DriverConfig cfg = fault_config(p);
+
+  TcpLauncher::Options opt;
+  opt.fault_after_us = scaled(250'000);
+  opt.fault = [](TcpLauncher& l) { l.net().sever_connections(); };
+  TcpLauncher launcher(TcpLauncher::spec_from(cfg), opt);
+  ElectionReport r = launcher.run_election(cfg);
+
+  check_exact_outcome(r, p);
+  // No process died: every one shipped a report with real traffic on it.
+  for (std::size_t proc = 1; proc < r.process_accounting.size(); ++proc) {
+    EXPECT_GT(r.process_accounting[proc].events, 0u)
+        << r.process_accounting[proc].name;
+    EXPECT_GT(r.process_accounting[proc].frames_sent, 0u)
+        << r.process_accounting[proc].name;
+  }
+  // The launcher's writers redialed after the sever (voters were still
+  // casting, so at least one voter->VC connection had to come back).
+  EXPECT_GE(r.process_accounting[0].reconnects, 1u);
+}
+
+}  // namespace
+}  // namespace ddemos::core

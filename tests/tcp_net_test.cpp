@@ -1,0 +1,266 @@
+// TcpNet transport unit tests: wire framing, the shared real-clock timer
+// clamp, loopback delivery between two in-process TcpNet instances (two
+// "OS processes" of a cluster hosted in one test binary), reconnect after
+// a sever, and send-side backpressure against an unreachable peer.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+
+#include "net/tcp_frame.hpp"
+#include "net/tcp_net.hpp"
+#include "test_clock.hpp"
+#include "util/codec.hpp"
+#include "util/error.hpp"
+
+namespace ddemos::net {
+namespace {
+
+using ddemos::test::scaled;
+
+TEST(TcpFrame, HeaderRoundTrip) {
+  FrameHeader h;
+  h.kind = FrameKind::kData;
+  h.from = 3;
+  h.to = 7;
+  h.seq = 0x1122334455667788ull;
+  h.len = 4096;
+  std::uint8_t wire[FrameHeader::kWireSize];
+  h.encode(wire);
+  FrameHeader d = FrameHeader::decode(wire);
+  EXPECT_EQ(d.kind, FrameKind::kData);
+  EXPECT_EQ(d.from, 3u);
+  EXPECT_EQ(d.to, 7u);
+  EXPECT_EQ(d.seq, h.seq);
+  EXPECT_EQ(d.len, 4096u);
+}
+
+TEST(TcpFrame, DecodeRejectsGarbage) {
+  FrameHeader h;
+  h.kind = FrameKind::kControl;
+  std::uint8_t wire[FrameHeader::kWireSize];
+  h.encode(wire);
+
+  std::uint8_t bad_magic[FrameHeader::kWireSize];
+  std::memcpy(bad_magic, wire, sizeof(wire));
+  bad_magic[0] ^= 0xff;
+  EXPECT_THROW(FrameHeader::decode(bad_magic), CodecError);
+
+  std::uint8_t bad_kind[FrameHeader::kWireSize];
+  std::memcpy(bad_kind, wire, sizeof(wire));
+  bad_kind[4] = 0x77;  // not a FrameKind
+  EXPECT_THROW(FrameHeader::decode(bad_kind), CodecError);
+
+  h.len = kMaxFramePayload + 1;
+  h.encode(wire);
+  EXPECT_THROW(FrameHeader::decode(wire), CodecError);
+}
+
+TEST(TcpFrame, HelloBodyRoundTrip) {
+  HelloBody hello;
+  hello.process = 5;
+  hello.election_id = to_bytes("election-42");
+  Bytes wire = hello.encode();
+  HelloBody d = HelloBody::decode(wire);
+  EXPECT_EQ(d.version, hello.version);
+  EXPECT_EQ(d.process, 5u);
+  EXPECT_EQ(d.election_id, to_bytes("election-42"));
+}
+
+TEST(TimerClamp, SharedHelperBounds) {
+  EXPECT_EQ(sim::clamp_real_timer_delay(-5), 0);
+  EXPECT_EQ(sim::clamp_real_timer_delay(0), 0);
+  EXPECT_EQ(sim::clamp_real_timer_delay(1234), 1234);
+  EXPECT_EQ(sim::clamp_real_timer_delay(sim::kMaxRealTimerDelay + 1),
+            sim::kMaxRealTimerDelay);
+  EXPECT_EQ(sim::clamp_real_timer_delay(std::numeric_limits<
+                                            sim::Duration>::max()),
+            sim::kMaxRealTimerDelay);
+}
+
+// Stop-and-wait client: sends sequence numbers to the echo peer, advances
+// on each ack, retries the outstanding one on patience expiry (the same
+// resubmit discipline D-DEMOS voters use, so a severed connection only
+// delays completion).
+class Ping final : public sim::Process {
+ public:
+  Ping(sim::NodeId peer, std::uint64_t total, sim::Duration patience)
+      : peer_(peer), total_(total), patience_(patience) {}
+
+  void on_start() override {
+    send_current();
+    ctx().set_timer(patience_);
+  }
+  void on_message(sim::NodeId, const Buffer& payload) override {
+    Reader r(payload);
+    std::uint64_t acked = r.u64();
+    if (acked != current_.load()) return;  // stale retry echo
+    if (acked + 1 == total_) {
+      done_.store(true, std::memory_order_release);
+      return;
+    }
+    current_.store(acked + 1);
+    send_current();
+  }
+  void on_timer(std::uint64_t) override {
+    if (done_.load(std::memory_order_acquire)) return;
+    send_current();  // retry the outstanding sequence number
+    ctx().set_timer(patience_);
+  }
+
+  bool done() const { return done_.load(std::memory_order_acquire); }
+
+ private:
+  void send_current() {
+    Writer w;
+    w.u64(current_.load());
+    ctx().send(peer_, w.take());
+  }
+  sim::NodeId peer_;
+  std::uint64_t total_;
+  sim::Duration patience_;
+  std::atomic<std::uint64_t> current_{0};
+  std::atomic<bool> done_{false};
+};
+
+class Echo final : public sim::Process {
+ public:
+  void on_message(sim::NodeId from, const Buffer& payload) override {
+    received_.fetch_add(1, std::memory_order_relaxed);
+    ctx().send(from, Buffer::copy_of(payload));
+  }
+  std::uint64_t received() const {
+    return received_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::uint64_t> received_{0};
+};
+
+// Builds the canonical two-instance cluster: node 0 (ping) on process 0,
+// node 1 (echo) on process 1, both instances running the identical
+// registration sequence so ids and names line up.
+struct Cluster {
+  TcpNet a, b;
+  Ping* ping = nullptr;
+  Echo* echo = nullptr;
+
+  static TcpConfig config_for(std::uint32_t self) {
+    TcpConfig cfg;
+    cfg.self_process = self;
+    cfg.election_id = to_bytes("tcp-net-test");
+    cfg.node_process = {0, 1};
+    return cfg;
+  }
+
+  Cluster(std::uint64_t total, sim::Duration patience)
+      : a(config_for(0)), b(config_for(1)) {
+    a.add_node(std::make_unique<Ping>(1, total, patience), "ping");
+    a.add_node(std::make_unique<Echo>(), "echo");
+    b.add_node(std::make_unique<Ping>(1, total, patience), "ping");
+    b.add_node(std::make_unique<Echo>(), "echo");
+    std::vector<TcpPeer> peers = {{"127.0.0.1", a.listen_port()},
+                                  {"127.0.0.1", b.listen_port()}};
+    a.set_peers(peers);
+    b.set_peers(peers);
+    ping = &dynamic_cast<Ping&>(a.process(0));
+    echo = &dynamic_cast<Echo&>(b.process(1));
+  }
+};
+
+TEST(TcpNet, LoopbackDeliveryAcrossProcesses) {
+  constexpr std::uint64_t kTotal = 50;
+  Cluster c(kTotal, scaled(5'000'000));  // patience >> run: no retries
+
+  // Placeholder semantics: each instance hosts exactly its own node.
+  EXPECT_TRUE(c.a.is_local(0));
+  EXPECT_FALSE(c.a.is_local(1));
+  EXPECT_FALSE(c.b.is_local(0));
+  EXPECT_TRUE(c.b.is_local(1));
+  EXPECT_EQ(c.a.node_name(1), "echo");
+  EXPECT_THROW(c.a.process(1), ProtocolError);
+
+  c.b.start();
+  c.a.start();
+  sim::RunOptions opts;
+  opts.wall_timeout_us = scaled(30'000'000);
+  ASSERT_TRUE(c.a.run_to_quiescence([&] { return c.ping->done(); }, opts));
+
+  EXPECT_EQ(c.echo->received(), kTotal);
+  EXPECT_EQ(c.a.frames_dropped(), 0u);
+  EXPECT_EQ(c.b.frames_dropped(), 0u);
+  EXPECT_GE(c.a.frames_sent(), kTotal);
+  EXPECT_GE(c.b.frames_received(), kTotal);
+  c.a.stop();
+  c.b.stop();
+}
+
+TEST(TcpNet, SeverredConnectionsRedialAndComplete) {
+  constexpr std::uint64_t kTotal = 200;
+  Cluster c(kTotal, scaled(50'000));
+  c.b.start();
+  c.a.start();
+
+  // Sever every data socket on both sides once the stream is mid-flight,
+  // so completion can only happen through redial + retry.
+  std::thread saboteur([&] {
+    while (c.echo->received() < kTotal / 4) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    c.a.sever_connections();
+    c.b.sever_connections();
+  });
+  sim::RunOptions opts;
+  opts.wall_timeout_us = scaled(60'000'000);
+  bool done = c.a.run_to_quiescence([&] { return c.ping->done(); }, opts);
+  saboteur.join();
+  ASSERT_TRUE(done);
+  EXPECT_GE(c.a.reconnects() + c.b.reconnects(), 1u);
+  // The echo peer saw every sequence number (retries may add extras, and
+  // transport-level dedup keeps reconnect replays out of that count).
+  EXPECT_GE(c.echo->received(), kTotal);
+  c.a.stop();
+  c.b.stop();
+}
+
+// Flood a peer that never answers its port: the writer can't drain, the
+// bounded queue fills, and senders must drop (counted) instead of wedging.
+class Flood final : public sim::Process {
+ public:
+  explicit Flood(std::uint64_t n) : n_(n) {}
+  void on_start() override {
+    for (std::uint64_t i = 0; i < n_; ++i) {
+      Writer w;
+      w.u64(i);
+      ctx().send(1, w.take());
+    }
+    finished_.store(true, std::memory_order_release);
+  }
+  void on_message(sim::NodeId, const Buffer&) override {}
+  bool finished() const { return finished_.load(std::memory_order_acquire); }
+
+ private:
+  std::uint64_t n_;
+  std::atomic<bool> finished_{false};
+};
+
+TEST(TcpNet, BackpressureDropsInsteadOfWedging) {
+  TcpConfig cfg = Cluster::config_for(0);
+  cfg.send_queue_frames = 4;
+  cfg.send_block_us = 1'000;
+  TcpNet net(std::move(cfg));
+  net.add_node(std::make_unique<Flood>(100), "flood");
+  net.add_remote("sink");
+  // Port 1 on loopback: nothing listens, every dial is refused.
+  net.set_peers({{"127.0.0.1", net.listen_port()}, {"127.0.0.1", 1}});
+  Flood* flood = &dynamic_cast<Flood&>(net.process(0));
+
+  net.start();  // on_start floods from this thread; must return
+  ASSERT_TRUE(flood->finished());
+  EXPECT_GT(net.frames_dropped(), 0u);
+  EXPECT_LE(net.frames_sent(), 4u);  // nothing ever connected
+  net.stop();  // and tear down cleanly with a non-empty queue
+}
+
+}  // namespace
+}  // namespace ddemos::net

@@ -237,6 +237,26 @@ def self_test():
                                     threshold=0.35)
     assert not regressions and len(notes) == 1, (regressions, notes)
 
+    # Rows carrying a "backend" field key separately: a slow tcp point must
+    # never be compared against (or regress) the backend-less sim point with
+    # otherwise identical params.
+    tcp_base = base_rows + [
+        dict(base_rows[0], backend="tcp", throughput_ops=120,
+             latency_ms=900.0),
+    ]
+    k_sim, _ = split_row(base_rows[0])
+    k_tcp, _ = split_row(tcp_base[2])
+    assert k_sim != k_tcp, (k_sim, k_tcp)
+    _, regressions, _ = compare(rows_to_map(tcp_base), rows_to_map(tcp_base),
+                                threshold=0.35)
+    assert not regressions, regressions
+    # And a regression on the tcp row alone trips only the tcp point.
+    tcp_worse = tcp_base[:2] + [dict(tcp_base[2], throughput_ops=50)]
+    _, regressions, _ = compare(rows_to_map(tcp_base), rows_to_map(tcp_worse),
+                                threshold=0.35)
+    assert len(regressions) == 1 and "backend=tcp" in regressions[0][0], \
+        regressions
+
     print("bench_check self-test passed")
     return 0
 
