@@ -1,6 +1,7 @@
 #include "common.hpp"
 
 #include <chrono>
+#include <cstdio>
 
 #include "core/messages.hpp"
 #include "core/tcp_launcher.hpp"
@@ -189,6 +190,7 @@ VoteCollectionResult VoteCollectionCampaign::run_cell(
     spec.collection_only = true;
     spec.vc_shards = opts.n_shards;
     spec.vc_options = opts;
+    spec.durability = cfg.durability;
     launcher = std::make_unique<core::TcpLauncher>(std::move(spec));
     launcher->launch();
     host = &launcher->net();
@@ -208,10 +210,20 @@ VoteCollectionResult VoteCollectionCampaign::run_cell(
       launcher->net().add_remote("vc" + std::to_string(i));
       continue;
     }
-    host->add_node(std::make_unique<vc::VcNode>(arts_.vc_inits[i], sources[i],
-                                                vc_ids, std::vector<NodeId>{},
-                                                opts),
-                   "vc" + std::to_string(i));
+    NodeId id = host->add_node(
+        std::make_unique<vc::VcNode>(arts_.vc_inits[i], sources[i], vc_ids,
+                                     std::vector<NodeId>{}, opts),
+        "vc" + std::to_string(i));
+    if (cfg.durability.enabled()) {
+      // Bench cells are always fresh elections: drop any leftover log so
+      // attach_wal never replays a previous cell's state.
+      std::string wal_path =
+          cfg.durability.wal_dir + "/vc" + std::to_string(i) + ".wal";
+      std::remove(wal_path.c_str());
+      dynamic_cast<vc::VcNode&>(host->process(id))
+          .attach_wal(std::make_unique<store::Wal>(
+              wal_path, cfg.durability.wal_options()));
+    }
   }
   // The voter <-> VC link stays LAN-like even in the WAN experiment: the
   // paper emulates WAN latency between the VC nodes themselves.

@@ -8,6 +8,7 @@
 #include <string>
 #include <vector>
 
+#include "core/driver.hpp"
 #include "core/types.hpp"
 #include "core/workload.hpp"
 #include "crypto/rng.hpp"
@@ -65,6 +66,13 @@ struct VoteCollectionConfig {
   // in the hot path (modeled charges are meaningless where charge() is a
   // no-op) so there is genuine CPU work for the shards to parallelize.
   Backend backend = Backend::kSim;
+  // Write-ahead logging on every VC node (the fig4 durability sweep).
+  // Single-process backends attach <wal_dir>/vc<i>.wal directly — any
+  // pre-existing log file is deleted first, a bench cell is always a
+  // fresh election — while the TCP backend ships the config through the
+  // cluster spec (there the caller owns wal_dir hygiene: a leftover log
+  // would replay into the new cluster).
+  core::DurabilityConfig durability;
 };
 
 struct VoteCollectionResult {

@@ -143,5 +143,48 @@ int main() {
                 accounting_fields(r.collection).c_str());
     std::fflush(stdout);
   }
+
+  // --- durability column: the smallest LAN cell on real threads (real
+  // Schnorr, real disk) with a write-ahead log on every VC node, swept
+  // over the fsync policy. The "durability" field keys these rows
+  // separately in the perf trajectory, so the WAL's cost on the vote hot
+  // path (off -> interval -> always) is gated across PRs.
+  std::size_t dur_vc = vcs.front();
+  std::printf("\n# fig4-durability: ThreadNet throughput vs fsync policy, "
+              "vc=%zu, cc=%zu\n", dur_vc, tcp_cc);
+  std::printf("%-10s %12s %12s\n", "policy", "ops/sec", "latency_ms");
+  struct DurCell {
+    const char* name;
+    bool enabled;
+    ddemos::store::FsyncPolicy fsync;
+  };
+  for (const DurCell& cell :
+       {DurCell{"off", false, ddemos::store::FsyncPolicy::kNever},
+        DurCell{"interval", true, ddemos::store::FsyncPolicy::kInterval},
+        DurCell{"always", true, ddemos::store::FsyncPolicy::kAlways}}) {
+    VoteCollectionConfig cfg;
+    cfg.n_vc = dur_vc;
+    cfg.f_vc = (dur_vc - 1) / 3;
+    cfg.concurrency = tcp_cc;
+    cfg.casts = tcp_casts;
+    cfg.n_ballots = std::max(ballots, cfg.casts + 100);
+    cfg.options = 4;
+    cfg.seed = 4242 + dur_vc;
+    cfg.backend = Backend::kThreads;
+    if (cell.enabled) {
+      cfg.durability.wal_dir = ".";  // build dir; run_cell clears the logs
+      cfg.durability.fsync = cell.fsync;
+    }
+    VoteCollectionResult r = run_vote_collection(cfg);
+    std::printf("%-10s %12.0f %12.1f\n", cell.name, r.throughput_ops,
+                r.mean_latency_ms);
+    std::printf("BENCH_JSON {\"bench\":\"fig4\",\"net\":\"lan\","
+                "\"backend\":\"threads\",\"durability\":\"%s\","
+                "\"vc\":%zu,\"cc\":%zu,\"casts\":%zu,"
+                "\"throughput_ops\":%.0f,\"latency_ms\":%.2f,%s}\n",
+                cell.name, dur_vc, tcp_cc, cfg.casts, r.throughput_ops,
+                r.mean_latency_ms, accounting_fields(r.collection).c_str());
+    std::fflush(stdout);
+  }
   return 0;
 }

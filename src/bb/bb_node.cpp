@@ -80,10 +80,36 @@ std::size_t BbNode::ballot_index(Serial serial) const {
   return it->second;
 }
 
+void BbNode::attach_wal(std::unique_ptr<store::Wal> wal) {
+  wal_ = std::move(wal);
+  replaying_ = true;
+  try {
+    wal_->replay([this](std::uint8_t type, BytesView rec) {
+      if (type != kBbWalMessage) return;  // future record type: skip
+      Reader r(rec);
+      NodeId from = r.u32();
+      on_message(from, net::Buffer::copy_of(r.raw_view(r.remaining())));
+    });
+  } catch (...) {
+    replaying_ = false;
+    throw;
+  }
+  replaying_ = false;
+}
+
 void BbNode::on_message(NodeId from, const net::Buffer& payload) {
   try {
     Reader r(payload.view());
     auto type = static_cast<MsgType>(r.u8());
+    // Write-ahead: every write-channel message is logged before its
+    // handler runs, so a crash mid-handler re-runs the handler on replay.
+    // Reads are not state, and replayed records must not re-log.
+    if (wal_ && !replaying_ && type != MsgType::kBbRead) {
+      Writer w;
+      w.u32(from);
+      w.raw(payload.view());
+      wal_->append(kBbWalMessage, w.take());
+    }
     switch (type) {
       case MsgType::kVoteSetChunk: {
         auto vc = vc_index_of(from);
@@ -153,7 +179,7 @@ void BbNode::maybe_accept_vote_set() {
   for (auto& [hash, vcs] : by_hash) {
     if (vcs.size() >= init_.params.f_vc + 1) {
       vote_set_accepted_ = true;
-      vote_set_at_ = ctx().now();
+      vote_set_at_ = now_safe();
       accepted_set_ = submissions_[vcs.front()].entries;
       maybe_decrypt_codes();
       return;
@@ -228,7 +254,7 @@ void BbNode::maybe_decrypt_codes() {
   }
   challenge_ = crypto::challenge_from_coins(init_.params.election_id, coins_);
   codes_published_ = true;
-  codes_at_ = ctx().now();
+  codes_at_ = now_safe();
   // Combine any trustee data that arrived early.
   for (const auto& [serial, per_trustee] : trustee_ballot_data_) {
     (void)per_trustee;
@@ -444,7 +470,7 @@ void BbNode::maybe_publish_result() {
     // shares to contribute and the tally is identically zero.
     result_ = ElectionResult{std::vector<std::uint64_t>(m, 0),
                              std::vector<crypto::Fn>(m, crypto::Fn::zero())};
-    result_at_ = ctx().now();
+    result_at_ = now_safe();
     result_published_ = true;  // after result_ settles (cross-thread flag)
     return;
   }
@@ -550,7 +576,7 @@ void BbNode::maybe_publish_result() {
     res.total_randomness.push_back(rj);
   }
   result_ = std::move(res);
-  result_at_ = ctx().now();
+  result_at_ = now_safe();
   result_published_ = true;  // after result_ settles (cross-thread flag)
 }
 

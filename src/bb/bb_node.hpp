@@ -18,12 +18,19 @@
 
 #include "core/messages.hpp"
 #include "sim/runtime.hpp"
+#include "store/wal.hpp"
 
 namespace ddemos::util {
 class ThreadPool;
 }
 
 namespace ddemos::bb {
+
+// The BB WAL holds raw accepted write messages (sender id + payload): the
+// node's state is a pure fold over its verified write stream, so replay
+// simply re-runs on_message — including every signature and Merkle check,
+// since a disk record is no more trusted than the network was.
+inline constexpr std::uint8_t kBbWalMessage = 1;
 
 // What a BB node has published for one ballot line after msk
 // reconstruction (decrypted vote code) and trustee writes (openings / ZK).
@@ -99,6 +106,13 @@ class BbNode final : public sim::Process {
   // default) keeps everything on the node's own thread.
   void set_compute_pool(util::ThreadPool* pool) { pool_ = pool; }
 
+  // Durability: hands the node its write-ahead log (ownership transfers)
+  // and replays it immediately by re-dispatching every logged write
+  // through on_message with sends/timestamps suppressed. Call before the
+  // hosting runtime starts. Throws store::WalError on corruption.
+  void attach_wal(std::unique_ptr<store::Wal> wal);
+  std::uint64_t wal_records() const { return wal_ ? wal_->records() : 0; }
+
  private:
   void handle_vote_set_chunk(std::size_t vc, Reader& r);
   void handle_vote_set_done(std::size_t vc, Reader& r);
@@ -112,9 +126,15 @@ class BbNode final : public sim::Process {
   void maybe_publish_result();
   std::optional<std::size_t> vc_index_of(sim::NodeId id) const;
   std::size_t ballot_index(core::Serial serial) const;
+  // ctx() is unbound while the WAL replays (the node is not hosted yet);
+  // phase timestamps from replayed history are stamped 0, and on_start
+  // they read as "published before this incarnation began".
+  sim::TimePoint now_safe() const { return replaying_ ? 0 : ctx().now(); }
 
   core::BbInit init_;
   util::ThreadPool* pool_ = nullptr;
+  std::unique_ptr<store::Wal> wal_;
+  bool replaying_ = false;  // true only inside attach_wal's replay pass
   std::map<core::Serial, std::size_t> serial_index_;
 
   // Vote-set acceptance.

@@ -31,6 +31,14 @@ ElectionTopology build_protocol_nodes(sim::RuntimeHost& host,
   vc_options.n_shards =
       cfg.vc_shards > 1 ? cfg.vc_shards
                         : std::max<std::size_t>(vc_options.n_shards, 1);
+  // Durability: each locally hosted VC/BB node gets a WAL at
+  // <wal_dir>/<node name>.wal, replayed (crash recovery) before the host
+  // starts. Remote placeholders (multi-process clusters) get theirs from
+  // the process that actually hosts them — this same code, running there.
+  auto wal_for = [&](const std::string& name) {
+    return std::make_unique<store::Wal>(cfg.durability.wal_dir + "/" + name,
+                                        cfg.durability.wal_options());
+  };
   for (std::size_t i = 0; i < p.n_vc; ++i) {
     std::shared_ptr<store::BallotDataSource> source;
     if (cfg.store_factory) {
@@ -39,16 +47,25 @@ ElectionTopology build_protocol_nodes(sim::RuntimeHost& host,
       source = std::make_shared<store::MemoryBallotSource>(
           artifacts.vc_inits[i].ballots);
     }
+    std::string name = "vc" + std::to_string(i);
     NodeId id = host.add_node(
         std::make_unique<vc::VcNode>(artifacts.vc_inits[i], source, vc_ids,
                                      bb_ids, vc_options),
-        "vc" + std::to_string(i));
+        name);
+    if (cfg.durability.enabled() && host.is_local(id)) {
+      dynamic_cast<vc::VcNode&>(host.process(id))
+          .attach_wal(wal_for(name + ".wal"));
+    }
     topo.vc_ids.push_back(id);
   }
   for (std::size_t i = 0; i < p.n_bb; ++i) {
+    std::string name = "bb" + std::to_string(i);
     NodeId id = host.add_node(
-        std::make_unique<bb::BbNode>(artifacts.bb_inits[i]),
-        "bb" + std::to_string(i));
+        std::make_unique<bb::BbNode>(artifacts.bb_inits[i]), name);
+    if (cfg.durability.enabled() && host.is_local(id)) {
+      dynamic_cast<bb::BbNode&>(host.process(id))
+          .attach_wal(wal_for(name + ".wal"));
+    }
     topo.bb_ids.push_back(id);
   }
   for (std::size_t i = 0; i < p.n_trustees; ++i) {

@@ -19,6 +19,7 @@
 #include "ea/ea.hpp"
 #include "sim/sim.hpp"
 #include "store/ballot_store.hpp"
+#include "store/wal.hpp"
 #include "trustee/trustee_node.hpp"
 #include "util/thread_pool.hpp"
 #include "vc/vc_node.hpp"
@@ -26,6 +27,21 @@
 namespace ddemos::core {
 
 class ElectionObserver;
+
+// Durable-node knob. When wal_dir is set, every *locally hosted* VC and BB
+// node (RuntimeHost::is_local) gets a write-ahead log at
+// <wal_dir>/<node name>.wal: state transitions are appended as they
+// happen (cast accepted, announce snapshot, consensus decided, push
+// published; raw accepted writes on the BBs) and a node constructed over
+// an existing log replays it before start, resuming a live election where
+// the previous process died. See DESIGN.md "Write-ahead log".
+struct DurabilityConfig {
+  std::string wal_dir;  // empty = durability off (the default)
+  store::FsyncPolicy fsync = store::FsyncPolicy::kInterval;
+  std::size_t fsync_interval = 64;  // records per fsync under kInterval
+  bool enabled() const { return !wal_dir.empty(); }
+  store::WalOptions wal_options() const { return {fsync, fsync_interval}; }
+};
 
 struct DriverConfig {
   ElectionParams params;
@@ -56,6 +72,8 @@ struct DriverConfig {
   std::function<void(ea::SetupArtifacts&)> tamper_setup;
   // Trustee behaviour (poll interval etc.) shared by both runtimes.
   trustee::TrusteeNode::Options trustee_options;
+  // Write-ahead logging + crash recovery for VC/BB nodes (off by default).
+  DurabilityConfig durability;
   // Precomputed setup to reuse across backends (runtime parity) or runs;
   // null = the driver runs ea_setup itself.
   std::shared_ptr<const ea::SetupArtifacts> artifacts;

@@ -123,6 +123,9 @@ void TcpClusterSpec::encode(Writer& w) const {
   w.u64(static_cast<std::uint64_t>(vc_options.page_fault_cost_us));
   w.varint(vc_options.n_shards);
   w.u64(static_cast<std::uint64_t>(trustee_options.poll_interval_us));
+  w.str(durability.wal_dir);
+  w.u8(static_cast<std::uint8_t>(durability.fsync));
+  w.varint(durability.fsync_interval);
 }
 
 TcpClusterSpec TcpClusterSpec::decode(Reader& r) {
@@ -143,6 +146,9 @@ TcpClusterSpec TcpClusterSpec::decode(Reader& r) {
   s.vc_options.page_fault_cost_us = static_cast<sim::Duration>(r.u64());
   s.vc_options.n_shards = static_cast<std::size_t>(r.varint());
   s.trustee_options.poll_interval_us = static_cast<sim::Duration>(r.u64());
+  s.durability.wal_dir = r.str();
+  s.durability.fsync = static_cast<store::FsyncPolicy>(r.u8());
+  s.durability.fsync_interval = static_cast<std::size_t>(r.varint());
   return s;
 }
 
@@ -228,6 +234,7 @@ TcpClusterSpec TcpLauncher::spec_from(const DriverConfig& cfg) {
   spec.vc_shards = cfg.vc_shards;
   spec.vc_options = cfg.vc_options;
   spec.trustee_options = cfg.trustee_options;
+  spec.durability = cfg.durability;
   return spec;
 }
 
@@ -351,6 +358,9 @@ void TcpLauncher::launch() {
     }
     Reader r(ready->second);
     peers[p] = net::TcpPeer{opt_.host, r.u16()};
+    // Remembered for respawns: a recovered process must rebind this exact
+    // port, because peers never receive a second peer table.
+    child.data_port = peers[p].port;
   }
   net_->set_peers(peers);
   {
@@ -439,6 +449,131 @@ void TcpLauncher::kill_process(std::size_t process) {
   }
   Child& child = *children_[process - 1];
   if (child.pid > 0) ::kill(child.pid, SIGKILL);
+}
+
+void TcpLauncher::respawn_process(std::size_t process) {
+  if (!launched_) {
+    throw ProtocolError("TcpLauncher: respawn_process() before launch()");
+  }
+  if (process == 0 || process > children_.size()) {
+    throw ProtocolError("TcpLauncher: cannot respawn process " +
+                        std::to_string(process));
+  }
+  Child& child = *children_[process - 1];
+  if (child.alive.load(std::memory_order_acquire)) {
+    throw ProtocolError("TcpLauncher: process " + std::to_string(process) +
+                        " is still alive");
+  }
+  // Retire the dead incarnation: its control reader exits on EOF (alive is
+  // already false), so joining here cannot block on a live connection.
+  if (child.reader.joinable()) child.reader.join();
+  if (child.control_fd >= 0) {
+    ::close(child.control_fd);
+    child.control_fd = -1;
+  }
+  if (child.pid > 0) {
+    int status = 0;
+    ::waitpid(child.pid, &status, 0);
+    child.pid = -1;
+  }
+  child.incarnation += 1;
+  child.done.store(false, std::memory_order_release);
+  child.reported.store(false, std::memory_order_release);
+
+  const std::string binary =
+      opt_.node_binary.empty() ? default_node_binary() : opt_.node_binary;
+  std::string port_s = std::to_string(control_port_);
+  std::string proc_s = std::to_string(process);
+  std::string data_s = std::to_string(child.data_port);
+  std::string inc_s = std::to_string(child.incarnation);
+  pid_t pid = ::fork();
+  if (pid < 0) throw ProtocolError("TcpLauncher: respawn fork failed");
+  if (pid == 0) {
+    ::execl(binary.c_str(), binary.c_str(), "--serve", opt_.host.c_str(),
+            port_s.c_str(), proc_s.c_str(), data_s.c_str(), inc_s.c_str(),
+            static_cast<char*>(nullptr));
+    std::fprintf(stderr, "ddemos_node exec failed: %s\n", binary.c_str());
+    ::_exit(127);
+  }
+  child.pid = pid;
+
+  auto fail = [&](const std::string& what) {
+    ::kill(pid, SIGKILL);
+    int status = 0;
+    ::waitpid(pid, &status, 0);
+    child.pid = -1;
+    throw ProtocolError("TcpLauncher: respawn: " + what);
+  };
+  auto deadline = std::chrono::steady_clock::now() +
+                  std::chrono::microseconds(opt_.launch_timeout_us);
+  auto remaining_us = [&]() -> sim::Duration {
+    auto left = std::chrono::duration_cast<std::chrono::microseconds>(
+                    deadline - std::chrono::steady_clock::now())
+                    .count();
+    return left > 0 ? left : 0;
+  };
+  // Same handshake as launch(), for one process. Only the respawned child
+  // dials the control port mid-election, so the next accept is ours.
+  if (!wait_readable(control_listen_fd_, remaining_us())) {
+    fail("timed out waiting for HELLO");
+  }
+  int fd = ::accept(control_listen_fd_, nullptr, nullptr);
+  if (fd < 0) fail("accept failed on the control socket");
+  auto hello = read_ctrl(fd);
+  std::uint32_t proc = 0;
+  if (hello && hello->first == kCtrlHello) {
+    Reader r(hello->second);
+    proc = r.u32();
+  }
+  if (proc != process) {
+    ::close(fd);
+    fail("bad HELLO (process " + std::to_string(proc) + ")");
+  }
+  child.control_fd = fd;
+  {
+    Writer w;
+    spec_.encode(w);
+    w.u32(static_cast<std::uint32_t>(spec_.protocol_processes() + 1));
+    if (!send_ctrl(fd, kCtrlConfig, w.data())) fail("failed to send config");
+  }
+  // The child replays its WAL while rebuilding, so READY can take a while;
+  // give it the whole launch budget.
+  if (!wait_readable(fd, remaining_us())) fail("timed out waiting for READY");
+  auto ready = read_ctrl(fd);
+  if (!ready || ready->first != kCtrlReady) fail("bad READY");
+  {
+    Reader r(ready->second);
+    std::uint16_t got = r.u16();
+    if (got != child.data_port) {
+      fail("respawned process bound port " + std::to_string(got) +
+           ", expected " + std::to_string(child.data_port));
+    }
+  }
+  {
+    // Rebuild the peer table from the remembered data ports (identical to
+    // the one every surviving process already holds).
+    std::vector<net::TcpPeer> peers(children_.size() + 1);
+    peers[0] = net::TcpPeer{opt_.host, net_->listen_port()};
+    for (std::size_t i = 0; i < children_.size(); ++i) {
+      peers[i + 1] = net::TcpPeer{opt_.host, children_[i]->data_port};
+    }
+    Writer w;
+    w.vec(peers, [](Writer& w2, const net::TcpPeer& peer) {
+      w2.str(peer.host);
+      w2.u16(peer.port);
+    });
+    if (!send_ctrl(fd, kCtrlPeers, w.data())) fail("failed to send peer table");
+  }
+  {
+    // GO carries the launcher's election clock: the child resumes the
+    // original time base, so absolute deadlines (t_end) stay meaningful.
+    Writer w;
+    w.u64(static_cast<std::uint64_t>(net_->now()));
+    if (!send_ctrl(fd, kCtrlGo, w.data())) fail("failed to send GO");
+  }
+  child.alive.store(true, std::memory_order_release);
+  Child* c = &child;
+  c->reader = std::thread([this, c] { control_reader(*c); });
 }
 
 void TcpLauncher::reap_children() {
@@ -668,12 +803,20 @@ ElectionReport TcpLauncher::run_election(const DriverConfig& cfg) {
 // Node-process side.
 
 int serve_tcp_node(const std::string& host, std::uint16_t port,
-                   std::uint32_t process) {
+                   std::uint32_t process, std::uint16_t data_port,
+                   std::uint64_t incarnation) {
 #ifdef __linux__
   // Die with the launcher: an orphaned node process must never outlive the
-  // test/bench that spawned it.
-  ::prctl(PR_SET_PDEATHSIG, SIGKILL);
-  if (::getppid() == 1) return 3;  // launcher already gone
+  // test/bench that spawned it. Linux arms the death signal against the
+  // *thread* that forked us, so only the initial spawn (forked from the
+  // launcher's long-lived calling thread) can use it; a respawn is forked
+  // from the transient fault-hook thread, whose exit would instantly kill
+  // the child. Respawns fall back to the control-socket orphan guard: the
+  // status loop polls the connection every ~20ms and exits on EOF.
+  if (incarnation == 1) {
+    ::prctl(PR_SET_PDEATHSIG, SIGKILL);
+    if (::getppid() == 1) return 3;  // launcher already gone
+  }
 #endif
   int ctrl = -1;
   for (int attempt = 0; attempt < 50 && ctrl < 0; ++attempt) {
@@ -708,6 +851,11 @@ int serve_tcp_node(const std::string& host, std::uint16_t port,
     ncfg.node_process[id] = static_cast<std::uint32_t>(id + 1);
   }
   ncfg.default_process = 0;
+  // Respawn: rebind the predecessor's data port (peers keep the one peer
+  // table they ever received) and announce the bumped incarnation so
+  // receivers reset their per-process dedup floor.
+  ncfg.listen_port = data_port;
+  ncfg.incarnation = incarnation;
   net::TcpNet node_net(std::move(ncfg));
 
   // Rebuild this process's node from the seed. Typed handles feed the
@@ -749,8 +897,13 @@ int serve_tcp_node(const std::string& host, std::uint16_t port,
                                          std::vector<sim::NodeId>{},
                                          vc_options),
             "vc" + std::to_string(i));
-        vcs.push_back(
-            VcHandle{id, &dynamic_cast<vc::VcNode&>(node_net.process(id))});
+        auto& node = dynamic_cast<vc::VcNode&>(node_net.process(id));
+        if (spec.durability.enabled()) {
+          node.attach_wal(std::make_unique<store::Wal>(
+              spec.durability.wal_dir + "/vc" + std::to_string(i) + ".wal",
+              spec.durability.wal_options()));
+        }
+        vcs.push_back(VcHandle{id, &node});
       } else {
         node_net.add_remote("vc" + std::to_string(i));
       }
@@ -764,6 +917,9 @@ int serve_tcp_node(const std::string& host, std::uint16_t port,
     dcfg.vc_options = spec.vc_options;
     dcfg.vc_shards = spec.vc_shards;
     dcfg.trustee_options = spec.trustee_options;
+    // build_protocol_nodes opens (and replays) <wal_dir>/<name>.wal for
+    // every node hosted in this process.
+    dcfg.durability = spec.durability;
     ElectionTopology topo = build_protocol_nodes(node_net, arts, dcfg);
     for (sim::NodeId id : topo.vc_ids) {
       if (node_net.is_local(id)) {
@@ -800,6 +956,16 @@ int serve_tcp_node(const std::string& host, std::uint16_t port,
   }
   auto go_msg = read_ctrl(ctrl);
   if (!go_msg || go_msg->first != kCtrlGo) return 2;
+  if (!go_msg->second.empty()) {
+    // Respawn GO carries the launcher's current election clock; resuming
+    // that time base keeps absolute deadlines (t_end) meaningful here.
+    try {
+      Reader r(go_msg->second);
+      node_net.set_clock_offset(static_cast<sim::Duration>(r.u64()));
+    } catch (const CodecError&) {
+      return 2;
+    }
+  }
 
   std::uint64_t alloc_base = net::Buffer::payload_allocations();
   node_net.start();

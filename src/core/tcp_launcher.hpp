@@ -41,6 +41,9 @@ struct TcpClusterSpec {
   std::size_t vc_shards = 1;
   vc::VcNode::Options vc_options;
   trustee::TrusteeNode::Options trustee_options;
+  // Durability knob, shipped to every node process: each one opens (and on
+  // a respawn, replays) <wal_dir>/<node name>.wal for the nodes it hosts.
+  DurabilityConfig durability;
 
   std::size_t protocol_processes() const {
     return collection_only ? params.n_vc
@@ -134,6 +137,18 @@ class TcpLauncher {
   // SIGKILL a node process (fault injection). The control connection's
   // EOF marks it dead; remote_complete() then skips it.
   void kill_process(std::size_t process);
+  // Crash recovery: fork a fresh `ddemos_node --serve` for a killed
+  // process and drive it through the full handshake again. The respawn
+  // reuses the process's original data port (peers keep dialing the
+  // address from the one peer table they ever received), bumps its HELLO
+  // incarnation (receivers reset their dedup floor), and ships the
+  // launcher's current election clock in the GO body so the child resumes
+  // the original time base. With spec().durability set, the child replays
+  // its nodes' WALs while rebuilding and rejoins mid-election; the new
+  // incarnation reports real counters at stop_cluster (no zeroed row).
+  // Throws ProtocolError if the process is still alive or the handshake
+  // fails.
+  void respawn_process(std::size_t process);
 
   // C_STOP to every live child, collect C_REPORTs, reap children (SIGKILL
   // past the timeout), stop the local net. Idempotent; returns the reports
@@ -160,6 +175,10 @@ class TcpLauncher {
     std::atomic<bool> done{false};
     std::atomic<bool> reported{false};
     TcpProcessReport report;
+    // For respawns: the data port this process must keep across
+    // incarnations, and the incarnation of the currently running one.
+    std::uint16_t data_port = 0;
+    std::uint64_t incarnation = 1;
   };
 
   void control_reader(Child& child);
@@ -180,7 +199,14 @@ class TcpLauncher {
 // Node-process entry point (ddemos_node --serve): connect to the control
 // socket, rebuild the assigned node from the received spec, run until
 // C_STOP, ship the report. Returns a process exit code.
+//
+// data_port/incarnation are only non-default on a crash-recovery respawn:
+// the child then binds the fixed data port its predecessor held and
+// announces the bumped incarnation in every HELLO. (The clock offset rides
+// the GO body instead of argv, so it is captured after the potentially
+// slow node rebuild.)
 int serve_tcp_node(const std::string& host, std::uint16_t port,
-                   std::uint32_t process);
+                   std::uint32_t process, std::uint16_t data_port = 0,
+                   std::uint64_t incarnation = 1);
 
 }  // namespace ddemos::core

@@ -87,6 +87,7 @@ Bytes HelloBody::encode() const {
   Writer w;
   w.u8(version);
   w.u32(process);
+  w.u64(incarnation);
   w.bytes(election_id);
   return w.take();
 }
@@ -96,6 +97,7 @@ HelloBody HelloBody::decode(BytesView payload) {
   HelloBody h;
   h.version = r.u8();
   h.process = r.u32();
+  h.incarnation = r.u64();
   h.election_id = r.bytes();
   r.expect_done();
   return h;

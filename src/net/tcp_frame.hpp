@@ -27,7 +27,10 @@
 namespace ddemos::net {
 
 inline constexpr std::uint32_t kFrameMagic = 0x44444d53;  // "DDMS"
-inline constexpr std::uint8_t kFrameVersion = 1;
+// v2 added the sender incarnation to the HELLO (crash-recovery respawn:
+// a restarted process restarts its sequence space, and the incarnation
+// is what lets receivers reset their dedup floor for it).
+inline constexpr std::uint8_t kFrameVersion = 2;
 // Upper bound on a single frame payload; a header announcing more than
 // this is treated as a malformed stream and the connection is dropped.
 inline constexpr std::uint32_t kMaxFramePayload = 64u << 20;
@@ -55,6 +58,11 @@ struct FrameHeader {
 struct HelloBody {
   std::uint8_t version = kFrameVersion;
   std::uint32_t process = 0;  // sender's process index in the cluster
+  // Monotonic per-process across respawns: 1 for the original launch, +1
+  // for every crash-recovery respawn. Receivers reset the sender's seq
+  // dedup floor when it rises and reject connections when it falls (a
+  // stale pre-crash socket racing the respawn).
+  std::uint64_t incarnation = 1;
   Bytes election_id;
 
   Bytes encode() const;

@@ -46,9 +46,10 @@ class TcpNet::NodeContext final : public sim::Context {
   }
 
   TimePoint now() const override {
-    return std::chrono::duration_cast<std::chrono::microseconds>(
+    return net_->cfg_.clock_offset_us +
+           std::chrono::duration_cast<std::chrono::microseconds>(
                std::chrono::steady_clock::now() - net_->epoch_)
-        .count();
+               .count();
   }
   NodeId self() const override { return id_; }
   void charge(Duration) override {}  // real CPU time is real here
@@ -218,9 +219,9 @@ void TcpNet::writer_loop(Connection& conn) {
         FrameHeader h;
         h.kind = FrameKind::kHello;
         h.from = cfg_.self_process;
-        Bytes hello =
-            HelloBody{kFrameVersion, cfg_.self_process, cfg_.election_id}
-                .encode();
+        Bytes hello = HelloBody{kFrameVersion, cfg_.self_process,
+                                cfg_.incarnation, cfg_.election_id}
+                          .encode();
         if (!write_frame(fd, h, hello)) {
           ::close(fd);
           fd = -1;
@@ -308,6 +309,7 @@ void TcpNet::reader_loop(Inbound& in) {
   };
   // First frame must be a valid HELLO for this election.
   std::uint32_t peer_process = 0;
+  std::uint64_t peer_incarnation = 0;
   {
     auto first = read_frame(fd);
     if (!first || first->first.kind != FrameKind::kHello) {
@@ -321,7 +323,27 @@ void TcpNet::reader_loop(Inbound& in) {
         throw CodecError("tcp hello: wrong election/version");
       }
       peer_process = hello.process;
+      peer_incarnation = hello.incarnation;
     } catch (const CodecError&) {
+      close_in();
+      return;
+    }
+    // A respawned peer restarts its sequence space at 1 under a higher
+    // incarnation: reset its dedup floor so its fresh traffic is not
+    // silently swallowed. A *lower* incarnation is a stale pre-crash
+    // socket racing the respawn — refuse it outright.
+    bool stale = false;
+    {
+      std::scoped_lock lk(last_seq_mu_);
+      auto& [inc, last] = last_seq_[peer_process];
+      if (peer_incarnation > inc) {
+        inc = peer_incarnation;
+        last = 0;
+      } else if (peer_incarnation < inc) {
+        stale = true;
+      }
+    }
+    if (stale) {
       close_in();
       return;
     }
@@ -332,7 +354,8 @@ void TcpNet::reader_loop(Inbound& in) {
       // Reconnect replay suppression: the per-source high-water mark lives
       // on the TcpNet (not the connection) so it survives redials.
       std::scoped_lock lk(last_seq_mu_);
-      std::uint64_t& last = last_seq_[peer_process];
+      auto& [inc, last] = last_seq_[peer_process];
+      if (inc != peer_incarnation) break;  // superseded by a respawn
       if (frame->first.seq <= last) {
         duplicates_suppressed_.fetch_add(1, std::memory_order_relaxed);
         continue;
@@ -369,10 +392,11 @@ void TcpNet::start() {
 }
 
 TimePoint TcpNet::now() const {
-  if (!started_once_) return 0;
-  return std::chrono::duration_cast<std::chrono::microseconds>(
+  if (!started_once_) return cfg_.clock_offset_us;
+  return cfg_.clock_offset_us +
+         std::chrono::duration_cast<std::chrono::microseconds>(
              std::chrono::steady_clock::now() - epoch_)
-      .count();
+             .count();
 }
 
 std::vector<std::size_t> TcpNet::shard_queue_high_water(NodeId id) const {

@@ -70,6 +70,15 @@ struct TcpConfig {
   std::uint32_t default_process = 0;
   std::string listen_host = "127.0.0.1";
   std::uint16_t listen_port = 0;  // 0 = ephemeral, see listen_port()
+  // This process's incarnation, carried in the HELLO. A respawned process
+  // (crash recovery) starts a fresh outbound sequence space; bumping the
+  // incarnation tells receivers to reset their per-process dedup floor
+  // instead of silently discarding every frame the newcomer sends.
+  std::uint64_t incarnation = 1;
+  // Added to now(): a respawned process resumes the cluster's original
+  // time base (election-end timers are absolute offsets from start()), so
+  // the launcher passes the age of the election here.
+  Duration clock_offset_us = 0;
   // Send-side backpressure: per-connection queue bound and how long a
   // sender blocks for space before dropping the frame.
   std::size_t send_queue_frames = 4096;
@@ -103,7 +112,7 @@ class TcpNet final : public sim::RuntimeHost {
   // Registers a remote placeholder without constructing the node at all
   // (bench clusters skip building 10^6-ballot VC state client-side).
   NodeId add_remote(std::string name);
-  bool is_local(NodeId id) const;
+  bool is_local(NodeId id) const override;
 
   // Throws ProtocolError for a remote id (the node lives in another
   // process; callers must check is_local()).
@@ -118,8 +127,15 @@ class TcpNet final : public sim::RuntimeHost {
   // Idempotent.
   void stop() override;
 
-  // Wall-clock microseconds since start() (0 before the first start).
+  // Wall-clock microseconds since start() (0 before the first start),
+  // plus the configured clock offset (crash-recovery respawn).
   TimePoint now() const override;
+  // Late override of TcpConfig::clock_offset_us: a respawned node process
+  // learns the election's age from the GO body, after the node rebuild.
+  // Call before start().
+  void set_clock_offset(Duration offset_us) {
+    cfg_.clock_offset_us = offset_us;
+  }
 
   using sim::RuntimeHost::run_to_quiescence;
   bool run_to_quiescence(const std::function<bool()>& done,
@@ -243,10 +259,14 @@ class TcpNet final : public sim::RuntimeHost {
   std::mutex inbound_mu_;
   std::vector<std::unique_ptr<Inbound>> inbound_;
 
-  // Receive-side dedup: last data-frame sequence number seen per source
-  // process. Lives here (not on the connection) so it survives reconnects.
+  // Receive-side dedup: highest (incarnation, seq) seen per source
+  // process. Lives here (not on the connection) so it survives
+  // reconnects; a HELLO carrying a higher incarnation (the peer process
+  // was respawned after a crash and restarts its sequence space at 1)
+  // resets that process's floor, while a stale lower incarnation is
+  // rejected at handshake.
   std::mutex last_seq_mu_;
-  std::map<std::uint32_t, std::uint64_t> last_seq_;
+  std::map<std::uint32_t, std::pair<std::uint64_t, std::uint64_t>> last_seq_;
 
   std::chrono::steady_clock::time_point epoch_;
   bool started_once_ = false;

@@ -160,6 +160,13 @@ class RuntimeHost {
   virtual bool run_to_quiescence(const std::function<bool()>& done,
                                  const RunOptions& options) = 0;
   bool run_to_quiescence() { return run_to_quiescence(nullptr, RunOptions{}); }
+  // Whether the node with this id is hosted by the calling process. The
+  // single-process backends host everything they were handed; the
+  // multi-process backend (net::TcpNet) keeps only the nodes whose
+  // process assignment matches its own and overrides this accordingly.
+  // Election builders use it to attach process-local resources — WAL
+  // files, most importantly — only where the node actually lives.
+  virtual bool is_local(NodeId) const { return true; }
   // Per-shard inbox high-water marks observed for a node, where the
   // backend has per-shard queues (ThreadNet). Backends without that
   // concept (the simulator's single global event queue) return empty.

@@ -1,0 +1,119 @@
+// Append-only write-ahead log for protocol-node durability. One file per
+// node; every record is CRC32C-framed so replay can tell a torn tail (the
+// process died mid-write: the final frame is incomplete — truncated and
+// dropped) from real corruption (a complete frame whose checksum fails —
+// replay fails closed with a diagnostic, never silently skipping state).
+//
+// File layout (all integers little-endian):
+//   [u32 file magic "DWAL"][u32 format version]
+//   record*: [u32 payload_len][u8 type][payload][u32 crc32c]
+// where the CRC covers payload_len, type and payload (so a bit-flip in the
+// length header is caught by the same check as one in the payload).
+//
+// Lifecycle: open → replay(fn) exactly once (validates the whole file,
+// truncates a torn tail, positions the append cursor) → append()/sync().
+// snapshot() atomically replaces the log with a single compacted record via
+// temp-file + fsync + rename, the phase-boundary compaction the VC node
+// uses when per-ballot records collapse into one announce-time state blob.
+//
+// Durability knob (FsyncPolicy): kAlways fsyncs every append (crash loses
+// nothing acknowledged), kInterval fsyncs every Nth record (bounded loss
+// window, the default), kNever leaves flushing to the OS (bench baseline;
+// still torn-tail-safe because frames are CRC-checked on replay).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <stdexcept>
+#include <string>
+
+#include "util/bytes.hpp"
+
+namespace ddemos::store {
+
+// Unrecoverable log damage (mid-file CRC mismatch, unreadable file,
+// bad magic). Deliberately not a CodecError: WAL corruption means local
+// durable state is unsound, which must stop recovery, not drop a message.
+class WalError : public std::runtime_error {
+ public:
+  explicit WalError(const std::string& what) : std::runtime_error(what) {}
+};
+
+enum class FsyncPolicy : std::uint8_t {
+  kNever = 0,     // no explicit flushing; OS writeback order applies
+  kInterval = 1,  // fsync every fsync_interval appended records
+  kAlways = 2,    // fsync after every append
+};
+
+struct WalOptions {
+  FsyncPolicy fsync = FsyncPolicy::kInterval;
+  std::size_t fsync_interval = 64;  // records per fsync under kInterval
+};
+
+struct WalReplayResult {
+  std::size_t records = 0;          // valid records delivered to the callback
+  bool torn_tail = false;           // an incomplete final frame was dropped
+  std::uint64_t truncated_bytes = 0;  // size of the dropped tail
+};
+
+// CRC32C (Castagnoli), software table implementation. Exposed for tests
+// that hand-craft corrupt log files.
+std::uint32_t crc32c(BytesView data, std::uint32_t seed = 0);
+
+class Wal {
+ public:
+  // Opens (creating if absent) the log at `path`. Appending before
+  // replay() throws: the replay pass is what validates the tail and
+  // positions the cursor.
+  explicit Wal(std::string path, WalOptions opt = {});
+  ~Wal();
+  Wal(const Wal&) = delete;
+  Wal& operator=(const Wal&) = delete;
+
+  // Scans the whole file, invoking `fn(type, payload)` for every valid
+  // record in append order. Truncates a torn tail in place; throws
+  // WalError (with path + byte offset) on mid-file corruption or a
+  // complete final frame with a bad checksum. Must be called exactly once,
+  // before the first append.
+  WalReplayResult replay(
+      const std::function<void(std::uint8_t type, BytesView payload)>& fn);
+
+  // Appends one record and applies the fsync policy. Thread-safe: a
+  // sharded VC node appends from every shard worker concurrently.
+  void append(std::uint8_t type, BytesView payload);
+
+  // Unconditional fsync of everything appended so far. Thread-safe.
+  void sync();
+
+  // Atomically replaces the entire log with a single record: the snapshot
+  // is written to `path + ".tmp"`, fsynced, then renamed over the live
+  // log (and the directory fsynced), so a crash at any point leaves either
+  // the old log or the new one — never a mix.
+  void snapshot(std::uint8_t type, BytesView payload);
+
+  const std::string& path() const { return path_; }
+  // Records seen so far: replayed + appended (snapshot resets to 1).
+  std::uint64_t records() const {
+    std::scoped_lock lk(mu_);
+    return records_;
+  }
+
+ private:
+  void write_all(int fd, BytesView data, const char* what) const;
+  void fsync_fd(int fd, const char* what) const;
+  void maybe_sync();
+  static Bytes frame(std::uint8_t type, BytesView payload);
+
+  std::string path_;
+  WalOptions opt_;
+  // Serializes append/sync/snapshot (replay runs before any shard worker
+  // exists, so it only asserts the lifecycle flag).
+  mutable std::mutex mu_;
+  int fd_ = -1;              // guarded by mu_ after replay
+  bool replayed_ = false;
+  std::uint64_t records_ = 0;   // guarded by mu_
+  std::size_t unsynced_ = 0;  // records appended since the last fsync
+};
+
+}  // namespace ddemos::store

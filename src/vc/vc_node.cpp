@@ -61,7 +61,154 @@ VcNode::VcNode(VcInit init, std::shared_ptr<store::BallotDataSource> source,
   shard_slots_.resize(opt_.n_shards);
 }
 
+// --- Durability (write-ahead log) -------------------------------------------
+// Per-ballot payloads are keyed by dense instance index, not serial: replay
+// addresses states_ directly and the index is stable because the EA issues
+// the same ballot set to every incarnation of a node.
+
+namespace {
+void encode_ballot_core(Writer& w, std::size_t instance, BytesView code,
+                        std::uint8_t part, std::uint32_t line,
+                        const Ucert& ucert) {
+  w.u64(instance);
+  w.bytes(code);
+  w.u8(part);
+  w.u32(line);
+  ucert.encode(w);
+}
+}  // namespace
+
+void VcNode::attach_wal(std::unique_ptr<store::Wal> wal) {
+  wal_ = std::move(wal);
+  wal_->replay([this](std::uint8_t type, BytesView payload) {
+    wal_replay_record(type, payload);
+  });
+}
+
+void VcNode::wal_log_ucert(std::size_t instance, const BallotState& st) {
+  if (!wal_) return;
+  Writer w;
+  encode_ballot_core(w, instance, st.code, st.part, st.line, st.ucert);
+  wal_->append(kWalPending, w.take());
+}
+
+void VcNode::wal_log_cast(std::size_t instance, const BallotState& st) {
+  if (!wal_) return;
+  Writer w;
+  encode_ballot_core(w, instance, st.code, st.part, st.line, st.ucert);
+  w.u64(st.receipt);
+  wal_->append(kWalCast, w.take());
+}
+
+void VcNode::wal_snapshot_state() {
+  if (!wal_) return;
+  // Dense blob, one entry per registered ballot: by announce time most
+  // ballots carry state, so sparseness would not pay for its indirection.
+  Writer w;
+  w.u64(n_ballots_);
+  for (const BallotState& st : states_) {
+    w.u8(static_cast<std::uint8_t>(st.status));
+    if (st.status == BallotStatus::kNotVoted) continue;
+    w.bytes(st.code);
+    w.u8(st.part);
+    w.u32(st.line);
+    w.u64(st.receipt);
+    st.ucert.encode(w);
+  }
+  wal_->snapshot(kWalSnapshot, w.take());
+}
+
+void VcNode::wal_replay_record(std::uint8_t type, BytesView payload) {
+  try {
+    Reader r(payload);
+    switch (type) {
+      case kWalPending:
+      case kWalCast: {
+        std::size_t instance = r.u64();
+        if (instance >= n_ballots_) break;
+        BallotState& st = states_[instance];
+        st.code = r.bytes();
+        st.part = r.u8();
+        st.line = r.u32();
+        st.ucert = Ucert::decode(r);
+        if (type == kWalCast) {
+          st.receipt = r.u64();
+          st.status = BallotStatus::kVoted;
+          // The VOTE_P multicast happened before the cast record; if it
+          // was lost with the crash, peers recover through announce.
+          st.vote_p_sent = true;
+        } else if (st.status == BallotStatus::kNotVoted) {
+          st.status = BallotStatus::kPending;
+        }
+        break;
+      }
+      case kWalSnapshot: {
+        std::size_t n = r.u64();
+        replayed_announce_ = true;
+        if (n != n_ballots_) {
+          throw store::WalError(wal_->path() +
+                                ": snapshot ballot count mismatch");
+        }
+        for (std::size_t i = 0; i < n; ++i) {
+          BallotState& st = states_[i];
+          st = BallotState{};
+          st.status = static_cast<BallotStatus>(r.u8());
+          if (st.status == BallotStatus::kNotVoted) continue;
+          st.code = r.bytes();
+          st.part = r.u8();
+          st.line = r.u32();
+          st.receipt = r.u64();
+          st.ucert = Ucert::decode(r);
+          st.vote_p_sent = true;
+        }
+        break;
+      }
+      case kWalDecided:
+        decisions_ = Bitmap::decode(r);
+        replayed_decided_ = decisions_.size() == n_ballots_;
+        break;
+      case kWalPushed:
+        replayed_pushed_ = true;
+        break;
+      default:
+        break;  // newer record type from a future version: ignore
+    }
+  } catch (const CodecError&) {
+    // A record that frames correctly (CRC passed) but no longer decodes
+    // is a format skew, not disk damage; fail closed like corruption.
+    throw store::WalError(wal_->path() + ": undecodable WAL record");
+  }
+}
+
 void VcNode::on_start() {
+  // Crash-recovery continuation: a restarted node resumes from the latest
+  // phase boundary its log reached instead of re-voting from scratch.
+  if (replayed_decided_) {
+    phase_ = Phase::kRecovery;
+    stats_.voting_ended_at = ctx().now();
+    stats_.consensus_done_at = ctx().now();
+    recover_needed_ = Bitmap(n_ballots_);
+    if (!replayed_pushed_) {
+      for (std::size_t i = 0; i < n_ballots_; ++i) {
+        if (decisions_.get(i) && states_[i].status == BallotStatus::kNotVoted)
+          recover_needed_.set(i);
+      }
+    }
+    if (recover_needed_.any()) {
+      send_recover_request();
+    } else {
+      push_to_bb();  // re-push is safe: BBs ignore writes once accepted
+    }
+    return;
+  }
+  if (replayed_announce_) {
+    // Died inside the announce/consensus window: re-announce and restart
+    // our consensus instance over the snapshotted ballot state. Peers that
+    // already finished ignore the late announce; the vote-set push of the
+    // f+1 surviving collectors carries the election either way.
+    begin_vote_set_consensus();
+    return;
+  }
   sim::Duration until_end = init_.params.t_end - ctx().now();
   end_timer_ = ctx().set_timer(std::max<sim::Duration>(until_end, 0));
 }
@@ -406,6 +553,7 @@ void VcNode::handle_endorsement(NodeId from, Reader& r) {
   }
   st.ucert.vote_code = es.code;
   st.ucert.signatures.assign(es.sigs.begin(), es.sigs.end());
+  wal_log_ucert(*inst, st);
   send_own_vote_p(m.serial, st);
 }
 
@@ -458,6 +606,7 @@ void VcNode::handle_vote_p(NodeId from, Reader& r) {
     st.part = m.part;
     st.line = m.line;
     st.ucert = m.ucert;
+    wal_log_ucert(*inst, st);
   } else if (st.code != m.vote_code) {
     return;  // conflicting certified code: impossible unless keys broken
   }
@@ -479,6 +628,12 @@ void VcNode::complete_vote(Serial serial, BallotState& st) {
   for (int i = 24; i < 32; ++i) receipt = receipt << 8 | be[static_cast<std::size_t>(i)];
   st.receipt = receipt;
   st.status = BallotStatus::kVoted;
+  // Log before the receipt leaves the node: under FsyncPolicy::kAlways an
+  // issued receipt is durable, so a restarted collector re-serves the
+  // exact same receipt to a resubmitting voter.
+  if (wal_) {
+    if (auto inst = instance_of(serial)) wal_log_cast(*inst, st);
+  }
   if (!st.waiters.empty()) {
     net::Buffer reply =
         VoteReplyMsg{serial, VoteReplyStatus::kOk, receipt}.encode();
@@ -555,6 +710,9 @@ void VcNode::begin_vote_set_consensus() {
   if (stats_.voting_ended_at == 0) stats_.voting_ended_at = ctx().now();
   consensus_input_ = Bitmap(n_ballots_);
   recover_needed_ = Bitmap(n_ballots_);
+  // Phase boundary: every per-ballot record collapses into one durable
+  // snapshot (the announce scan below reads exactly this state).
+  wal_snapshot_state();
 
   // ANNOUNCE: disperse every certified vote code we know. The state table
   // is dense by instance index, so this is one linear scan.
@@ -638,6 +796,7 @@ void VcNode::adopt_entry(const AnnounceEntry& e) {
       st.line = loc->second;
     }
   }
+  wal_log_ucert(e.instance, st);
 }
 
 void VcNode::maybe_start_consensus() {
@@ -662,9 +821,17 @@ void VcNode::maybe_start_consensus() {
 void VcNode::on_consensus_complete() {
   phase_ = Phase::kRecovery;
   stats_.consensus_done_at = ctx().now();
-  const Bitmap& decisions = consensus_->decisions();
-  for (std::size_t i = 0; i < decisions.size(); ++i) {
-    if (!decisions.get(i)) continue;
+  // Copied out of the engine: recovery and the push read the member so a
+  // restarted node (which has no engine) takes the identical code path.
+  decisions_ = consensus_->decisions();
+  if (wal_) {
+    Writer w;
+    decisions_.encode(w);
+    wal_->append(kWalDecided, w.take());
+    wal_->sync();  // a decision is irrevocable; never lose it to a crash
+  }
+  for (std::size_t i = 0; i < decisions_.size(); ++i) {
+    if (!decisions_.get(i)) continue;
     if (states_[i].status == BallotStatus::kNotVoted) {
       recover_needed_.set(i);
     }
@@ -731,10 +898,17 @@ void VcNode::maybe_finish_recovery() {
 
 void VcNode::push_to_bb() {
   phase_ = Phase::kPush;
+  // Logged before the first send: a crash anywhere inside the push makes
+  // the restarted node re-push the whole set. Duplicate chunks can spoil
+  // this node's own BB submission buffer, but BB acceptance needs only
+  // f+1 matching collectors and ignores all writes once accepted.
+  if (wal_) {
+    wal_->append(kWalPushed, {});
+    wal_->sync();
+  }
   final_set_.clear();
-  const Bitmap& decisions = consensus_->decisions();
-  for (std::size_t i = 0; i < decisions.size(); ++i) {
-    if (!decisions.get(i)) continue;
+  for (std::size_t i = 0; i < decisions_.size(); ++i) {
+    if (!decisions_.get(i)) continue;
     final_set_.push_back(VoteSetEntry{serial_of(i), states_[i].code});
   }
   // Entries are in ascending serial order by construction.

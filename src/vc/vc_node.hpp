@@ -37,8 +37,19 @@
 #include "core/messages.hpp"
 #include "sim/runtime.hpp"
 #include "store/ballot_store.hpp"
+#include "store/wal.hpp"
 
 namespace ddemos::vc {
+
+// WAL record types written by a VC node (store::Wal payload tag byte).
+// Pending/cast records accumulate during voting; the announce-time
+// snapshot compacts them into one state blob; decided/pushed mark the
+// phase boundaries a restarted node resumes from.
+inline constexpr std::uint8_t kWalPending = 1;   // UCERT attached to a ballot
+inline constexpr std::uint8_t kWalCast = 2;      // receipt reconstructed
+inline constexpr std::uint8_t kWalSnapshot = 3;  // full ballot-state blob
+inline constexpr std::uint8_t kWalDecided = 4;   // consensus decisions bitmap
+inline constexpr std::uint8_t kWalPushed = 5;    // BB push started
 
 enum class BallotStatus : std::uint8_t { kNotVoted, kPending, kVoted };
 
@@ -120,6 +131,19 @@ class VcNode final : public sim::ShardedProcess {
   // control shard); exposed for the shard test suite.
   std::size_t shard_of_serial(core::Serial serial) const;
 
+  // Durability: hands the node its write-ahead log and takes ownership.
+  // The log is replayed immediately — a restarted process reconstructs
+  // the per-ballot state its previous incarnation persisted — and every
+  // state transition from then on is appended. Must be called before the
+  // hosting runtime starts (replay mutates ballot state with no locks and
+  // the on_start continuation depends on what was replayed). Throws
+  // store::WalError on mid-file corruption: recovery fails closed rather
+  // than rejoining the election with silently damaged state.
+  void attach_wal(std::unique_ptr<store::Wal> wal);
+  // Records currently in the log (0 when durability is off); exposed for
+  // tests asserting compaction behavior.
+  std::uint64_t wal_records() const { return wal_ ? wal_->records() : 0; }
+
   // phase_ is atomic: the ThreadNet completion predicate and the driver's
   // phase probe read it from the waiter thread mid-run.
   Phase phase() const { return phase_; }
@@ -178,6 +202,20 @@ class VcNode final : public sim::ShardedProcess {
   void push_to_bb();
 
   // --- shard coordination ----------------------------------------------------
+  // --- durability ----------------------------------------------------------
+  // Appends one record per transition (no-ops when no WAL is attached);
+  // called from shard workers, so the Wal itself serializes.
+  void wal_log_ucert(std::size_t instance, const BallotState& st);
+  void wal_log_cast(std::size_t instance, const BallotState& st);
+  // Compacts every per-ballot record into one snapshot blob at the
+  // announce phase boundary.
+  void wal_snapshot_state();
+  // Applies one replayed record to the in-memory state. Runs before the
+  // node has a Context: it must not send, charge, set timers, or verify
+  // signatures — a node trusts its own log (records were only written
+  // after verification the first time around).
+  void wal_replay_record(std::uint8_t type, BytesView payload);
+
   void start_shard_drain();
   void handle_shard_drain(sim::NodeId from, Reader& r);
   void handle_shard_barrier(sim::NodeId from, Reader& r);
@@ -251,6 +289,16 @@ class VcNode final : public sim::ShardedProcess {
   std::vector<std::pair<std::size_t, net::Buffer>> queued_consensus_;
   Bitmap recover_needed_;
   std::vector<core::VoteSetEntry> final_set_;
+
+  // Durability state. decisions_ is the consensus outcome copied out of
+  // the engine at decide time (or restored from the WAL): push/recovery
+  // read it instead of consensus_->decisions() because a restarted node
+  // resuming past the decision has no live consensus engine at all.
+  std::unique_ptr<store::Wal> wal_;
+  Bitmap decisions_;
+  bool replayed_announce_ = false;  // log held the announce-time snapshot
+  bool replayed_decided_ = false;   // log held the decisions bitmap
+  bool replayed_pushed_ = false;    // previous incarnation started its push
 
   VcStats stats_;  // control-shard timings; counters live in shard slots
 };

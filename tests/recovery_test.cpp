@@ -1,0 +1,223 @@
+// Mid-election crash recovery over the write-ahead log, on both real
+// backends:
+//
+//  * ThreadNet: a whole cluster is torn down mid-voting (every node object
+//    destroyed) after two voters hold receipts, then rebuilt over the same
+//    WAL directory. The replayed VC state must carry those two cast
+//    ballots through consensus so the final tally and receipt set are
+//    bit-identical to a no-fault reference election — even though nobody
+//    re-casts those votes in the second incarnation.
+//
+//  * TcpNet: one VC OS process is SIGKILLed mid-voting and respawned by
+//    the launcher. The respawned process replays its WAL, rebinds its old
+//    data port, re-HELLOs with a bumped incarnation, and finishes the
+//    election; the outcome must match the no-fault reference run and the
+//    process's accounting row must carry the new incarnation's real
+//    counters (the killed-process row used to stay zeroed).
+#include <gtest/gtest.h>
+
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <string>
+#include <vector>
+
+#include "client/voter.hpp"
+#include "core/driver.hpp"
+#include "core/tcp_launcher.hpp"
+#include "net/thread_net.hpp"
+#include "test_clock.hpp"
+
+namespace ddemos::core {
+namespace {
+
+using ddemos::test::scaled;
+
+std::string fresh_wal_dir(const char* tag) {
+  std::string dir = std::string(::testing::TempDir()) + "recovery_" + tag +
+                    "_" + std::to_string(::getpid());
+  ::mkdir(dir.c_str(), 0755);
+  // Re-runs under the same pid (repeat flags): start from empty logs.
+  for (const char* prefix : {"vc", "bb"}) {
+    for (int i = 0; i < 16; ++i) {
+      std::string path = dir + "/" + prefix + std::to_string(i) + ".wal";
+      ::unlink(path.c_str());
+    }
+  }
+  return dir;
+}
+
+ElectionParams recovery_params(const char* id) {
+  ElectionParams p;
+  p.election_id = to_bytes(id);
+  p.options = {"yes", "no"};
+  p.n_voters = 5;
+  p.n_vc = 4;
+  p.f_vc = 1;
+  p.n_bb = 3;
+  p.f_bb = 1;
+  p.n_trustees = 3;
+  p.h_trustees = 2;
+  p.t_start = 0;
+  p.t_end = scaled(1'500'000);
+  return p;
+}
+
+DriverConfig recovery_config(const ElectionParams& p) {
+  DriverConfig cfg;
+  cfg.params = p;
+  cfg.seed = 99;
+  cfg.voter_template.patience_us = scaled(300'000);
+  cfg.trustee_options.poll_interval_us = scaled(100'000);
+  cfg.wall_timeout_us = scaled(120'000'000);
+  return cfg;
+}
+
+// Every slot votes: options 0,1,0,1,0 -> tally {3, 2}.
+std::vector<std::size_t> full_votes() { return {0, 1, 0, 1, 0}; }
+
+TEST(Recovery, ThreadNetClusterCrashMidVotingReplaysWal) {
+  ElectionParams p = recovery_params("recovery-threadnet");
+  auto artifacts = std::make_shared<const ea::SetupArtifacts>(
+      ea::ea_setup({p, 99, /*vc_only=*/false, /*consensus_rounds=*/64}));
+
+  // Reference: the same election, no fault, no durability.
+  ElectionReport ref;
+  {
+    DriverConfig cfg = recovery_config(p);
+    cfg.artifacts = artifacts;
+    cfg.workload = VoteListWorkload::make(
+        full_votes(), [](std::size_t) { return scaled(50'000); });
+    net::ThreadNet net;
+    ElectionDriver driver(net, cfg);
+    ref = driver.run();
+  }
+  ASSERT_TRUE(ref.completed);
+  ASSERT_EQ(ref.tally, (std::vector<std::uint64_t>{3, 2}));
+  ASSERT_EQ(ref.receipts.size(), p.n_voters);
+
+  std::string wal_dir = fresh_wal_dir("threadnet");
+
+  // Incarnation 1: only slots 0 and 1 cast; run until both hold receipts,
+  // then destroy the whole cluster mid-voting (the election window is
+  // 1.5s, the receipts arrive in a fraction of that).
+  std::vector<std::uint64_t> stage1_receipts;
+  {
+    DriverConfig cfg = recovery_config(p);
+    cfg.artifacts = artifacts;
+    cfg.durability.wal_dir = wal_dir;
+    cfg.durability.fsync = store::FsyncPolicy::kAlways;
+    cfg.workload = VoteListWorkload::make(
+        {0, 1, kAbstain, kAbstain, kAbstain},
+        [](std::size_t) { return scaled(50'000); });
+    net::ThreadNet net;
+    ElectionTopology topo = build_election(net, *artifacts, cfg);
+    ASSERT_EQ(topo.voter_ids.size(), 2u);
+    std::vector<client::Voter*> voters;
+    for (sim::NodeId id : topo.voter_ids) {
+      voters.push_back(&dynamic_cast<client::Voter&>(net.process(id)));
+    }
+    net.start();
+    sim::RunOptions opts;
+    opts.wall_timeout_us = scaled(30'000'000);
+    ASSERT_TRUE(net.run_to_quiescence(
+        [&] {
+          for (client::Voter* v : voters) {
+            if (!v->has_receipt()) return false;
+          }
+          return true;
+        },
+        opts));
+    net.stop();
+    for (client::Voter* v : voters) {
+      stage1_receipts.push_back(v->expected_receipt());
+    }
+    // Scope exit destroys every node: the crash. Only the WAL survives.
+  }
+
+  // Incarnation 2: rebuilt over the same WAL directory. Slots 0 and 1
+  // abstain this time — their votes exist only in the replayed logs — and
+  // the remaining slots cast normally. An explicit entry per slot matters:
+  // VoteListWorkload falls back to round-robin beyond its list.
+  ElectionReport rec;
+  {
+    DriverConfig cfg = recovery_config(p);
+    cfg.artifacts = artifacts;
+    cfg.durability.wal_dir = wal_dir;
+    cfg.durability.fsync = store::FsyncPolicy::kAlways;
+    cfg.workload = VoteListWorkload::make(
+        {kAbstain, kAbstain, 0, 1, 0},
+        [](std::size_t) { return scaled(50'000); });
+    net::ThreadNet net;
+    ElectionDriver driver(net, cfg);
+    rec = driver.run();
+  }
+
+  ASSERT_TRUE(rec.completed);
+  // The published tally counts the stage-1 votes: bit-identical outcome.
+  EXPECT_EQ(rec.tally, ref.tally);
+  EXPECT_EQ(rec.vote_set.size(), p.n_voters);
+  // Receipts across both incarnations equal the reference set, slot for
+  // slot (receipts are deterministic EA data, so equality is exact).
+  ASSERT_EQ(stage1_receipts.size(), 2u);
+  EXPECT_EQ(stage1_receipts[0], ref.receipts[0]);
+  EXPECT_EQ(stage1_receipts[1], ref.receipts[1]);
+  ASSERT_EQ(rec.receipts.size(), 3u);
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_EQ(rec.receipts[i], ref.receipts[i + 2]) << "slot " << (i + 2);
+  }
+}
+
+TEST(Recovery, TcpKillAndRespawnVcProcessMidVoting) {
+  ElectionParams p = recovery_params("recovery-tcp");
+
+  // Reference: the same cluster, no fault, no durability.
+  ElectionReport ref;
+  {
+    DriverConfig cfg = recovery_config(p);
+    TcpLauncher launcher(TcpLauncher::spec_from(cfg));
+    ref = launcher.run_election(cfg);
+  }
+  ASSERT_TRUE(ref.completed);
+  ASSERT_EQ(ref.receipts.size(), p.n_voters);
+
+  DriverConfig cfg = recovery_config(p);
+  cfg.durability.wal_dir = fresh_wal_dir("tcp");
+  cfg.durability.fsync = store::FsyncPolicy::kAlways;
+
+  TcpLauncher::Options opt;
+  opt.fault_after_us = scaled(300'000);  // mid-voting (window 1.5s)
+  opt.fault = [](TcpLauncher& l) {
+    l.kill_process(2);  // VC index 1
+    // The control reader marks the process dead on EOF; respawn_process
+    // requires that observation (it joins the reader thread).
+    while (l.process_alive(2)) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    l.respawn_process(2);
+  };
+  TcpLauncher launcher(TcpLauncher::spec_from(cfg), opt);
+  ElectionReport r = launcher.run_election(cfg);
+
+  ASSERT_TRUE(r.completed);
+  EXPECT_EQ(r.receipts_issued, p.n_voters);
+  EXPECT_EQ(r.receipts, ref.receipts);  // bit-identical receipt set
+  ASSERT_FALSE(r.tally.empty());
+  EXPECT_EQ(r.tally, ref.tally);
+  EXPECT_EQ(r.tally, r.expected_tally);
+  EXPECT_EQ(r.vote_set.size(), p.n_voters);
+
+  // Accounting regression: the respawned incarnation shipped a report, so
+  // the once-zeroed row for the killed process carries real counters.
+  ASSERT_EQ(r.process_accounting.size(), p.n_vc + p.n_bb + p.n_trustees + 1);
+  EXPECT_EQ(r.process_accounting[2].name, "vc1");
+  EXPECT_GT(r.process_accounting[2].events, 0u);
+  EXPECT_GT(r.process_accounting[2].frames_sent, 0u);
+  for (std::size_t proc = 1; proc < r.process_accounting.size(); ++proc) {
+    EXPECT_GT(r.process_accounting[proc].frames_sent, 0u)
+        << r.process_accounting[proc].name;
+  }
+}
+
+}  // namespace
+}  // namespace ddemos::core
